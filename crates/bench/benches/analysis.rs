@@ -1,0 +1,97 @@
+//! Criterion bench: the offline analyses — schedulability tests,
+//! partition search, and a full breakdown-utilization run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emeralds_hal::CostModel;
+use emeralds_sched::analysis::AnalysisLimits;
+use emeralds_sched::partition::find_partition;
+use emeralds_sched::{
+    breakdown_utilization, edf_test, rm_test, BreakdownOptions, InflatedTask, OverheadModel,
+    SchedulerConfig, SearchStrategy, TaskSet, WorkloadParams,
+};
+use emeralds_sim::SimRng;
+use std::hint::black_box;
+
+fn workload(n: usize, seed: u64) -> TaskSet {
+    WorkloadParams {
+        n,
+        period_divisor: 1,
+        base_utilization: 0.7,
+    }
+    .generate(&mut SimRng::seeded(seed))
+}
+
+fn inflated(ts: &TaskSet) -> Vec<InflatedTask> {
+    ts.tasks()
+        .iter()
+        .map(|t| InflatedTask::new(t.period, t.deadline, t.wcet))
+        .collect()
+}
+
+fn bench_tests(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedulability_tests");
+    for n in [10usize, 50] {
+        let ts = workload(n, 1);
+        let inf = inflated(&ts);
+        g.bench_with_input(BenchmarkId::new("edf", n), &n, |b, _| {
+            b.iter(|| black_box(edf_test(&inf)))
+        });
+        g.bench_with_input(BenchmarkId::new("rm_rta", n), &n, |b, _| {
+            b.iter(|| black_box(rm_test(&inf)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_partition_search(c: &mut Criterion) {
+    let ovh = OverheadModel::new(CostModel::mc68040_25mhz());
+    let mut g = c.benchmark_group("csd3_partition_search");
+    g.sample_size(10);
+    for n in [20usize, 40] {
+        let ts = workload(n, 2);
+        g.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(find_partition(
+                    &ts,
+                    3,
+                    &ovh,
+                    &SearchStrategy::Exhaustive,
+                    AnalysisLimits::default(),
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rule", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(find_partition(
+                    &ts,
+                    3,
+                    &ovh,
+                    &SearchStrategy::TroublesomeRule,
+                    AnalysisLimits::default(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_breakdown(c: &mut Criterion) {
+    let ovh = OverheadModel::new(CostModel::mc68040_25mhz());
+    let opts = BreakdownOptions::default();
+    let ts = workload(20, 3);
+    let mut g = c.benchmark_group("breakdown_search");
+    g.sample_size(10);
+    for sched in [
+        SchedulerConfig::Edf,
+        SchedulerConfig::Rm,
+        SchedulerConfig::Csd(3),
+    ] {
+        g.bench_function(sched.label(), |b| {
+            b.iter(|| black_box(breakdown_utilization(&ts, sched, &ovh, &opts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tests, bench_partition_search, bench_breakdown);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! `expts` — regenerates every table and figure of the EMERALDS paper.
+//!
+//! ```text
+//! expts table1                 # Table 1: scheduler op costs
+//! expts fig2                   # Table 2 workload + Figure 2 timeline
+//! expts fig3 [--workloads N] [--exhaustive]
+//! expts fig4 / fig5            # period divisors 2 and 3
+//! expts table3                 # CSD-3 per-case overheads
+//! expts fig11                  # DP-queue semaphore overhead
+//! expts fig12                  # FP-queue semaphore overhead (§6.4)
+//! expts statemsg               # state messages vs mailboxes (§7)
+//! expts footprint              # 13 KB kernel claim, object sizes
+//! expts searchcost             # exhaustive CSD-3 search timing
+//! expts cyclic                 # cyclic-executive baseline (§5 motivation)
+//! expts syscalls               # optimized-syscall ablation (§3)
+//! expts csdx [--workloads N]   # CSD queue-count sweep (§5.6)
+//! expts all [--workloads N]    # everything above
+//! ```
+
+use emeralds_bench::{
+    breakdown_figs, csdx_expt, cyclic_expt, fig2, searchcost, semfig, statemsg_expt,
+    syscall_expt, table1, table3,
+};
+use emeralds_core::footprint;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+
+    let run_breakdown = |divisor: u64| {
+        let mut params = breakdown_figs::FigParams::figure(divisor);
+        if let Some(w) = value("--workloads") {
+            params.workloads = w;
+        }
+        params.exhaustive = flag("--exhaustive");
+        let data = breakdown_figs::compute(&params);
+        print!("{}", breakdown_figs::render(&data));
+        for note in breakdown_figs::shape_findings(&data) {
+            println!("  * {note}");
+        }
+        println!();
+    };
+
+    match cmd {
+        "table1" => print!("{}", table1::report(&[5, 10, 15, 20, 30, 40, 50])),
+        "fig2" => print!("{}", fig2::report()),
+        "fig3" => run_breakdown(1),
+        "fig4" => run_breakdown(2),
+        "fig5" => run_breakdown(3),
+        "table3" => print!("{}", table3::report(table3::Shape { q: 5, r: 12, n: 20 })),
+        "fig11" => {
+            let pts = semfig::sweep(semfig::QueueKind::Dp, (3..=30).step_by(3));
+            print!("{}", semfig::render(semfig::QueueKind::Dp, &pts));
+        }
+        "fig12" => {
+            let pts = semfig::sweep(semfig::QueueKind::Fp, (3..=30).step_by(3));
+            print!("{}", semfig::render(semfig::QueueKind::Fp, &pts));
+        }
+        "statemsg" => {
+            let pts = statemsg_expt::sweep([4usize, 8, 16, 32, 64, 128, 256]);
+            print!("{}", statemsg_expt::render(&pts));
+        }
+        "footprint" => print!("{}", footprint_report()),
+        "searchcost" => {
+            let pts = searchcost::sweep(&[10, 20, 40, 60, 80, 100], 2024);
+            print!("{}", searchcost::render(&pts));
+        }
+        "cyclic" => print!("{}", cyclic_expt::render(&cyclic_expt::compute())),
+        "csdx" => {
+            let w = value("--workloads").unwrap_or(20);
+            let pts = csdx_expt::sweep(40, 6, w, 0xC5D);
+            print!("{}", csdx_expt::render(&pts));
+        }
+        "syscalls" => print!("{}", syscall_expt::render(&syscall_expt::compute())),
+        "all" => {
+            banner("T1  Table 1: scheduler run-time overheads");
+            print!("{}", table1::report(&[5, 10, 15, 20, 30, 40, 50]));
+            banner("F2  Table 2 workload / Figure 2 schedule");
+            print!("{}", fig2::report());
+            banner("F3  breakdown utilization, base periods");
+            run_breakdown(1);
+            banner("F4  breakdown utilization, periods / 2");
+            run_breakdown(2);
+            banner("F5  breakdown utilization, periods / 3");
+            run_breakdown(3);
+            banner("T3  CSD-3 per-case overheads");
+            print!("{}", table3::report(table3::Shape { q: 5, r: 12, n: 20 }));
+            banner("F11 semaphore overhead, DP queue");
+            let pts = semfig::sweep(semfig::QueueKind::Dp, (3..=30).step_by(3));
+            print!("{}", semfig::render(semfig::QueueKind::Dp, &pts));
+            banner("F12 semaphore overhead, FP queue (§6.4)");
+            let pts = semfig::sweep(semfig::QueueKind::Fp, (3..=30).step_by(3));
+            print!("{}", semfig::render(semfig::QueueKind::Fp, &pts));
+            banner("S7  state messages vs mailboxes (reconstructed)");
+            let pts = statemsg_expt::sweep([4usize, 8, 16, 32, 64, 128, 256]);
+            print!("{}", statemsg_expt::render(&pts));
+            banner("SZ  memory footprint");
+            print!("{}", footprint_report());
+            banner("CS  CSD-3 partition search cost");
+            let pts = searchcost::sweep(&[10, 20, 40, 60, 80, 100], 2024);
+            print!("{}", searchcost::render(&pts));
+            banner("CY  cyclic executive baseline (§5 motivation)");
+            print!("{}", cyclic_expt::render(&cyclic_expt::compute()));
+            banner("SY  optimized syscalls ablation (§3)");
+            print!("{}", syscall_expt::render(&syscall_expt::compute()));
+            banner("CX  CSD queue-count sweep (§5.6)");
+            let w = value("--workloads").unwrap_or(20).min(50);
+            let pts = csdx_expt::sweep(40, 6, w, 0xC5D);
+            print!("{}", csdx_expt::render(&pts));
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("known: table1 fig2 fig3 fig4 fig5 table3 fig11 fig12 statemsg footprint searchcost cyclic syscalls csdx all");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Footprint of a representative application: the Table 2 workload's
+/// kernel after a run, so the pool high-water marks reflect real use.
+fn footprint_report() -> String {
+    let mut k = fig2::build(emeralds_core::SchedPolicy::Csd { boundaries: vec![5] });
+    k.run_until(emeralds_sim::Time::from_ms(100));
+    footprint::report(k.pools())
+}
+
+fn banner(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}\n", "=".repeat(72));
+}

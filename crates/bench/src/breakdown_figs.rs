@@ -1,0 +1,196 @@
+//! Experiments F3–F5 — breakdown-utilization curves (§5.7).
+//!
+//! For each task count `n`, generate random workloads (periods
+//! equiprobably 1/2/3-digit milliseconds, divided by 1, 2, or 3 for
+//! Figures 3, 4, 5), scale execution times to the breakdown point for
+//! each scheduler, and report the average breakdown utilization —
+//! exactly the procedure of §5.7, with run-time overheads from the
+//! calibrated cost model folded into the schedulability tests.
+
+use emeralds_hal::CostModel;
+use emeralds_sched::{
+    breakdown_utilization, BreakdownOptions, OverheadModel, SchedulerConfig, TaskSet,
+    WorkloadParams,
+};
+use emeralds_sim::SimRng;
+
+/// Parameters of one breakdown figure.
+#[derive(Clone, Debug)]
+pub struct FigParams {
+    /// Period divisor: 1 → Figure 3, 2 → Figure 4, 3 → Figure 5.
+    pub divisor: u64,
+    /// Task counts to sweep (the paper: 5..=50 step 5).
+    pub task_counts: Vec<usize>,
+    /// Workloads per point (the paper: 500).
+    pub workloads: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Use the paper's exhaustive partition search (slow).
+    pub exhaustive: bool,
+}
+
+impl FigParams {
+    /// Defaults sized to finish in seconds; pass `--workloads 500` to
+    /// the harness for paper-scale runs.
+    pub fn figure(divisor: u64) -> FigParams {
+        FigParams {
+            divisor,
+            task_counts: (1..=10).map(|k| k * 5).collect(),
+            workloads: 40,
+            seed: 0xE0E0 + divisor,
+            exhaustive: false,
+        }
+    }
+}
+
+/// The schedulers each figure compares.
+pub const SCHEDULERS: [SchedulerConfig; 5] = [
+    SchedulerConfig::Csd(4),
+    SchedulerConfig::Csd(3),
+    SchedulerConfig::Csd(2),
+    SchedulerConfig::Edf,
+    SchedulerConfig::Rm,
+];
+
+/// One figure's data: `series[s][i]` = average breakdown utilization
+/// of scheduler `s` at `task_counts[i]`.
+#[derive(Clone, Debug)]
+pub struct FigData {
+    pub params: FigParams,
+    pub series: Vec<Vec<f64>>,
+}
+
+/// Generates the workloads for one point.
+pub fn workloads_for(n: usize, params: &FigParams) -> Vec<TaskSet> {
+    let mut rng = SimRng::seeded(params.seed ^ (n as u64).wrapping_mul(0x9E37_79B9));
+    (0..params.workloads)
+        .map(|_| {
+            WorkloadParams {
+                n,
+                period_divisor: params.divisor,
+                base_utilization: 0.4,
+            }
+            .generate(&mut rng)
+        })
+        .collect()
+}
+
+/// Computes a figure.
+pub fn compute(params: &FigParams) -> FigData {
+    let ovh = OverheadModel::new(CostModel::mc68040_25mhz());
+    let opts = BreakdownOptions {
+        exhaustive_partition: params.exhaustive,
+        ..BreakdownOptions::default()
+    };
+    let mut series = vec![Vec::new(); SCHEDULERS.len()];
+    for &n in &params.task_counts {
+        let ws = workloads_for(n, params);
+        for (si, sched) in SCHEDULERS.iter().enumerate() {
+            let avg: f64 = ws
+                .iter()
+                .map(|w| breakdown_utilization(w, *sched, &ovh, &opts).utilization)
+                .sum::<f64>()
+                / ws.len() as f64;
+            series[si].push(avg);
+        }
+    }
+    FigData {
+        params: params.clone(),
+        series,
+    }
+}
+
+/// Renders a figure as the table the paper plots (plus an ASCII
+/// sparkline per scheduler).
+pub fn render(data: &FigData) -> String {
+    let fig_no = match data.params.divisor {
+        1 => 3,
+        2 => 4,
+        _ => 5,
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure {fig_no}: average breakdown utilization (%), periods / {} \
+         ({} workloads per point, seed {:#x})\n\n",
+        data.params.divisor, data.params.workloads, data.params.seed
+    ));
+    out.push_str(&format!("{:<8}", "n"));
+    for &n in &data.params.task_counts {
+        out.push_str(&format!("{n:>7}"));
+    }
+    out.push('\n');
+    for (si, sched) in SCHEDULERS.iter().enumerate() {
+        out.push_str(&format!("{:<8}", sched.label()));
+        for v in &data.series[si] {
+            out.push_str(&format!("{:>7.1}", v * 100.0));
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// Shape checks the paper's discussion makes; returned as human
+/// readable findings.
+pub fn shape_findings(data: &FigData) -> Vec<String> {
+    let mut notes = Vec::new();
+    let idx = |cfg: SchedulerConfig| SCHEDULERS.iter().position(|s| *s == cfg).unwrap();
+    let last = data.params.task_counts.len() - 1;
+    let csd3 = &data.series[idx(SchedulerConfig::Csd(3))];
+    let csd2 = &data.series[idx(SchedulerConfig::Csd(2))];
+    let edf = &data.series[idx(SchedulerConfig::Edf)];
+    let rm = &data.series[idx(SchedulerConfig::Rm)];
+    if csd3[last] >= edf[last] && csd3[last] >= rm[last] {
+        notes.push("CSD-3 best at the largest n (paper: CSD superior to both)".into());
+    } else {
+        notes.push("WARNING: CSD-3 not best at largest n".into());
+    }
+    if csd3[last] >= csd2[last] {
+        notes.push("CSD-3 >= CSD-2 at large n (paper: splitting the DP queue pays off)".into());
+    }
+    if data.params.divisor >= 2 {
+        if let Some(i) = (0..data.series[0].len()).find(|&i| rm[i] > edf[i]) {
+            notes.push(format!(
+                "RM overtakes EDF from n = {} (paper: short periods let RM win)",
+                data.params.task_counts[i]
+            ));
+        }
+    }
+    notes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature Figure 5 still shows the headline ordering.
+    #[test]
+    fn small_fig5_shapes_hold() {
+        let params = FigParams {
+            divisor: 3,
+            task_counts: vec![40],
+            workloads: 6,
+            seed: 0xBEEF,
+            exhaustive: false,
+        };
+        let data = compute(&params);
+        let idx = |cfg: SchedulerConfig| SCHEDULERS.iter().position(|s| *s == cfg).unwrap();
+        let csd3 = data.series[idx(SchedulerConfig::Csd(3))][0];
+        let edf = data.series[idx(SchedulerConfig::Edf)][0];
+        let rm = data.series[idx(SchedulerConfig::Rm)][0];
+        assert!(csd3 > edf, "csd3 {csd3:.3} vs edf {edf:.3}");
+        assert!(csd3 > rm, "csd3 {csd3:.3} vs rm {rm:.3}");
+        let rendered = render(&data);
+        assert!(rendered.contains("Figure 5"));
+        assert!(!shape_findings(&data).is_empty());
+    }
+
+    #[test]
+    fn workload_generation_is_deterministic() {
+        let p = FigParams::figure(1);
+        let a = workloads_for(10, &p);
+        let b = workloads_for(10, &p);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), p.workloads);
+    }
+}

@@ -1,0 +1,92 @@
+//! Experiment CS — cost of the off-line CSD partition search (§5.5.3).
+//!
+//! "The search runs in O(n²) time for three queues, taking 2–3 minutes
+//! on a 167 MHz Ultra-1 Sun workstation for a workload with 100
+//! tasks." We time the same exhaustive CSD-3 search on the host (which
+//! is of course much faster) and verify the quadratic growth.
+
+use emeralds_hal::CostModel;
+use emeralds_sched::analysis::AnalysisLimits;
+use emeralds_sched::partition::find_partition;
+use emeralds_sched::{OverheadModel, SearchStrategy, WorkloadParams};
+use emeralds_sim::SimRng;
+
+/// One timing point.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchPoint {
+    pub n: usize,
+    pub millis: f64,
+    pub found: bool,
+}
+
+/// Times the exhaustive CSD-3 search for each task count.
+pub fn sweep(ns: &[usize], seed: u64) -> Vec<SearchPoint> {
+    let ovh = OverheadModel::new(CostModel::mc68040_25mhz());
+    let mut rng = SimRng::seeded(seed);
+    ns.iter()
+        .map(|&n| {
+            let ts = WorkloadParams {
+                n,
+                period_divisor: 1,
+                base_utilization: 0.7,
+            }
+            .generate(&mut rng);
+            let start = std::time::Instant::now();
+            let found = find_partition(
+                &ts,
+                3,
+                &ovh,
+                &SearchStrategy::Exhaustive,
+                AnalysisLimits::default(),
+            )
+            .is_some();
+            SearchPoint {
+                n,
+                millis: start.elapsed().as_secs_f64() * 1e3,
+                found,
+            }
+        })
+        .collect()
+}
+
+/// Renders the timing table.
+pub fn render(points: &[SearchPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "CSD-3 exhaustive partition search cost (O(n^2) candidates)\n\
+         paper: 2-3 minutes for n = 100 on a 167 MHz Ultra-1\n\n",
+    );
+    out.push_str(&format!("{:>5} {:>12} {:>8}\n", "n", "time ms", "found"));
+    for p in points {
+        out.push_str(&format!("{:>5} {:>12.1} {:>8}\n", p.n, p.millis, p.found));
+    }
+    // Quadratic check over the first/last points.
+    if points.len() >= 2 {
+        let (a, b) = (points[0], points[points.len() - 1]);
+        if a.millis > 0.0 {
+            let ratio = b.millis / a.millis;
+            let nratio = (b.n as f64 / a.n as f64).powi(2);
+            out.push_str(&format!(
+                "\ngrowth {:.0}x for {:.0}x^2 = {:.0}x candidates (quadratic-ish)\n",
+                ratio,
+                b.n as f64 / a.n as f64,
+                nratio
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_times_and_finds() {
+        let pts = sweep(&[10, 20], 7);
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.found), "moderate workloads must partition");
+        let s = render(&pts);
+        assert!(s.contains("partition search"));
+    }
+}

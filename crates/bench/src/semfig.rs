@@ -1,0 +1,245 @@
+//! Experiments F11/F12 — semaphore acquire/release overhead (§6.4).
+//!
+//! Reproduces Figure 11 (DP queue) and the FP-queue result quoted in
+//! §6.4 ("the acquire/release overhead stays constant at 29.4 µs ...
+//! an improvement of 10.4 µs or 26%" at queue length 15).
+//!
+//! Method: the Figure 6 scenario runs on the live kernel — T2 (high
+//! priority) wakes from an unrelated blocking call and locks a
+//! semaphore held by T1 (low priority) while Tx (medium) is executing.
+//! The scheduler queue is padded with blocked filler tasks to the
+//! requested length. The measured quantity is *differential*: total
+//! kernel overhead of the run minus the overhead of an identical run
+//! whose scripts perform no semaphore operations. Everything unrelated
+//! (job releases, the event delivery, the end-of-job bookkeeping)
+//! cancels, leaving exactly the cost attributable to the contended
+//! acquire/release pair — context switches, priority inheritance,
+//! semaphore bookkeeping, and the scheduler operations it induces.
+
+use emeralds_core::kernel::{KernelBuilder, KernelConfig};
+use emeralds_core::script::{Action, Script};
+use emeralds_core::sync::SemScheme;
+use emeralds_core::SchedPolicy;
+use emeralds_sim::{Duration, Time};
+
+/// Which scheduler queue the protagonists live in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueKind {
+    /// EDF dynamic-priority queue (Figure 11).
+    Dp,
+    /// RM fixed-priority queue (the §6.4 FP result).
+    Fp,
+}
+
+/// One measured point.
+#[derive(Clone, Copy, Debug)]
+pub struct SemPoint {
+    pub queue_len: usize,
+    /// Contended pair overhead under the standard scheme (µs).
+    pub standard_us: f64,
+    /// Contended pair overhead under the EMERALDS scheme (µs).
+    pub emeralds_us: f64,
+}
+
+impl SemPoint {
+    /// Absolute saving of the EMERALDS scheme (µs).
+    pub fn saving_us(&self) -> f64 {
+        self.standard_us - self.emeralds_us
+    }
+
+    /// Relative improvement (fraction of the standard cost).
+    pub fn improvement(&self) -> f64 {
+        self.saving_us() / self.standard_us
+    }
+}
+
+fn ms(v: u64) -> Duration {
+    Duration::from_ms(v)
+}
+
+/// Builds and runs one scenario; returns total overhead in µs.
+fn run_scenario(queue: QueueKind, len: usize, scheme: SemScheme, with_sem: bool) -> f64 {
+    assert!(len >= 3, "need at least the three protagonist tasks");
+    let policy = match queue {
+        QueueKind::Dp => SchedPolicy::Edf,
+        QueueKind::Fp => SchedPolicy::RmQueue,
+    };
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy,
+        sem_scheme: scheme,
+        record_trace: false,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process("bench");
+    let s = b.add_mutex();
+    let e = b.add_event();
+    // T2: highest priority. Under EMERALDS its WaitEvent carries the
+    // next-sem hint.
+    let t2_body = if with_sem {
+        vec![
+            Action::WaitEvent(e),
+            Action::AcquireSem(s),
+            Action::Compute(ms(1)),
+            Action::ReleaseSem(s),
+        ]
+    } else {
+        vec![Action::WaitEvent(e), Action::Compute(ms(1))]
+    };
+    b.add_periodic_task(p, "T2", ms(100), Script::periodic(t2_body));
+    // Tx: medium priority; raises the event while T1 holds the lock.
+    b.add_periodic_task(
+        p,
+        "Tx",
+        ms(200),
+        Script::periodic(vec![
+            Action::SleepFor(ms(1)),
+            Action::Compute(ms(2)),
+            Action::SignalEvent(e),
+            Action::Compute(ms(2)),
+        ]),
+    );
+    // Filler tasks pad the queue: priorities between Tx and T1, first
+    // release far beyond the measurement window so they stay blocked —
+    // but they remain *members* of the scheduler queue, which is what
+    // drives the O(n) terms.
+    for i in 0..len - 3 {
+        b.add_periodic_task_phased(
+            p,
+            format!("fill{i}"),
+            ms(250 + i as u64),
+            ms(250 + i as u64),
+            Duration::from_secs(10),
+            Script::compute_only(ms(1)),
+        );
+    }
+    // T1: lowest priority, takes the lock first.
+    let t1_body = if with_sem {
+        vec![
+            Action::AcquireSem(s),
+            Action::Compute(ms(10)),
+            Action::ReleaseSem(s),
+        ]
+    } else {
+        vec![Action::Compute(ms(10))]
+    };
+    b.add_periodic_task(p, "T1", ms(400), Script::periodic(t1_body));
+    let mut k = b.build();
+    k.run_until(Time::from_ms(60));
+    assert_eq!(k.total_deadline_misses(), 0, "scenario must be feasible");
+    k.accounting().total_overhead().as_us_f64()
+}
+
+/// Measures one queue length under both schemes.
+pub fn measure(queue: QueueKind, len: usize) -> SemPoint {
+    let base_std = run_scenario(queue, len, SemScheme::Standard, false);
+    let std = run_scenario(queue, len, SemScheme::Standard, true);
+    let base_eme = run_scenario(queue, len, SemScheme::Emeralds, false);
+    let eme = run_scenario(queue, len, SemScheme::Emeralds, true);
+    SemPoint {
+        queue_len: len,
+        standard_us: std - base_std,
+        emeralds_us: eme - base_eme,
+    }
+}
+
+/// Sweeps queue lengths (the paper: 3–30).
+pub fn sweep(queue: QueueKind, lens: impl IntoIterator<Item = usize>) -> Vec<SemPoint> {
+    lens.into_iter().map(|l| measure(queue, l)).collect()
+}
+
+/// Renders the figure.
+pub fn render(queue: QueueKind, points: &[SemPoint]) -> String {
+    let (title, paper_note) = match queue {
+        QueueKind::Dp => (
+            "Figure 11: semaphore acquire/release overhead, DP (EDF) queue",
+            "paper @len 15: saving 11 us (28%); standard slope ~2x the new slope",
+        ),
+        QueueKind::Fp => (
+            "FP-queue semaphore overhead (§6.4)",
+            "paper @len 15: new scheme constant 29.4 us; saving 10.4 us (26%)",
+        ),
+    };
+    let mut out = format!("{title}\n{paper_note}\n\n");
+    out.push_str(&format!(
+        "{:>5} {:>12} {:>12} {:>10} {:>8}\n",
+        "len", "standard us", "emeralds us", "saving us", "improve"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:>5} {:>12.2} {:>12.2} {:>10.2} {:>7.1}%\n",
+            p.queue_len,
+            p.standard_us,
+            p.emeralds_us,
+            p.saving_us(),
+            p.improvement() * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §6.4 FP anchors: the new scheme is constant at ≈29.4 µs and
+    /// saves ≈10.4 µs (≈26%) at queue length 15.
+    #[test]
+    fn fp_anchors_match_paper() {
+        let p15 = measure(QueueKind::Fp, 15);
+        assert!(
+            (p15.emeralds_us - 29.4).abs() < 1.5,
+            "new-scheme FP pair = {:.2} us, paper 29.4",
+            p15.emeralds_us
+        );
+        assert!(
+            (p15.saving_us() - 10.4).abs() < 1.5,
+            "saving = {:.2} us, paper 10.4",
+            p15.saving_us()
+        );
+        // Constancy: the new scheme barely moves from 3 to 30.
+        let p3 = measure(QueueKind::Fp, 3);
+        let p30 = measure(QueueKind::Fp, 30);
+        assert!(
+            (p30.emeralds_us - p3.emeralds_us).abs() < 1.0,
+            "new FP scheme must be ~constant: {:.2} vs {:.2}",
+            p3.emeralds_us,
+            p30.emeralds_us
+        );
+        // The standard scheme grows.
+        assert!(p30.standard_us > p3.standard_us + 3.0);
+    }
+
+    /// Figure 11 DP anchors: ≈11 µs (≈28%) saving at length 15, and
+    /// the standard slope is about twice the new slope.
+    #[test]
+    fn dp_anchors_match_paper() {
+        let p15 = measure(QueueKind::Dp, 15);
+        assert!(
+            (p15.saving_us() - 11.0).abs() < 1.5,
+            "saving = {:.2} us, paper 11",
+            p15.saving_us()
+        );
+        assert!(
+            (p15.improvement() - 0.28).abs() < 0.05,
+            "improvement = {:.3}, paper 0.28",
+            p15.improvement()
+        );
+        let p5 = measure(QueueKind::Dp, 5);
+        let p25 = measure(QueueKind::Dp, 25);
+        let slope_std = (p25.standard_us - p5.standard_us) / 20.0;
+        let slope_new = (p25.emeralds_us - p5.emeralds_us) / 20.0;
+        assert!(
+            (slope_std / slope_new - 2.0).abs() < 0.35,
+            "slope ratio = {:.2}, paper ~2",
+            slope_std / slope_new
+        );
+    }
+
+    #[test]
+    fn render_lists_every_point() {
+        let pts = sweep(QueueKind::Fp, [3, 9, 15]);
+        let s = render(QueueKind::Fp, &pts);
+        assert_eq!(s.lines().count(), 3 + 3 + 1);
+        assert!(s.contains("29.4"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Fixed-block kernel memory pools.
+//!
+//! Small-memory RTOSs avoid general heaps: kernel objects come from
+//! statically sized pools so allocation is O(1), fragmentation-free,
+//! and the worst-case RAM budget is known at build time (§2–3: all
+//! ROM/RAM is on-chip, tens of kilobytes). The simulated kernel draws
+//! every object from a [`PoolSet`] and the footprint report reads the
+//! high-water marks.
+
+use std::fmt;
+
+/// One fixed-block pool.
+#[derive(Clone, Debug)]
+pub struct Pool {
+    pub name: &'static str,
+    pub block_bytes: usize,
+    pub capacity: usize,
+    allocated: usize,
+    high_water: usize,
+}
+
+impl Pool {
+    /// Creates a pool of `capacity` blocks of `block_bytes` each.
+    pub fn new(name: &'static str, block_bytes: usize, capacity: usize) -> Pool {
+        Pool {
+            name,
+            block_bytes,
+            capacity,
+            allocated: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Takes one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pool is exhausted — on the real system that is
+    /// a build-time sizing error, so the simulation treats it as fatal.
+    pub fn alloc(&mut self) {
+        assert!(
+            self.allocated < self.capacity,
+            "kernel pool '{}' exhausted ({} blocks)",
+            self.name,
+            self.capacity
+        );
+        self.allocated += 1;
+        self.high_water = self.high_water.max(self.allocated);
+    }
+
+    /// Returns one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-free (more frees than allocations).
+    pub fn free(&mut self) {
+        assert!(self.allocated > 0, "pool '{}' double free", self.name);
+        self.allocated -= 1;
+    }
+
+    /// Blocks currently in use.
+    pub fn in_use(&self) -> usize {
+        self.allocated
+    }
+
+    /// Peak blocks ever in use.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total reserved RAM for this pool.
+    pub fn reserved_bytes(&self) -> usize {
+        self.block_bytes * self.capacity
+    }
+
+    /// RAM actually needed at the observed peak.
+    pub fn peak_bytes(&self) -> usize {
+        self.block_bytes * self.high_water
+    }
+}
+
+/// The kernel's object pools.
+#[derive(Clone, Debug)]
+pub struct PoolSet {
+    pub tcbs: Pool,
+    pub sems: Pool,
+    pub condvars: Pool,
+    pub mailboxes: Pool,
+    pub statemsgs: Pool,
+    pub regions: Pool,
+    pub timers: Pool,
+}
+
+impl PoolSet {
+    /// Pool sizes typical of the paper's target applications (§2: tens
+    /// of concurrent tasks).
+    pub fn small_memory_defaults() -> PoolSet {
+        PoolSet {
+            // Block sizes model the 68k-era object layouts.
+            tcbs: Pool::new("tcb", 128, 64),
+            sems: Pool::new("semaphore", 32, 64),
+            condvars: Pool::new("condvar", 24, 32),
+            mailboxes: Pool::new("mailbox", 64, 32),
+            statemsgs: Pool::new("statemsg", 32, 64),
+            regions: Pool::new("region", 16, 64),
+            timers: Pool::new("timer", 24, 128),
+        }
+    }
+
+    /// All pools, for reports.
+    pub fn all(&self) -> [&Pool; 7] {
+        [
+            &self.tcbs,
+            &self.sems,
+            &self.condvars,
+            &self.mailboxes,
+            &self.statemsgs,
+            &self.regions,
+            &self.timers,
+        ]
+    }
+
+    /// Total reserved kernel-object RAM.
+    pub fn reserved_bytes(&self) -> usize {
+        self.all().iter().map(|p| p.reserved_bytes()).sum()
+    }
+
+    /// Total peak kernel-object RAM.
+    pub fn peak_bytes(&self) -> usize {
+        self.all().iter().map(|p| p.peak_bytes()).sum()
+    }
+}
+
+impl fmt::Display for PoolSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>6} {:>6} {:>6} {:>10} {:>10}",
+            "pool", "block", "cap", "peak", "reserved", "peak RAM"
+        )?;
+        for p in self.all() {
+            writeln!(
+                f,
+                "{:<12} {:>6} {:>6} {:>6} {:>9}B {:>9}B",
+                p.name,
+                p.block_bytes,
+                p.capacity,
+                p.high_water(),
+                p.reserved_bytes(),
+                p.peak_bytes()
+            )?;
+        }
+        write!(
+            f,
+            "total reserved {}B, peak {}B",
+            self.reserved_bytes(),
+            self.peak_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_and_high_water() {
+        let mut p = Pool::new("x", 32, 4);
+        p.alloc();
+        p.alloc();
+        p.alloc();
+        p.free();
+        assert_eq!(p.in_use(), 2);
+        assert_eq!(p.high_water(), 3);
+        assert_eq!(p.peak_bytes(), 96);
+        assert_eq!(p.reserved_bytes(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_is_fatal() {
+        let mut p = Pool::new("x", 8, 1);
+        p.alloc();
+        p.alloc();
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_is_fatal() {
+        let mut p = Pool::new("x", 8, 1);
+        p.free();
+    }
+
+    #[test]
+    fn pool_set_totals_and_display() {
+        let mut ps = PoolSet::small_memory_defaults();
+        ps.tcbs.alloc();
+        ps.sems.alloc();
+        assert!(ps.reserved_bytes() > 10_000);
+        assert_eq!(ps.peak_bytes(), 128 + 32);
+        let s = ps.to_string();
+        assert!(s.contains("tcb"));
+        assert!(s.contains("total reserved"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared-memory regions (Figure 1: "IPC ... shared memory").
+//!
+//! A shared region is MPU-backed memory mapped into more than one
+//! process. State-message buffers live in shared regions; applications
+//! can also use raw regions guarded by semaphores (the OO-object
+//! pattern of §6).
+
+use emeralds_sim::{ProcId, RegionId};
+
+/// A shared-memory region descriptor (the MPU holds the access-control
+/// view; this records the IPC-level registration).
+#[derive(Clone, Debug)]
+pub struct SharedRegion {
+    pub id: RegionId,
+    pub base: u64,
+    pub size: u64,
+    pub owner: ProcId,
+    pub mapped: Vec<ProcId>,
+}
+
+impl SharedRegion {
+    /// Creates a region owned (and mapped) by `owner`.
+    pub fn new(id: RegionId, base: u64, size: u64, owner: ProcId) -> SharedRegion {
+        SharedRegion {
+            id,
+            base,
+            size,
+            owner,
+            mapped: vec![owner],
+        }
+    }
+
+    /// Maps the region into another process (idempotent).
+    pub fn map_into(&mut self, proc: ProcId) {
+        if !self.mapped.contains(&proc) {
+            self.mapped.push(proc);
+        }
+    }
+
+    /// True if `proc` has the region mapped.
+    pub fn is_mapped(&self, proc: ProcId) -> bool {
+        self.mapped.contains(&proc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_mapped_by_default() {
+        let r = SharedRegion::new(RegionId(0), 0x4000, 64, ProcId(2));
+        assert!(r.is_mapped(ProcId(2)));
+        assert!(!r.is_mapped(ProcId(0)));
+    }
+
+    #[test]
+    fn mapping_is_idempotent() {
+        let mut r = SharedRegion::new(RegionId(0), 0x4000, 64, ProcId(0));
+        r.map_into(ProcId(1));
+        r.map_into(ProcId(1));
+        assert_eq!(r.mapped.len(), 2);
+        assert!(r.is_mapped(ProcId(1)));
+    }
+}

@@ -1,0 +1,433 @@
+//! The kernel execution loop.
+//!
+//! Deterministic discrete-event interpretation: the running thread's
+//! current action executes (splitting computation at the next external
+//! occurrence), kernel calls charge their calibrated costs, and every
+//! block/unblock invokes the scheduler exactly as §5.1 models it
+//! (`t_b`, `t_u`, and a selection per transition).
+
+use emeralds_sim::{OverheadKind, ThreadId, Time, TraceEvent};
+
+use crate::kernel::{Kernel, TimerEvent};
+use crate::script::{Action, Operand, ScriptKind};
+use crate::tcb::{BlockReason, ThreadState, Timing};
+
+impl Kernel {
+    /// Runs until virtual time reaches `horizon` (or nothing remains
+    /// to do).
+    pub fn run_until(&mut self, horizon: Time) {
+        while self.step(horizon) {}
+    }
+
+    /// Runs until `horizon` or the first deadline miss; returns true
+    /// if a miss occurred.
+    pub fn run_until_miss(&mut self, horizon: Time) -> bool {
+        while self.trace.deadline_miss_count() == 0 && self.step(horizon) {}
+        self.trace.deadline_miss_count() > 0
+    }
+
+    /// The earliest pending external occurrence (kernel timer or board
+    /// device event).
+    pub(crate) fn next_external_time(&self) -> Option<Time> {
+        match (self.timers.next_expiry(), self.board.next_event_time()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Executes one scheduling quantum. Returns false when the horizon
+    /// is reached or no future work exists.
+    pub fn step(&mut self, horizon: Time) -> bool {
+        if self.clock.now() >= horizon {
+            return false;
+        }
+        self.process_due_external();
+        if self.clock.now() >= horizon {
+            return false;
+        }
+        match self.current {
+            Some(tid) => {
+                self.exec_slice(tid, horizon);
+                true
+            }
+            None => match self.next_external_time() {
+                Some(t) if t < horizon => {
+                    let now = self.clock.now();
+                    let t = t.max(now);
+                    self.acct.idle += t.since(now);
+                    self.clock.advance_to(t);
+                    true // events processed at the top of the next step
+                }
+                _ => {
+                    let now = self.clock.now();
+                    self.acct.idle += horizon.since(now);
+                    self.clock.advance_to(horizon);
+                    false
+                }
+            },
+        }
+    }
+
+    /// Delivers every timer/device occurrence due at the current
+    /// instant.
+    pub(crate) fn process_due_external(&mut self) {
+        loop {
+            let now = self.clock.now();
+            let due = match self.next_external_time() {
+                Some(t) if t <= now => t,
+                _ => break,
+            };
+            let _ = due;
+            // Device events first: they latch interrupts.
+            let raised = self.board.advance_to(now);
+            for line in raised {
+                self.record(TraceEvent::IrqRaised { line });
+            }
+            self.service_pending_irqs();
+            // Kernel timer expiries.
+            while let Some((_, ev)) = self.timers.pop_due(self.clock.now()) {
+                self.charge(OverheadKind::Timer, self.cfg.cost.timer_expiry);
+                match ev {
+                    TimerEvent::Release(tid) => self.release_job(tid),
+                    TimerEvent::Wake(tid) => self.complete_blocking_call(tid),
+                    TimerEvent::DeadlineCheck(tid, job) => self.check_deadline(tid, job),
+                }
+            }
+        }
+    }
+
+    /// Executes (part of) the current thread's next action.
+    fn exec_slice(&mut self, tid: ThreadId, horizon: Time) {
+        debug_assert!(
+            self.tcbs.get(tid).is_ready(),
+            "running thread {tid} is not ready"
+        );
+        // Charge a deferred syscall exit from a blocking call that
+        // completed while the thread was switched out.
+        if self.tcbs.get(tid).in_syscall {
+            self.tcbs.get_mut(tid).in_syscall = false;
+            self.charge(OverheadKind::Syscall, self.cfg.cost.syscall_exit);
+            return;
+        }
+        let pc = self.tcbs.get(tid).pc;
+        let len = self.tcbs.get(tid).script.actions.len();
+        if pc >= len {
+            match self.tcbs.get(tid).script.kind {
+                ScriptKind::PeriodicJob => self.complete_job(tid),
+                ScriptKind::Looping => {
+                    self.tcbs.get_mut(tid).pc = 0;
+                }
+            }
+            return;
+        }
+        let action = self.tcbs.get(tid).script.actions[pc].clone();
+        match action {
+            Action::Compute(d) => {
+                {
+                    let t = self.tcbs.get_mut(tid);
+                    if t.compute_left.is_zero() {
+                        t.compute_left = d;
+                    }
+                }
+                let now = self.clock.now();
+                let mut limit = horizon;
+                if let Some(t) = self.next_external_time() {
+                    limit = limit.min(t.max(now));
+                }
+                let budget = limit.since(now);
+                let left = self.tcbs.get(tid).compute_left;
+                let run = left.min(budget);
+                if run.is_zero() && left > budget {
+                    // An external event is due right now; the loop top
+                    // of the next step handles it.
+                    self.process_due_external();
+                    self.reschedule();
+                    return;
+                }
+                self.clock.advance(run);
+                self.acct.app += run;
+                {
+                    let t = self.tcbs.get_mut(tid);
+                    t.cpu_time += run;
+                    t.compute_left -= run;
+                    if t.compute_left.is_zero() {
+                        t.pc += 1;
+                    }
+                }
+                // If we ran up to an event boundary, deliver and maybe
+                // preempt.
+                if self
+                    .next_external_time()
+                    .is_some_and(|t| t <= self.clock.now())
+                {
+                    self.process_due_external();
+                }
+            }
+            Action::AcquireSem(s) => self.sys_acquire_sem(tid, s),
+            Action::ReleaseSem(s) => self.sys_release_sem(tid, s),
+            Action::CondWait(cv, m) => self.sys_cond_wait(tid, cv, m),
+            Action::CondSignal(cv) => self.sys_cond_signal(tid, cv),
+            Action::SendMbox { mbox, bytes, tag } => self.sys_mbox_send(tid, mbox, bytes, tag),
+            Action::RecvMbox(mb) => self.sys_mbox_recv(tid, mb),
+            Action::StateWrite { var, value } => {
+                let v = match value {
+                    Operand::Const(c) => c,
+                    Operand::FromLastRead => self.tcbs.get(tid).last_read,
+                };
+                self.state_write(tid, var, v)
+            }
+            Action::StateRead(var) => self.state_read(tid, var),
+            Action::SignalEvent(e) => self.sys_event_signal(tid, e),
+            Action::WaitEvent(e) => self.sys_event_wait(tid, e),
+            Action::WaitIrq(line) => self.sys_wait_irq(tid, line),
+            Action::SleepFor(d) => self.sys_sleep(tid, d),
+            Action::DevRead(dev) => {
+                let v = self.board.device_mut(dev).read_register();
+                self.tcbs.get_mut(tid).last_read = v;
+                self.tcbs.get_mut(tid).pc += 1;
+            }
+            Action::DevWrite(dev, op) => {
+                let v = match op {
+                    Operand::Const(c) => c,
+                    Operand::FromLastRead => self.tcbs.get(tid).last_read,
+                };
+                let now = self.clock.now();
+                self.board.device_mut(dev).write_register(now, v);
+                self.tcbs.get_mut(tid).pc += 1;
+            }
+            Action::ReadClock => {
+                self.charge(OverheadKind::Syscall, self.cfg.cost.clock_read);
+                self.tcbs.get_mut(tid).pc += 1;
+            }
+        }
+    }
+
+    /// Fires at a constrained deadline (D < P): the job must be done.
+    pub(crate) fn check_deadline(&mut self, tid: ThreadId, job: u64) {
+        let t = self.tcbs.get(tid);
+        if t.job == job && !t.job_done && !t.missed_current {
+            let dl = t.abs_deadline;
+            let t = self.tcbs.get_mut(tid);
+            t.missed_current = true;
+            t.deadline_misses += 1;
+            self.record(TraceEvent::DeadlineMiss {
+                tid,
+                job,
+                deadline: dl,
+            });
+        }
+    }
+
+    /// End of a periodic pass: record completion and block until the
+    /// next release.
+    fn complete_job(&mut self, tid: ThreadId) {
+        let now = self.clock.now();
+        {
+            let t = self.tcbs.get_mut(tid);
+            t.job_done = true;
+            t.jobs_completed += 1;
+            let resp = now.saturating_since(t.job_release);
+            if resp > t.max_response {
+                t.max_response = resp;
+            }
+            t.response_hist.record(resp);
+        }
+        let job = self.tcbs.get(tid).job;
+        self.record(TraceEvent::JobComplete { tid, job });
+        self.block_thread(tid, BlockReason::EndOfJob);
+        self.reschedule();
+    }
+
+    /// A periodic release fires.
+    pub(crate) fn release_job(&mut self, tid: ThreadId) {
+        let Timing::Periodic {
+            period, deadline, ..
+        } = self.tcbs.get(tid).timing
+        else {
+            return;
+        };
+        // Program the next release.
+        {
+            let t = self.tcbs.get_mut(tid);
+            t.next_release += period;
+        }
+        let next = self.tcbs.get(tid).next_release;
+        self.timers.arm(next, TimerEvent::Release(tid));
+        self.charge(OverheadKind::Timer, self.cfg.cost.timer_program);
+
+        if !self.tcbs.get(tid).job_done {
+            // Previous job still incomplete at this release. For
+            // D = P this *is* the deadline; for D < P the deadline
+            // check already counted it. Either way the late job keeps
+            // running and this release is skipped.
+            if !self.tcbs.get(tid).missed_current {
+                let (job, dl) = {
+                    let t = self.tcbs.get_mut(tid);
+                    t.missed_current = true;
+                    t.deadline_misses += 1;
+                    (t.job, t.abs_deadline)
+                };
+                self.record(TraceEvent::DeadlineMiss {
+                    tid,
+                    job,
+                    deadline: dl,
+                });
+            }
+            return;
+        }
+        let now = self.clock.now();
+        let job = {
+            let t = self.tcbs.get_mut(tid);
+            t.job += 1;
+            t.job_release = now;
+            t.abs_deadline = now + deadline;
+            t.job_done = false;
+            t.missed_current = false;
+            t.pc = 0;
+            t.compute_left = emeralds_sim::Duration::ZERO;
+            t.job
+        };
+        let dl = self.tcbs.get(tid).abs_deadline;
+        if deadline < period {
+            // Constrained deadline: schedule an explicit check.
+            self.timers.arm(dl, TimerEvent::DeadlineCheck(tid, job));
+            self.charge(OverheadKind::Timer, self.cfg.cost.timer_program);
+        }
+        self.record(TraceEvent::JobRelease {
+            tid,
+            job,
+            deadline: dl,
+        });
+        self.complete_blocking_call(tid);
+    }
+
+    /// Marks a thread blocked and accounts the scheduler's `t_b`.
+    pub(crate) fn block_thread(&mut self, tid: ThreadId, reason: BlockReason) {
+        debug_assert!(self.tcbs.get(tid).is_ready(), "double block of {tid}");
+        self.tcbs.get_mut(tid).state = ThreadState::Blocked(reason);
+        let c = self.sched.on_block(tid, &mut self.tcbs, &self.cfg.cost);
+        self.charge(OverheadKind::SchedBlock, c);
+        self.record(TraceEvent::Blocked { tid });
+    }
+
+    /// Marks a thread ready and accounts the scheduler's `t_u`.
+    pub(crate) fn make_ready(&mut self, tid: ThreadId) {
+        debug_assert!(!self.tcbs.get(tid).is_ready(), "double unblock of {tid}");
+        // Sporadic tasks take an EDF deadline of one inter-arrival
+        // time from the waking event.
+        if let Timing::EventDriven { rank } = self.tcbs.get(tid).timing {
+            let dl = self.clock.now() + rank;
+            self.tcbs.get_mut(tid).abs_deadline = dl;
+        }
+        self.tcbs.get_mut(tid).state = ThreadState::Ready;
+        let c = self.sched.on_unblock(tid, &mut self.tcbs, &self.cfg.cost);
+        self.charge(OverheadKind::SchedUnblock, c);
+        self.record(TraceEvent::Unblocked { tid });
+    }
+
+    /// Invokes the scheduler (`t_s`) and dispatches, charging a
+    /// context switch when the pick changes.
+    pub(crate) fn reschedule(&mut self) {
+        let (next, c) = self.sched.select(&self.tcbs, &self.cfg.cost);
+        self.charge(OverheadKind::SchedSelect, c);
+        if next != self.current {
+            self.charge(OverheadKind::ContextSwitch, self.cfg.cost.context_switch);
+            self.record(TraceEvent::ContextSwitch {
+                from: self.current,
+                to: next,
+            });
+            self.current = next;
+        }
+    }
+
+    /// Completes the blocking call a thread was parked in: advances
+    /// past the blocking action and, under the EMERALDS semaphore
+    /// scheme, consults the §6.2 next-semaphore hint before deciding
+    /// whether the thread actually wakes.
+    pub(crate) fn complete_blocking_call(&mut self, tid: ThreadId) {
+        let state = self.tcbs.get(tid).state;
+        let hint = match state {
+            ThreadState::Ready => return, // spurious wake
+            ThreadState::Blocked(BlockReason::EndOfJob) => {
+                // Job released: the implicit end-of-job blocking call
+                // completes; the hint looks into the new job.
+                crate::parser::end_of_job_hint(&self.tcbs.get(tid).script)
+            }
+            ThreadState::Blocked(BlockReason::PreLock(_)) => {
+                // Re-released by the semaphore holder; just wake.
+                self.make_ready(tid);
+                self.reschedule();
+                return;
+            }
+            ThreadState::Blocked(BlockReason::Sem(_)) => {
+                // Semaphore grants go through `grant_sem`, never here.
+                unreachable!("sem wait completes via grant");
+            }
+            ThreadState::Blocked(_) => {
+                let pc = self.tcbs.get(tid).pc;
+                let hint = self.tcbs.get(tid).hints.get(pc).copied().flatten();
+                self.tcbs.get_mut(tid).pc = pc + 1;
+                hint
+            }
+        };
+        self.finish_unblock_with_hint(tid, hint);
+    }
+
+    /// The §6.2 decision point: wake the thread, or — when its next
+    /// lock target is already held — inherit early and keep it
+    /// blocked; when the target is free, admit it to the pre-lock
+    /// queue (§6.3.1).
+    pub(crate) fn finish_unblock_with_hint(
+        &mut self,
+        tid: ThreadId,
+        hint: Option<emeralds_sim::SemId>,
+    ) {
+        if self.cfg.sem_scheme == crate::sync::SemScheme::Emeralds {
+            if let Some(s) = hint {
+                if self.sems[s.index()].is_mutex() {
+                    // The hint check itself is semaphore bookkeeping.
+                    self.charge(OverheadKind::Semaphore, self.cfg.cost.sem_logic);
+                    if !self.sems[s.index()].available() {
+                        let holder = self.sems[s.index()].holder.expect("locked mutex has holder");
+                        self.do_priority_inheritance(s, tid);
+                        let key = self.prio_key(tid);
+                        let keys: Vec<u128> = self.sems[s.index()]
+                            .waiters
+                            .iter()
+                            .map(|&w| self.prio_key(w))
+                            .collect();
+                        let waiters = &mut self.sems[s.index()];
+                        let pos = keys.iter().position(|&k| k > key).unwrap_or(keys.len());
+                        waiters.waiters.insert(pos, tid);
+                        self.tcbs.get_mut(tid).state =
+                            ThreadState::Blocked(BlockReason::Sem(s));
+                        self.record(TraceEvent::EarlyInherit {
+                            waiter: tid,
+                            holder,
+                            sem: s,
+                        });
+                        // The holder may have risen above the running
+                        // thread.
+                        self.reschedule();
+                        return;
+                    }
+                    self.sems[s.index()].prelock_add(tid);
+                    self.record(TraceEvent::PreLockAdmit { tid, sem: s });
+                }
+            }
+        }
+        self.make_ready(tid);
+        self.reschedule();
+    }
+
+    /// Services all deliverable interrupts.
+    pub(crate) fn service_pending_irqs(&mut self) {
+        while let Some(line) = self.board.intc.pending_highest() {
+            self.board.intc.ack(line);
+            self.charge(OverheadKind::Interrupt, self.cfg.cost.irq_entry);
+            self.handle_irq_line(line);
+            self.charge(OverheadKind::Interrupt, self.cfg.cost.irq_exit);
+            self.record(TraceEvent::IrqHandled { line });
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! IPC, event, interrupt, and timer operations.
+
+use emeralds_hal::AccessKind;
+use emeralds_sim::{
+    Duration, EventId, IrqLine, MboxId, OverheadKind, StateId, ThreadId, TraceEvent,
+};
+
+use crate::ipc::Message;
+use crate::kernel::{IrqAction, Kernel, TimerEvent};
+use crate::tcb::BlockReason;
+
+impl Kernel {
+    /// `mbox_send()`: copy into the kernel mailbox; block when full.
+    pub(crate) fn sys_mbox_send(&mut self, tid: ThreadId, mb: MboxId, bytes: usize, tag: u32) {
+        self.charge(OverheadKind::Syscall, self.cfg.cost.syscall_entry);
+        self.record(TraceEvent::Syscall {
+            tid,
+            name: "mbox_send",
+        });
+        let msg = Message {
+            bytes,
+            tag,
+            sender: tid,
+        };
+        // Direct hand-off to a blocked receiver: one copy in, one out.
+        let receiver = {
+            let mbx = &mut self.mboxes[mb.index()];
+            if mbx.receivers.is_empty() {
+                None
+            } else {
+                Some(mbx.receivers.remove(0))
+            }
+        };
+        if let Some(r) = receiver {
+            self.charge(OverheadKind::IpcCopy, self.cfg.cost.mbox_copy(bytes));
+            self.charge(OverheadKind::IpcCopy, self.cfg.cost.mbox_copy(bytes));
+            self.record(TraceEvent::MboxSend {
+                tid,
+                mbox: mb,
+                bytes,
+            });
+            self.record(TraceEvent::MboxRecv {
+                tid: r,
+                mbox: mb,
+                bytes,
+            });
+            self.mboxes[mb.index()].sent += 1;
+            self.mboxes[mb.index()].received += 1;
+            self.tcbs.get_mut(r).last_read = tag;
+            self.tcbs.get_mut(tid).pc += 1;
+            self.charge(OverheadKind::Syscall, self.cfg.cost.syscall_exit);
+            // The receiver's blocking call completes (hint-aware).
+            self.complete_blocking_call(r);
+            return;
+        }
+        if self.mboxes[mb.index()].has_space() {
+            self.charge(OverheadKind::IpcCopy, self.cfg.cost.mbox_copy(bytes));
+            self.mboxes[mb.index()].push(msg);
+            self.record(TraceEvent::MboxSend {
+                tid,
+                mbox: mb,
+                bytes,
+            });
+            self.tcbs.get_mut(tid).pc += 1;
+            self.charge(OverheadKind::Syscall, self.cfg.cost.syscall_exit);
+        } else {
+            // Full: park the sender with its message pending.
+            self.pending_send[tid.index()] = Some(msg);
+            let key = self.prio_key(tid);
+            let keys: Vec<u128> = self.mboxes[mb.index()]
+                .senders
+                .iter()
+                .map(|&w| self.prio_key(w))
+                .collect();
+            let pos = keys.iter().position(|&k| k > key).unwrap_or(keys.len());
+            self.mboxes[mb.index()].senders.insert(pos, tid);
+            self.tcbs.get_mut(tid).in_syscall = true;
+            self.block_thread(tid, BlockReason::MboxSend(mb));
+            self.reschedule();
+        }
+    }
+
+    /// `mbox_recv()`: copy out of the mailbox; block when empty.
+    pub(crate) fn sys_mbox_recv(&mut self, tid: ThreadId, mb: MboxId) {
+        self.charge(OverheadKind::Syscall, self.cfg.cost.syscall_entry);
+        self.record(TraceEvent::Syscall {
+            tid,
+            name: "mbox_recv",
+        });
+        if let Some(msg) = self.mboxes[mb.index()].pop() {
+            self.charge(OverheadKind::IpcCopy, self.cfg.cost.mbox_copy(msg.bytes));
+            self.record(TraceEvent::MboxRecv {
+                tid,
+                mbox: mb,
+                bytes: msg.bytes,
+            });
+            self.tcbs.get_mut(tid).last_read = msg.tag;
+            self.tcbs.get_mut(tid).pc += 1;
+            self.charge(OverheadKind::Syscall, self.cfg.cost.syscall_exit);
+            // Space freed: admit one parked sender.
+            let sender = {
+                let mbx = &mut self.mboxes[mb.index()];
+                if mbx.senders.is_empty() {
+                    None
+                } else {
+                    Some(mbx.senders.remove(0))
+                }
+            };
+            if let Some(snd) = sender {
+                let pending = self.pending_send[snd.index()]
+                    .take()
+                    .expect("parked sender has a pending message");
+                self.charge(OverheadKind::IpcCopy, self.cfg.cost.mbox_copy(pending.bytes));
+                self.mboxes[mb.index()].push(pending);
+                self.record(TraceEvent::MboxSend {
+                    tid: snd,
+                    mbox: mb,
+                    bytes: pending.bytes,
+                });
+                self.complete_blocking_call(snd);
+            }
+        } else {
+            let key = self.prio_key(tid);
+            let keys: Vec<u128> = self.mboxes[mb.index()]
+                .receivers
+                .iter()
+                .map(|&w| self.prio_key(w))
+                .collect();
+            let pos = keys.iter().position(|&k| k > key).unwrap_or(keys.len());
+            self.mboxes[mb.index()].receivers.insert(pos, tid);
+            self.tcbs.get_mut(tid).in_syscall = true;
+            self.block_thread(tid, BlockReason::MboxRecv(mb));
+            self.reschedule();
+        }
+    }
+
+    /// State-message write: a user-space copy into the shared buffer —
+    /// *no* system call (§7, reconstructed).
+    pub(crate) fn state_write(&mut self, tid: ThreadId, var: StateId, value: u32) {
+        let v = &self.statemsgs[var.index()];
+        let region = v.region;
+        let size = v.size;
+        let base = self.regions[region_index(&self.regions, region)].base;
+        let proc = self.tcbs.get(tid).proc;
+        // The MPU guards the shared buffer.
+        if self.board.mpu.check(proc, base, AccessKind::Write).is_err() {
+            self.record(TraceEvent::ProtectionFault { tid, addr: base });
+            self.tcbs.get_mut(tid).pc += 1;
+            return;
+        }
+        self.charge(OverheadKind::StateMsg, self.cfg.cost.statemsg_copy(size));
+        self.statemsgs[var.index()].write(tid, value);
+        let seq = self.statemsgs[var.index()].seq;
+        self.record(TraceEvent::StateWrite { tid, var, seq });
+        self.tcbs.get_mut(tid).pc += 1;
+    }
+
+    /// State-message read: a user-space copy out of the shared buffer.
+    pub(crate) fn state_read(&mut self, tid: ThreadId, var: StateId) {
+        let v = &self.statemsgs[var.index()];
+        let region = v.region;
+        let size = v.size;
+        let base = self.regions[region_index(&self.regions, region)].base;
+        let proc = self.tcbs.get(tid).proc;
+        if self.board.mpu.check(proc, base, AccessKind::Read).is_err() {
+            self.record(TraceEvent::ProtectionFault { tid, addr: base });
+            self.tcbs.get_mut(tid).pc += 1;
+            return;
+        }
+        self.charge(OverheadKind::StateMsg, self.cfg.cost.statemsg_copy(size));
+        let value = self.statemsgs[var.index()].read();
+        let seq = self.statemsgs[var.index()].seq;
+        self.record(TraceEvent::StateRead { tid, var, seq });
+        self.tcbs.get_mut(tid).last_read = value;
+        self.tcbs.get_mut(tid).pc += 1;
+    }
+
+    /// `event_signal()`: wake all waiters, or latch.
+    pub(crate) fn sys_event_signal(&mut self, tid: ThreadId, e: EventId) {
+        self.charge(OverheadKind::Syscall, self.cfg.cost.syscall_entry);
+        self.record(TraceEvent::Syscall {
+            tid,
+            name: "event_signal",
+        });
+        self.record(TraceEvent::EventSignal { tid, event: e });
+        self.events[e.index()].signals += 1;
+        let waiters = std::mem::take(&mut self.events[e.index()].waiters);
+        if waiters.is_empty() {
+            self.events[e.index()].latched = true;
+        }
+        self.tcbs.get_mut(tid).pc += 1;
+        self.charge(OverheadKind::Syscall, self.cfg.cost.syscall_exit);
+        for w in waiters {
+            self.complete_blocking_call(w);
+        }
+    }
+
+    /// `event_wait()`: consume a latched signal or block.
+    pub(crate) fn sys_event_wait(&mut self, tid: ThreadId, e: EventId) {
+        self.charge(OverheadKind::Syscall, self.cfg.cost.syscall_entry);
+        self.record(TraceEvent::Syscall {
+            tid,
+            name: "event_wait",
+        });
+        if self.events[e.index()].latched {
+            self.events[e.index()].latched = false;
+            self.tcbs.get_mut(tid).pc += 1;
+            self.charge(OverheadKind::Syscall, self.cfg.cost.syscall_exit);
+        } else {
+            self.events[e.index()].waiters.push(tid);
+            self.tcbs.get_mut(tid).in_syscall = true;
+            self.block_thread(tid, BlockReason::Event(e));
+            self.reschedule();
+        }
+    }
+
+    /// `wait_irq()`: block until the line fires (consumes a pending
+    /// latch immediately).
+    pub(crate) fn sys_wait_irq(&mut self, tid: ThreadId, line: IrqLine) {
+        self.charge(OverheadKind::Syscall, self.cfg.cost.syscall_entry);
+        self.record(TraceEvent::Syscall {
+            tid,
+            name: "wait_irq",
+        });
+        if self.board.intc.is_pending(line) {
+            self.board.intc.ack(line);
+            self.tcbs.get_mut(tid).pc += 1;
+            self.charge(OverheadKind::Syscall, self.cfg.cost.syscall_exit);
+        } else {
+            self.irq_waiters[line.index()].push(tid);
+            self.tcbs.get_mut(tid).in_syscall = true;
+            self.block_thread(tid, BlockReason::Irq(line));
+            self.reschedule();
+        }
+    }
+
+    /// `sleep_for()`: one-shot timer wakeup.
+    pub(crate) fn sys_sleep(&mut self, tid: ThreadId, d: Duration) {
+        self.charge(OverheadKind::Syscall, self.cfg.cost.syscall_entry);
+        self.record(TraceEvent::Syscall { tid, name: "sleep" });
+        let wake = self.clock.now() + d;
+        self.timers.arm(wake, TimerEvent::Wake(tid));
+        self.charge(OverheadKind::Timer, self.cfg.cost.timer_program);
+        self.tcbs.get_mut(tid).in_syscall = true;
+        self.block_thread(tid, BlockReason::Sleep);
+        self.reschedule();
+    }
+
+    /// Device-side mailbox harvest (e.g. a NIC draining a transmit
+    /// mailbox by DMA): pops one message without a syscall envelope
+    /// and admits one parked sender if the pop made room.
+    pub fn external_mbox_pop(&mut self, mb: MboxId) -> Option<Message> {
+        let msg = self.mboxes[mb.index()].pop()?;
+        let sender = {
+            let mbx = &mut self.mboxes[mb.index()];
+            if mbx.senders.is_empty() {
+                None
+            } else {
+                Some(mbx.senders.remove(0))
+            }
+        };
+        if let Some(snd) = sender {
+            let pending = self.pending_send[snd.index()]
+                .take()
+                .expect("parked sender has a pending message");
+            self.charge(OverheadKind::IpcCopy, self.cfg.cost.mbox_copy(pending.bytes));
+            self.mboxes[mb.index()].push(pending);
+            self.complete_blocking_call(snd);
+        }
+        Some(msg)
+    }
+
+    /// Device-side mailbox delivery (e.g. a NIC posting a received
+    /// frame): hands the message to a blocked receiver or queues it.
+    /// Returns false (and drops the message) when the mailbox is full.
+    pub fn external_mbox_push(&mut self, mb: MboxId, msg: Message) -> bool {
+        let receiver = {
+            let mbx = &mut self.mboxes[mb.index()];
+            if mbx.receivers.is_empty() {
+                None
+            } else {
+                Some(mbx.receivers.remove(0))
+            }
+        };
+        if let Some(r) = receiver {
+            self.charge(OverheadKind::IpcCopy, self.cfg.cost.mbox_copy(msg.bytes));
+            self.record(TraceEvent::MboxRecv {
+                tid: r,
+                mbox: mb,
+                bytes: msg.bytes,
+            });
+            self.mboxes[mb.index()].sent += 1;
+            self.mboxes[mb.index()].received += 1;
+            self.tcbs.get_mut(r).last_read = msg.tag;
+            self.complete_blocking_call(r);
+            true
+        } else if self.mboxes[mb.index()].has_space() {
+            self.charge(OverheadKind::IpcCopy, self.cfg.cost.mbox_copy(msg.bytes));
+            self.mboxes[mb.index()].push(msg);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Externally raises an interrupt line (fieldbus frame arrival);
+    /// serviced immediately, as the controller would preempt.
+    pub fn raise_external_irq(&mut self, line: IrqLine) {
+        self.board.intc.raise(line);
+        self.record(TraceEvent::IrqRaised { line });
+        self.service_pending_irqs();
+    }
+
+    /// First-level handling of one acknowledged interrupt line.
+    pub(crate) fn handle_irq_line(&mut self, line: IrqLine) {
+        // Wake user-level driver threads parked on the line.
+        let waiters = std::mem::take(&mut self.irq_waiters[line.index()]);
+        for w in waiters {
+            self.complete_blocking_call(w);
+        }
+        match self.irq_actions[line.index()] {
+            IrqAction::None => {}
+            IrqAction::ReleaseSem(s) => {
+                // V from interrupt context (counting semaphores).
+                let waiter = self.sems[s.index()].pop_waiter();
+                match waiter {
+                    Some(w) => {
+                        if self.sems[s.index()].is_mutex() {
+                            self.sems[s.index()].holder = Some(w);
+                            self.tcbs.get_mut(w).held_sems.push(s);
+                        }
+                        // Waiter blocked inside acquire: resume it.
+                        let t = self.tcbs.get_mut(w);
+                        if t.blocked_in_acquire {
+                            t.blocked_in_acquire = false;
+                            t.pc += 1;
+                        } else {
+                            t.granted_sem = Some(s);
+                        }
+                        self.record(TraceEvent::SemAcquired { tid: w, sem: s });
+                        self.make_ready(w);
+                        self.reschedule();
+                    }
+                    None => {
+                        if self.sems[s.index()].count < self.sems[s.index()].max_count {
+                            self.sems[s.index()].count += 1;
+                        }
+                    }
+                }
+            }
+            IrqAction::SignalEvent(e) => {
+                self.events[e.index()].signals += 1;
+                let waiters = std::mem::take(&mut self.events[e.index()].waiters);
+                if waiters.is_empty() {
+                    self.events[e.index()].latched = true;
+                }
+                for w in waiters {
+                    self.complete_blocking_call(w);
+                }
+            }
+        }
+    }
+}
+
+fn region_index(regions: &[crate::ipc::SharedRegion], id: emeralds_sim::RegionId) -> usize {
+    regions
+        .iter()
+        .position(|r| r.id == id)
+        .expect("state message region registered")
+}

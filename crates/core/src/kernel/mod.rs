@@ -1,0 +1,563 @@
+//! The kernel: configuration, construction, and state.
+//!
+//! A [`Kernel`] owns the simulated board, the TCB table, one scheduler
+//! (EDF / RM / RM-heap / CSD-x), all kernel objects, and the virtual
+//! clock. It executes task [`Script`]s deterministically: application
+//! computation advances the clock by its stated duration; every kernel
+//! operation advances it by the calibrated cost of the queue
+//! manipulations the code actually performs. The execution loop lives
+//! in `exec`, semaphores and priority inheritance in `sem_ops`, and
+//! IPC/interrupts/timers in `ipc_ops`.
+
+mod exec;
+mod ipc_ops;
+mod sem_ops;
+#[cfg(test)]
+mod tests;
+
+use emeralds_hal::{Board, BoardConfig, Clock, CostModel, Perms};
+use emeralds_sim::{
+    Accounting, CvId, Duration, EventId, IrqLine, MboxId, OverheadKind, ProcId, SemId, StateId,
+    ThreadId, Time, Trace, TraceEvent,
+};
+
+use crate::alloc::PoolSet;
+use crate::ipc::{Mailbox, SharedRegion, StateMsgVar};
+use crate::parser;
+use crate::proc::Process;
+use crate::sched::{SchedPolicy, SchedulerImpl};
+use crate::timerq::TimerQueue;
+use crate::script::{Script, ScriptKind};
+use crate::sync::{CondVar, SemScheme, Semaphore};
+use crate::tcb::{QueueAssign, Tcb, TcbTable, Timing};
+
+/// Kernel-wide configuration.
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// Scheduler selection (§5).
+    pub policy: SchedPolicy,
+    /// Semaphore implementation (§6) — the central ablation switch.
+    pub sem_scheme: SemScheme,
+    /// Per-primitive virtual-time prices.
+    pub cost: CostModel,
+    /// Record the full event trace (disable for long experiment runs).
+    pub record_trace: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            policy: SchedPolicy::Csd { boundaries: vec![0] },
+            sem_scheme: SemScheme::Emeralds,
+            cost: CostModel::mc68040_25mhz(),
+            record_trace: true,
+        }
+    }
+}
+
+/// First-level interrupt behaviour registered for a line. Waiters
+/// blocked in `WaitIrq` are always woken; the action adds kernel-side
+/// signalling for user-level drivers (§3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IrqAction {
+    /// Nothing beyond waking `WaitIrq` waiters.
+    None,
+    /// V a counting semaphore (data-available pattern).
+    ReleaseSem(SemId),
+    /// Signal a software event object.
+    SignalEvent(EventId),
+}
+
+/// A software event object (binary latch with waiters).
+#[derive(Clone, Debug, Default)]
+pub struct EventObj {
+    pub latched: bool,
+    pub waiters: Vec<ThreadId>,
+    pub signals: u64,
+}
+
+/// Kernel-internal timed occurrences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimerEvent {
+    /// Periodic job release.
+    Release(ThreadId),
+    /// `SleepFor` wakeup.
+    Wake(ThreadId),
+    /// Constrained-deadline check: fires at the absolute deadline of
+    /// `job` when the relative deadline is shorter than the period.
+    DeadlineCheck(ThreadId, u64),
+}
+
+/// The EMERALDS kernel instance.
+#[derive(Debug)]
+pub struct Kernel {
+    pub(crate) cfg: KernelConfig,
+    pub(crate) clock: Clock,
+    pub(crate) board: Board,
+    pub(crate) tcbs: TcbTable,
+    pub(crate) sched: SchedulerImpl,
+    pub(crate) procs: Vec<Process>,
+    pub(crate) sems: Vec<Semaphore>,
+    pub(crate) cvs: Vec<CondVar>,
+    pub(crate) mboxes: Vec<Mailbox>,
+    pub(crate) statemsgs: Vec<StateMsgVar>,
+    pub(crate) regions: Vec<SharedRegion>,
+    pub(crate) events: Vec<EventObj>,
+    pub(crate) irq_waiters: Vec<Vec<ThreadId>>,
+    pub(crate) irq_actions: Vec<IrqAction>,
+    pub(crate) timers: TimerQueue<TimerEvent>,
+    pub(crate) pools: PoolSet,
+    pub(crate) current: Option<ThreadId>,
+    pub(crate) trace: Trace,
+    pub(crate) acct: Accounting,
+    /// Pending message of a sender blocked on a full mailbox.
+    pub(crate) pending_send: Vec<Option<crate::ipc::Message>>,
+}
+
+impl Kernel {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.clock.now()
+    }
+
+    /// The execution trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The overhead ledger.
+    pub fn accounting(&self) -> &Accounting {
+        &self.acct
+    }
+
+    /// The currently running thread.
+    pub fn current(&self) -> Option<ThreadId> {
+        self.current
+    }
+
+    /// TCB inspection (read-only).
+    pub fn tcb(&self, tid: ThreadId) -> &Tcb {
+        self.tcbs.get(tid)
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.tcbs.len()
+    }
+
+    /// Semaphore inspection (read-only).
+    pub fn sem(&self, id: SemId) -> &Semaphore {
+        &self.sems[id.index()]
+    }
+
+    /// Mailbox inspection (read-only).
+    pub fn mailbox(&self, id: MboxId) -> &Mailbox {
+        &self.mboxes[id.index()]
+    }
+
+    /// State-message inspection (read-only).
+    pub fn statemsg(&self, id: StateId) -> &StateMsgVar {
+        &self.statemsgs[id.index()]
+    }
+
+    /// Board inspection (devices, interrupt controller, MPU).
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    /// Mutable board access (for the fieldbus and test harnesses).
+    pub fn board_mut(&mut self) -> &mut Board {
+        &mut self.board
+    }
+
+    /// Kernel object pools (footprint reporting).
+    pub fn pools(&self) -> &PoolSet {
+        &self.pools
+    }
+
+    /// Process inspection (read-only).
+    pub fn process(&self, id: ProcId) -> &Process {
+        &self.procs[id.index()]
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Total deadline misses across all tasks.
+    pub fn total_deadline_misses(&self) -> u64 {
+        self.trace.deadline_miss_count()
+    }
+
+    /// Charges `d` of overhead to `kind`, advancing virtual time.
+    pub(crate) fn charge(&mut self, kind: OverheadKind, d: Duration) {
+        self.acct.charge(kind, d);
+        self.clock.advance(d);
+    }
+
+    /// Records a trace event at the current instant.
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        self.trace.push(self.clock.now(), ev);
+    }
+
+    /// A thread's priority key for wait-queue ordering: lower is more
+    /// urgent. Bands (DP queues before FP) dominate; within a DP band
+    /// the effective deadline decides, within FP the base RM priority.
+    pub(crate) fn prio_key(&self, tid: ThreadId) -> u128 {
+        let t = self.tcbs.get(tid);
+        match t.queue {
+            QueueAssign::Dp(j) => ((j as u128) << 96) | ((t.effective_deadline().as_ns() as u128) << 32) | t.id.0 as u128,
+            QueueAssign::Fp => (u64::MAX as u128) << 96 | ((t.rm_prio as u128) << 32) | t.id.0 as u128,
+        }
+    }
+}
+
+/// Specification of one task, collected by the builder.
+#[derive(Clone, Debug)]
+struct TaskSpec {
+    proc: ProcId,
+    name: String,
+    timing: Timing,
+    script: Script,
+    /// Ordering key for RM priority assignment: the period for
+    /// periodic tasks, an explicit rank period for drivers/servers.
+    sort_period: Duration,
+    /// Ordering key under deadline-monotonic assignment.
+    sort_deadline: Duration,
+}
+
+/// Builds a [`Kernel`]: processes, tasks, kernel objects, devices.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    cfg: KernelConfig,
+    board: Board,
+    procs: Vec<Process>,
+    tasks: Vec<TaskSpec>,
+    sems: Vec<Semaphore>,
+    cvs: Vec<CondVar>,
+    mbox_caps: Vec<usize>,
+    statemsg_specs: Vec<(usize, usize, usize)>, // (writer task idx, size, depth)
+    statemsg_readers: Vec<Vec<ProcId>>,
+    event_count: usize,
+    irq_actions: Vec<IrqAction>,
+    next_region_base: u64,
+}
+
+impl KernelBuilder {
+    /// Starts a build with the given configuration.
+    pub fn new(cfg: KernelConfig) -> KernelBuilder {
+        KernelBuilder {
+            cfg,
+            board: Board::new(BoardConfig::default()),
+            procs: Vec::new(),
+            tasks: Vec::new(),
+            sems: Vec::new(),
+            cvs: Vec::new(),
+            mbox_caps: Vec::new(),
+            statemsg_specs: Vec::new(),
+            statemsg_readers: Vec::new(),
+            event_count: 0,
+            irq_actions: vec![IrqAction::None; emeralds_hal::irq::MAX_IRQ_LINES],
+            next_region_base: 0x1_0000,
+        }
+    }
+
+    /// Adds a protected process.
+    pub fn add_process(&mut self, name: impl Into<String>) -> ProcId {
+        let id = ProcId(self.procs.len() as u32);
+        self.procs.push(Process::new(id, name));
+        id
+    }
+
+    /// Adds a periodic task (deadline = period, phase 0 unless set via
+    /// [`KernelBuilder::add_periodic_task_phased`]).
+    pub fn add_periodic_task(
+        &mut self,
+        proc: ProcId,
+        name: impl Into<String>,
+        period: Duration,
+        script: Script,
+    ) -> ThreadId {
+        self.add_periodic_task_phased(proc, name, period, period, Duration::ZERO, script)
+    }
+
+    /// Adds a periodic task with explicit relative deadline and phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero period, a deadline exceeding the period, or a
+    /// non-periodic script kind.
+    pub fn add_periodic_task_phased(
+        &mut self,
+        proc: ProcId,
+        name: impl Into<String>,
+        period: Duration,
+        deadline: Duration,
+        phase: Duration,
+        script: Script,
+    ) -> ThreadId {
+        assert!(!period.is_zero(), "zero period");
+        assert!(deadline <= period, "deadline beyond period");
+        assert_eq!(script.kind, ScriptKind::PeriodicJob, "periodic task needs a job script");
+        let id = ThreadId(self.tasks.len() as u32);
+        self.tasks.push(TaskSpec {
+            proc,
+            name: name.into(),
+            timing: Timing::Periodic {
+                period,
+                deadline,
+                phase,
+            },
+            script,
+            sort_period: period,
+            sort_deadline: deadline,
+        });
+        id
+    }
+
+    /// Adds an event-driven (looping) task — a user-level device
+    /// driver or server. `rank_period` positions it in the RM priority
+    /// order (treat it like a task of that period).
+    pub fn add_driver_task(
+        &mut self,
+        proc: ProcId,
+        name: impl Into<String>,
+        rank_period: Duration,
+        script: Script,
+    ) -> ThreadId {
+        assert_eq!(script.kind, ScriptKind::Looping, "driver task needs a looping script");
+        let id = ThreadId(self.tasks.len() as u32);
+        self.tasks.push(TaskSpec {
+            proc,
+            name: name.into(),
+            timing: Timing::EventDriven { rank: rank_period },
+            script,
+            sort_period: rank_period,
+            sort_deadline: rank_period,
+        });
+        id
+    }
+
+    /// Adds a mutex (binary semaphore with priority inheritance).
+    pub fn add_mutex(&mut self) -> SemId {
+        let id = SemId(self.sems.len() as u32);
+        self.sems.push(Semaphore::mutex(id));
+        id
+    }
+
+    /// Adds a counting semaphore.
+    pub fn add_counting_sem(&mut self, permits: u32) -> SemId {
+        let id = SemId(self.sems.len() as u32);
+        self.sems.push(Semaphore::counting(id, permits));
+        id
+    }
+
+    /// Adds a condition variable.
+    pub fn add_condvar(&mut self) -> CvId {
+        let id = CvId(self.cvs.len() as u32);
+        self.cvs.push(CondVar::new(id));
+        id
+    }
+
+    /// Adds a mailbox with the given capacity.
+    pub fn add_mailbox(&mut self, capacity: usize) -> MboxId {
+        let id = MboxId(self.mbox_caps.len() as u32);
+        self.mbox_caps.push(capacity);
+        id
+    }
+
+    /// Adds a state-message variable written by `writer`, readable by
+    /// the listed processes (the writer's process is always mapped).
+    pub fn add_state_msg(
+        &mut self,
+        writer: ThreadId,
+        size: usize,
+        depth: usize,
+        reader_procs: &[ProcId],
+    ) -> StateId {
+        assert!(
+            writer.index() < self.tasks.len(),
+            "state message writer does not exist"
+        );
+        let id = StateId(self.statemsg_specs.len() as u32);
+        self.statemsg_specs.push((writer.index(), size, depth));
+        self.statemsg_readers.push(reader_procs.to_vec());
+        id
+    }
+
+    /// Adds a software event object.
+    pub fn add_event(&mut self) -> EventId {
+        let id = EventId(self.event_count as u32);
+        self.event_count += 1;
+        id
+    }
+
+    /// Registers the first-level action for an interrupt line.
+    pub fn on_irq(&mut self, line: IrqLine, action: IrqAction) {
+        self.irq_actions[line.index()] = action;
+    }
+
+    /// Mutable board access (to add devices and schedules).
+    pub fn board_mut(&mut self) -> &mut Board {
+        &mut self.board
+    }
+
+    /// Number of tasks added so far.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The fixed-priority order the configured policy induces:
+    /// shortest period first (RM) or shortest relative deadline first
+    /// (DM). This is the order a CSD boundary list refers to.
+    pub fn rm_order(&self) -> Vec<ThreadId> {
+        let by_deadline = matches!(self.cfg.policy, SchedPolicy::DmQueue);
+        let mut idx: Vec<usize> = (0..self.tasks.len()).collect();
+        idx.sort_by_key(|&i| {
+            let s = &self.tasks[i];
+            (if by_deadline { s.sort_deadline } else { s.sort_period }, i)
+        });
+        idx.into_iter().map(|i| ThreadId(i as u32)).collect()
+    }
+
+    /// Finalizes the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any CSD boundary exceeds the task count, or a pool is
+    /// exhausted.
+    pub fn build(mut self) -> Kernel {
+        let n = self.tasks.len();
+        if let SchedPolicy::Csd { boundaries } = &self.cfg.policy {
+            assert!(
+                boundaries.iter().all(|&b| b <= n),
+                "CSD boundary beyond task count"
+            );
+        }
+
+        // RM priority = rank by sort_period.
+        let order = self.rm_order();
+        let mut rm_prio = vec![0u32; n];
+        for (rank, tid) in order.iter().enumerate() {
+            rm_prio[tid.index()] = rank as u32;
+        }
+
+        let mut pools = PoolSet::small_memory_defaults();
+        let mut tcbs = TcbTable::new();
+        let mut sched = SchedulerImpl::new(&self.cfg.policy);
+        let mut timers = TimerQueue::new();
+        let trace = if self.cfg.record_trace {
+            Trace::new()
+        } else {
+            Trace::disabled()
+        };
+
+        for (i, spec) in self.tasks.iter().enumerate() {
+            let tid = ThreadId(i as u32);
+            let prio = rm_prio[i];
+            let queue = self.cfg.policy.queue_of(prio);
+            let mut tcb = Tcb::new(
+                tid,
+                spec.proc,
+                spec.name.clone(),
+                spec.timing,
+                spec.script.clone(),
+                prio,
+                queue,
+            );
+            tcb.hints = parser::compute_hints(&spec.script);
+            pools.tcbs.alloc();
+            self.procs[spec.proc.index()].add_thread(tid);
+            match spec.timing {
+                Timing::Periodic { phase, .. } => {
+                    tcb.next_release = Time::ZERO + phase;
+                    timers.arm(tcb.next_release, TimerEvent::Release(tid));
+                    pools.timers.alloc();
+                }
+                Timing::EventDriven { rank } => {
+                    // First sporadic activation: one inter-arrival
+                    // time from boot.
+                    tcb.abs_deadline = Time::ZERO + rank;
+                }
+            }
+            tcbs.insert(tcb);
+        }
+        // Register with the scheduler in RM order (the FP queue builds
+        // sorted).
+        for tid in &order {
+            sched.add_task(*tid, &mut tcbs);
+        }
+
+        for _ in &self.sems {
+            pools.sems.alloc();
+        }
+        for _ in &self.cvs {
+            pools.condvars.alloc();
+        }
+        let mboxes: Vec<Mailbox> = self
+            .mbox_caps
+            .iter()
+            .enumerate()
+            .map(|(i, &cap)| {
+                pools.mailboxes.alloc();
+                Mailbox::new(MboxId(i as u32), cap)
+            })
+            .collect();
+
+        // State messages get MPU-backed shared regions.
+        let mut regions = Vec::new();
+        let mut statemsgs = Vec::new();
+        for (i, &(writer_idx, size, depth)) in self.statemsg_specs.iter().enumerate() {
+            let writer = ThreadId(writer_idx as u32);
+            let writer_proc = tcbs.get(writer).proc;
+            let bytes = (size * depth + 16) as u64;
+            let base = self.next_region_base;
+            self.next_region_base = base + bytes.next_multiple_of(0x100);
+            let rid = self.board.mpu.add_region(writer_proc, base, bytes, Perms::RW);
+            let mut region = SharedRegion::new(rid, base, bytes, writer_proc);
+            for &p in &self.statemsg_readers[i] {
+                self.board.mpu.share(rid, p);
+                region.map_into(p);
+            }
+            self.procs[writer_proc.index()].add_region(rid);
+            pools.regions.alloc();
+            pools.statemsgs.alloc();
+            regions.push(region);
+            statemsgs.push(StateMsgVar::new(
+                StateId(i as u32),
+                writer,
+                rid,
+                size,
+                depth,
+            ));
+        }
+
+        let pending_send = vec![None; n];
+        let mut kernel = Kernel {
+            cfg: self.cfg,
+            clock: Clock::new(),
+            board: self.board,
+            tcbs,
+            sched,
+            procs: self.procs,
+            sems: self.sems,
+            cvs: self.cvs,
+            mboxes,
+            statemsgs,
+            regions,
+            events: (0..self.event_count).map(|_| EventObj::default()).collect(),
+            irq_waiters: vec![Vec::new(); emeralds_hal::irq::MAX_IRQ_LINES],
+            irq_actions: self.irq_actions,
+            timers,
+            pools,
+            current: None,
+            trace,
+            acct: Accounting::new(),
+            pending_send,
+        };
+        // Event-driven tasks are ready at boot: dispatch one.
+        kernel.reschedule();
+        kernel
+    }
+}

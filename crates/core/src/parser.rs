@@ -1,0 +1,152 @@
+//! The §6.2.1 code parser.
+//!
+//! "In EMERALDS, all blocking calls take an extra parameter which is
+//! the identifier of the semaphore to be locked by the upcoming
+//! `acquire_sem()` call. This parameter is set to −1 if the next
+//! blocking call is not `acquire_sem()`. Semaphore identifiers are
+//! statically defined at compile time ... so it is fairly
+//! straightforward to write a parser which examines the application
+//! code and inserts the correct semaphore identifier into the argument
+//! list of blocking calls just preceding `acquire_sem()` calls. Hence,
+//! the application programmer does not have to make any manual
+//! modifications to the code."
+//!
+//! Here the "application code" is a task [`Script`]; the parser walks
+//! it and, for every blocking call, records the semaphore that the
+//! task will try to acquire next — looking *through* non-blocking
+//! actions (computation, releases, state-message accesses) and, for
+//! periodic job bodies, wrapping around the job boundary (the implicit
+//! end-of-job blocking call precedes the next job's first acquire).
+
+use emeralds_sim::SemId;
+
+use crate::script::{Action, Script, ScriptKind};
+
+/// Computes the next-semaphore hints for a script: `hints[i]` is set
+/// for blocking action `i` when the next blocking action the task
+/// reaches is `AcquireSem`.
+///
+/// Returned vector is parallel to `script.actions`, with one extra
+/// convention: for [`ScriptKind::PeriodicJob`] scripts the *implicit*
+/// end-of-job blocking call's hint is returned separately by
+/// [`end_of_job_hint`].
+pub fn compute_hints(script: &Script) -> Vec<Option<SemId>> {
+    let n = script.actions.len();
+    let mut hints = vec![None; n];
+    for i in 0..n {
+        if script.actions[i].is_hintable_block() {
+            hints[i] = next_acquire_after(script, i + 1);
+        }
+    }
+    hints
+}
+
+/// The hint for the implicit end-of-job block of a periodic script:
+/// the first semaphore the *next* job will acquire (wrap-around scan
+/// from the top of the script).
+pub fn end_of_job_hint(script: &Script) -> Option<SemId> {
+    match script.kind {
+        ScriptKind::PeriodicJob => next_acquire_after(script, 0),
+        ScriptKind::Looping => None,
+    }
+}
+
+/// Scans forward from `start` (no wrap) for the next blocking action;
+/// returns its semaphore if it is an `AcquireSem`.
+fn next_acquire_after(script: &Script, start: usize) -> Option<SemId> {
+    for action in &script.actions[start.min(script.actions.len())..] {
+        match action {
+            Action::AcquireSem(s) => return Some(*s),
+            a if a.can_block() => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emeralds_sim::{Duration, EventId, IrqLine, MboxId, StateId};
+
+    fn us(v: u64) -> Duration {
+        Duration::from_us(v)
+    }
+
+    #[test]
+    fn blocking_call_directly_before_acquire_gets_hint() {
+        let s = Script::looping(vec![
+            Action::WaitEvent(EventId(0)),
+            Action::AcquireSem(SemId(3)),
+            Action::Compute(us(10)),
+            Action::ReleaseSem(SemId(3)),
+        ]);
+        let hints = compute_hints(&s);
+        assert_eq!(hints[0], Some(SemId(3)));
+        assert_eq!(hints[1], None);
+    }
+
+    #[test]
+    fn computation_between_block_and_acquire_is_looked_through() {
+        let s = Script::looping(vec![
+            Action::RecvMbox(MboxId(1)),
+            Action::Compute(us(5)),
+            Action::StateRead(StateId(0)),
+            Action::AcquireSem(SemId(2)),
+            Action::ReleaseSem(SemId(2)),
+        ]);
+        assert_eq!(compute_hints(&s)[0], Some(SemId(2)));
+    }
+
+    #[test]
+    fn hint_is_minus_one_when_next_block_is_not_acquire() {
+        // "This parameter is set to −1 if the next blocking call is
+        // not acquire_sem()" → None in our encoding.
+        let s = Script::looping(vec![
+            Action::WaitIrq(IrqLine(0)),
+            Action::Compute(us(1)),
+            Action::WaitEvent(EventId(0)),
+            Action::AcquireSem(SemId(1)),
+            Action::ReleaseSem(SemId(1)),
+        ]);
+        let hints = compute_hints(&s);
+        assert_eq!(hints[0], None, "an intervening blocking call kills the hint");
+        assert_eq!(hints[2], Some(SemId(1)));
+    }
+
+    #[test]
+    fn end_of_job_hint_wraps_to_next_job() {
+        let s = Script::periodic(vec![
+            Action::Compute(us(2)),
+            Action::AcquireSem(SemId(9)),
+            Action::Compute(us(1)),
+            Action::ReleaseSem(SemId(9)),
+        ]);
+        assert_eq!(end_of_job_hint(&s), Some(SemId(9)));
+        // But a job that blocks for an event first gets no hint.
+        let s = Script::periodic(vec![
+            Action::WaitEvent(EventId(1)),
+            Action::AcquireSem(SemId(9)),
+            Action::ReleaseSem(SemId(9)),
+        ]);
+        assert_eq!(end_of_job_hint(&s), None);
+    }
+
+    #[test]
+    fn looping_scripts_have_no_end_of_job_hint() {
+        let s = Script::looping(vec![Action::WaitEvent(EventId(0))]);
+        assert_eq!(end_of_job_hint(&s), None);
+    }
+
+    #[test]
+    fn non_blocking_actions_get_no_hints() {
+        let s = Script::periodic(vec![
+            Action::Compute(us(1)),
+            Action::StateWrite {
+                var: StateId(0),
+                value: crate::script::Operand::Const(1),
+            },
+        ]);
+        assert_eq!(compute_hints(&s), vec![None, None]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Multi-threaded protected processes (§3: "Multi-threaded processes:
+//! Full memory protection for threads. Threads are scheduled by the
+//! kernel.").
+
+use emeralds_sim::{ProcId, RegionId, ThreadId};
+
+/// A process: an address space (a set of MPU regions) holding threads.
+#[derive(Clone, Debug)]
+pub struct Process {
+    pub id: ProcId,
+    pub name: String,
+    pub threads: Vec<ThreadId>,
+    pub regions: Vec<RegionId>,
+}
+
+impl Process {
+    /// Creates an empty process.
+    pub fn new(id: ProcId, name: impl Into<String>) -> Process {
+        Process {
+            id,
+            name: name.into(),
+            threads: Vec::new(),
+            regions: Vec::new(),
+        }
+    }
+
+    /// Registers a thread.
+    pub fn add_thread(&mut self, tid: ThreadId) {
+        debug_assert!(!self.threads.contains(&tid));
+        self.threads.push(tid);
+    }
+
+    /// Registers an MPU region.
+    pub fn add_region(&mut self, rid: RegionId) {
+        debug_assert!(!self.regions.contains(&rid));
+        self.regions.push(rid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_tracks_threads_and_regions() {
+        let mut p = Process::new(ProcId(0), "engine");
+        p.add_thread(ThreadId(0));
+        p.add_thread(ThreadId(1));
+        p.add_region(RegionId(3));
+        assert_eq!(p.threads.len(), 2);
+        assert_eq!(p.regions, vec![RegionId(3)]);
+        assert_eq!(p.name, "engine");
+    }
+}

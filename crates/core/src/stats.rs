@@ -1,0 +1,190 @@
+//! Run reports: per-task and kernel-level summaries.
+//!
+//! Gathers what the paper's evaluation actually looks at — deadline
+//! outcomes, response times, where the CPU and the kernel overhead
+//! went — into one renderable structure, used by the examples and the
+//! experiment harness.
+
+use emeralds_sim::{Duration, ThreadId};
+
+use crate::kernel::Kernel;
+use crate::tcb::Timing;
+
+/// Summary of one task over a run.
+#[derive(Clone, Debug)]
+pub struct TaskReport {
+    pub tid: ThreadId,
+    pub name: String,
+    pub period: Option<Duration>,
+    pub jobs_completed: u64,
+    pub deadline_misses: u64,
+    pub cpu_time: Duration,
+    pub max_response: Duration,
+    /// Upper bound on the 95th-percentile response time.
+    pub p95_response: Duration,
+    /// `cpu_time / elapsed`: the task's measured utilization.
+    pub measured_utilization: f64,
+}
+
+/// Summary of a kernel run.
+#[derive(Clone, Debug)]
+pub struct KernelReport {
+    pub elapsed: Duration,
+    pub tasks: Vec<TaskReport>,
+    pub total_misses: u64,
+    pub context_switches: u64,
+    /// Fraction of elapsed time spent in kernel overhead.
+    pub overhead_fraction: f64,
+    /// Fraction of elapsed time spent running application code.
+    pub app_fraction: f64,
+}
+
+impl KernelReport {
+    /// Collects a report from a kernel (typically after `run_until`).
+    pub fn collect(k: &Kernel) -> KernelReport {
+        let elapsed = k.now().saturating_since(emeralds_sim::Time::ZERO);
+        let denom = elapsed.as_ns().max(1) as f64;
+        let tasks = (0..k.task_count() as u32)
+            .map(|i| {
+                let t = k.tcb(ThreadId(i));
+                TaskReport {
+                    tid: t.id,
+                    name: t.name.clone(),
+                    period: match t.timing {
+                        Timing::Periodic { period, .. } => Some(period),
+                        Timing::EventDriven { .. } => None,
+                    },
+                    jobs_completed: t.jobs_completed,
+                    deadline_misses: t.deadline_misses,
+                    cpu_time: t.cpu_time,
+                    max_response: t.max_response,
+                    p95_response: t.response_hist.quantile_bound(0.95),
+                    measured_utilization: t.cpu_time.as_ns() as f64 / denom,
+                }
+            })
+            .collect();
+        let acct = k.accounting();
+        KernelReport {
+            elapsed,
+            tasks,
+            total_misses: k.total_deadline_misses(),
+            context_switches: k.trace().context_switch_count(),
+            overhead_fraction: acct.total_overhead().as_ns() as f64 / denom,
+            app_fraction: acct.app.as_ns() as f64 / denom,
+        }
+    }
+
+    /// Sum of per-task measured utilizations.
+    pub fn total_utilization(&self) -> f64 {
+        self.tasks.iter().map(|t| t.measured_utilization).sum()
+    }
+
+    /// The task with the worst response-to-period ratio (the one
+    /// closest to missing), among periodic tasks that completed a job.
+    pub fn tightest_task(&self) -> Option<&TaskReport> {
+        self.tasks
+            .iter()
+            .filter(|t| t.jobs_completed > 0)
+            .filter_map(|t| t.period.map(|p| (t, t.max_response.ratio(p))))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(t, _)| t)
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "run: {} | misses {} | ctx switches {} | app {:.1}% overhead {:.2}%\n",
+            self.elapsed,
+            self.total_misses,
+            self.context_switches,
+            self.app_fraction * 100.0,
+            self.overhead_fraction * 100.0
+        ));
+        s.push_str(&format!(
+            "{:<14} {:>10} {:>6} {:>7} {:>12} {:>12} {:>12} {:>7}\n",
+            "task", "period", "jobs", "misses", "cpu", "max resp", "p95 resp", "util%"
+        ));
+        for t in &self.tasks {
+            s.push_str(&format!(
+                "{:<14} {:>10} {:>6} {:>7} {:>12} {:>12} {:>12} {:>6.2}%\n",
+                t.name,
+                t.period.map_or("-".into(), |p| p.to_string()),
+                t.jobs_completed,
+                t.deadline_misses,
+                t.cpu_time.to_string(),
+                t.max_response.to_string(),
+                t.p95_response.to_string(),
+                t.measured_utilization * 100.0
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{KernelBuilder, KernelConfig};
+    use crate::script::Script;
+    use crate::sched::SchedPolicy;
+    use emeralds_sim::Time;
+
+    fn sample_kernel() -> Kernel {
+        let mut b = KernelBuilder::new(KernelConfig {
+            policy: SchedPolicy::Csd { boundaries: vec![1] },
+            ..KernelConfig::default()
+        });
+        let p = b.add_process("app");
+        b.add_periodic_task(p, "fast", Duration::from_ms(5), Script::compute_only(Duration::from_ms(1)));
+        b.add_periodic_task(p, "slow", Duration::from_ms(50), Script::compute_only(Duration::from_ms(10)));
+        b.build()
+    }
+
+    #[test]
+    fn report_reflects_the_run() {
+        let mut k = sample_kernel();
+        k.run_until(Time::from_ms(100));
+        let r = KernelReport::collect(&k);
+        assert_eq!(r.total_misses, 0);
+        assert_eq!(r.tasks.len(), 2);
+        assert_eq!(r.tasks[0].jobs_completed, 20);
+        assert_eq!(r.tasks[1].jobs_completed, 2);
+        // fast: 1/5 = 20%, slow: 10/50 = 20%.
+        assert!((r.total_utilization() - 0.4).abs() < 0.02, "{}", r.total_utilization());
+        assert!(r.app_fraction > 0.35 && r.app_fraction < 0.45);
+        assert!(r.overhead_fraction > 0.0 && r.overhead_fraction < 0.05);
+    }
+
+    #[test]
+    fn tightest_task_is_the_preempted_one() {
+        let mut k = sample_kernel();
+        k.run_until(Time::from_ms(100));
+        let r = KernelReport::collect(&k);
+        // "slow" is preempted by "fast" repeatedly: response/period
+        // ratio is worse.
+        assert_eq!(r.tightest_task().unwrap().name, "slow");
+    }
+
+    #[test]
+    fn p95_bound_sits_between_zero_and_max() {
+        let mut k = sample_kernel();
+        k.run_until(Time::from_ms(200));
+        let r = KernelReport::collect(&k);
+        for t in &r.tasks {
+            assert!(t.p95_response <= t.max_response.max(Duration::from_us(2)));
+            assert!(t.p95_response > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn render_has_one_row_per_task() {
+        let mut k = sample_kernel();
+        k.run_until(Time::from_ms(20));
+        let r = KernelReport::collect(&k);
+        let s = r.render();
+        assert_eq!(s.lines().count(), 2 + r.tasks.len());
+        assert!(s.contains("fast"));
+        assert!(s.contains("slow"));
+    }
+}

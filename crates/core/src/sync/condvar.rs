@@ -1,0 +1,90 @@
+//! Condition variables (§3: "semaphores and condition variables for
+//! synchronization, with priority inheritance").
+//!
+//! `cond_wait(cv, mutex)` atomically releases the mutex and blocks on
+//! the condition; `cond_signal` moves one waiter to the mutex
+//! acquisition path (it re-acquires before returning, inheriting
+//! priority if contended). The kernel orchestrates the release and
+//! re-acquire; this type only holds the wait queue.
+
+use emeralds_sim::{CvId, SemId, ThreadId};
+
+/// A condition variable.
+#[derive(Clone, Debug)]
+pub struct CondVar {
+    pub id: CvId,
+    /// Waiters in signal order (priority-ordered at insertion).
+    pub waiters: Vec<ThreadId>,
+    /// The mutex each waiter must re-acquire on wakeup.
+    pub guard_of: Vec<SemId>,
+}
+
+impl CondVar {
+    /// Creates a condition variable.
+    pub fn new(id: CvId) -> CondVar {
+        CondVar {
+            id,
+            waiters: Vec::new(),
+            guard_of: Vec::new(),
+        }
+    }
+
+    /// Adds a waiter with its guard mutex, priority ordered (FIFO on
+    /// ties).
+    pub fn enqueue(
+        &mut self,
+        tid: ThreadId,
+        guard: SemId,
+        key: u128,
+        key_of: impl Fn(ThreadId) -> u128,
+    ) {
+        debug_assert!(!self.waiters.contains(&tid));
+        let pos = self
+            .waiters
+            .iter()
+            .position(|&w| key_of(w) > key)
+            .unwrap_or(self.waiters.len());
+        self.waiters.insert(pos, tid);
+        self.guard_of.insert(pos, guard);
+    }
+
+    /// Removes and returns the highest-priority waiter and its guard.
+    pub fn pop(&mut self) -> Option<(ThreadId, SemId)> {
+        if self.waiters.is_empty() {
+            None
+        } else {
+            Some((self.waiters.remove(0), self.guard_of.remove(0)))
+        }
+    }
+
+    /// Number of waiters.
+    pub fn len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// True if nobody waits.
+    pub fn is_empty(&self) -> bool {
+        self.waiters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiters_pop_in_priority_order() {
+        let mut cv = CondVar::new(CvId(0));
+        let keys = [9u128, 2, 5];
+        let key_of = |t: ThreadId| keys[t.index()];
+        cv.enqueue(ThreadId(0), SemId(0), 9, key_of);
+        cv.enqueue(ThreadId(1), SemId(1), 2, key_of);
+        cv.enqueue(ThreadId(2), SemId(2), 5, key_of);
+        assert_eq!(cv.len(), 3);
+        assert_eq!(cv.pop(), Some((ThreadId(1), SemId(1))));
+        assert_eq!(cv.pop(), Some((ThreadId(2), SemId(2))));
+        assert_eq!(cv.pop(), Some((ThreadId(0), SemId(0))));
+        assert!(cv.is_empty());
+        assert_eq!(cv.pop(), None);
+    }
+}

@@ -1,0 +1,171 @@
+//! The kernel's software timer queue (Figure 1: "Timers / Clock
+//! services").
+//!
+//! A small-memory kernel keeps pending timeouts in a *delta queue*: a
+//! list ordered by expiry where each node stores the time delta to its
+//! predecessor, so the head's delta is the only value the tick handler
+//! decrements and reprogramming the one-shot hardware timer needs only
+//! the head. This module implements that structure (with absolute
+//! times internally, deltas derivable) with stable FIFO order among
+//! equal expiries, matching the determinism guarantees of the rest of
+//! the simulator.
+
+use emeralds_sim::Time;
+
+/// A pending timer entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    payload: E,
+}
+
+/// A delta-style timer queue: sorted singly-linked order, O(n) insert,
+/// O(1) expiry pop — the right trade for the tens of timers a
+/// small-memory system arms.
+#[derive(Clone, Debug)]
+pub struct TimerQueue<E> {
+    entries: Vec<Entry<E>>,
+    seq: u64,
+    /// Lifetime statistics: how many nodes insertions walked, for the
+    /// overhead ledger and tests.
+    pub insert_walks: u64,
+    pub inserts: u64,
+    pub expirations: u64,
+}
+
+impl<E> TimerQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        TimerQueue {
+            entries: Vec::new(),
+            seq: 0,
+            insert_walks: 0,
+            inserts: 0,
+            expirations: 0,
+        }
+    }
+
+    /// Arms a timer at `at`. Returns the number of nodes walked to
+    /// find the position (the cost driver of a delta queue).
+    pub fn arm(&mut self, at: Time, payload: E) -> usize {
+        let seq = self.seq;
+        self.seq += 1;
+        // Walk from the head; FIFO among equal expiries.
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.at > at)
+            .unwrap_or(self.entries.len());
+        self.entries.insert(pos, Entry { at, seq, payload });
+        self.inserts += 1;
+        self.insert_walks += pos as u64;
+        pos
+    }
+
+    /// The head expiry — what the hardware one-shot gets programmed
+    /// to.
+    pub fn next_expiry(&self) -> Option<Time> {
+        self.entries.first().map(|e| e.at)
+    }
+
+    /// Pops the head if due at or before `now`.
+    pub fn pop_due(&mut self, now: Time) -> Option<(Time, E)> {
+        if self.entries.first().map(|e| e.at <= now) == Some(true) {
+            let e = self.entries.remove(0);
+            self.expirations += 1;
+            Some((e.at, e.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Delta of the head relative to `now` (what a tick decrements),
+    /// zero when already due.
+    pub fn head_delta(&self, now: Time) -> Option<emeralds_sim::Duration> {
+        self.entries.first().map(|e| e.at.saturating_since(now))
+    }
+
+    /// Cancels all entries matching `pred`; returns how many.
+    pub fn cancel(&mut self, mut pred: impl FnMut(&E) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| !pred(&e.payload));
+        before - self.entries.len()
+    }
+
+    /// Number of armed timers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<E> Default for TimerQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emeralds_sim::Duration;
+
+    #[test]
+    fn pops_in_time_order_fifo_on_ties() {
+        let mut q = TimerQueue::new();
+        q.arm(Time::from_us(5), 'b');
+        q.arm(Time::from_us(1), 'a');
+        q.arm(Time::from_us(5), 'c');
+        assert_eq!(q.next_expiry(), Some(Time::from_us(1)));
+        let order: Vec<char> =
+            std::iter::from_fn(|| q.pop_due(Time::from_us(10)).map(|(_, v)| v)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+        assert_eq!(q.expirations, 3);
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = TimerQueue::new();
+        q.arm(Time::from_us(10), 1);
+        assert_eq!(q.pop_due(Time::from_us(9)), None);
+        assert_eq!(q.pop_due(Time::from_us(10)), Some((Time::from_us(10), 1)));
+    }
+
+    #[test]
+    fn insert_walk_counts_reflect_position() {
+        let mut q = TimerQueue::new();
+        assert_eq!(q.arm(Time::from_us(10), 0), 0);
+        assert_eq!(q.arm(Time::from_us(30), 1), 1);
+        assert_eq!(q.arm(Time::from_us(20), 2), 1);
+        assert_eq!(q.arm(Time::from_us(5), 3), 0);
+        assert_eq!(q.inserts, 4);
+        assert_eq!(q.insert_walks, 2);
+    }
+
+    #[test]
+    fn head_delta_and_cancel() {
+        let mut q = TimerQueue::new();
+        q.arm(Time::from_us(100), 7);
+        q.arm(Time::from_us(200), 8);
+        assert_eq!(
+            q.head_delta(Time::from_us(40)),
+            Some(Duration::from_us(60))
+        );
+        assert_eq!(q.cancel(|&v| v == 7), 1);
+        assert_eq!(q.next_expiry(), Some(Time::from_us(200)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn overdue_head_has_zero_delta() {
+        let mut q = TimerQueue::new();
+        q.arm(Time::from_us(10), 0);
+        assert_eq!(q.head_delta(Time::from_us(50)), Some(Duration::ZERO));
+    }
+}

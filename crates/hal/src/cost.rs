@@ -1,0 +1,468 @@
+//! Per-primitive virtual-time cost model.
+//!
+//! The paper reports kernel overheads measured on a 25 MHz Motorola
+//! 68040 with a 5 MHz on-chip timer. Table 1 gives the scheduler
+//! formulas; §5.7 gives the CSD queue-parse constant; §6.4 gives
+//! semaphore-path anchors. This module is the *only* place those
+//! microsecond constants live: the kernel charges
+//! `cost.edf_select_per_node` once per TCB its EDF walk actually
+//! visits, `cost.context_switch` once per dispatch, and so on. The
+//! evaluation numbers are therefore emergent — the product of real
+//! operation counts and calibrated per-operation prices.
+//!
+//! # Calibration
+//!
+//! Directly from the paper:
+//!
+//! | primitive | value | source |
+//! |---|---|---|
+//! | EDF block / unblock | 1.6 / 1.2 µs | Table 1 |
+//! | EDF select | 1.2 + 0.25·n µs | Table 1 |
+//! | RM-queue block | 1.0 + 0.36·n µs | Table 1 |
+//! | RM-queue unblock / select | 1.4 / 0.6 µs | Table 1 |
+//! | RM-heap block | 0.4 + 2.8·⌈log₂(n+1)⌉ µs | Table 1 |
+//! | RM-heap unblock | 1.9 + 0.7·⌈log₂(n+1)⌉ µs | Table 1 |
+//! | CSD queue-list parse | 0.55 µs per queue | §5.7 |
+//!
+//! Fitted so the §6.4 anchor measurements emerge from the Figure 6/8
+//! scenario (see `emeralds-bench`, experiments `fig11`/`fig12`):
+//!
+//! - new-scheme FP-queue acquire/release pair = **29.4 µs**, constant;
+//! - standard FP scheme exceeds it by **10.4 µs (26%)** at queue
+//!   length 15;
+//! - new-scheme DP-queue pair saves **11 µs (28%)** at length 15, and
+//!   the standard DP slope is **2×** the new slope.
+//!
+//! Solving those identities (see `fit_identities` test) gives
+//! context switch = 5.45 µs, semaphore fixed path = 1.0 µs, syscall
+//! entry/exit = 1.55/1.225 µs, O(1) PI bookkeeping = 0.4 µs, placeholder
+//! swap = 3.125 µs, standard PI walk = 0.34 µs/node. IPC constants are
+//! reconstructed (the supplied paper text truncates before §7): a
+//! 16-byte state-message read costs ≈1.5 µs (shared-memory copy loop,
+//! no kernel call) while a 16-byte mailbox transfer costs ≈10 µs per
+//! side (syscall + kernel copy), consistent with the archival (IEEE
+//! TSE 2001) description of the same system.
+
+use emeralds_sim::Duration;
+
+/// Per-primitive virtual-time charges for the simulated target CPU.
+///
+/// All fields are priced for the paper's 25 MHz MC68040-class target.
+/// Construct with [`CostModel::mc68040_25mhz`] (the calibrated default)
+/// or [`CostModel::zero`] (for pure-logic tests), then override fields
+/// as needed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    // --- EDF unsorted queue (Table 1, column 1) ---
+    /// Fixed cost of blocking a task under EDF (TCB update + counter).
+    pub edf_block: Duration,
+    /// Fixed cost of unblocking a task under EDF.
+    pub edf_unblock: Duration,
+    /// Fixed part of the EDF selection walk.
+    pub edf_select_fixed: Duration,
+    /// Per-TCB-visited part of the EDF selection walk.
+    pub edf_select_per_node: Duration,
+
+    // --- RM sorted queue with `highestp` (Table 1, column 2) ---
+    /// Fixed part of blocking under RM (TCB update).
+    pub rmq_block_fixed: Duration,
+    /// Per-TCB scan cost of advancing `highestp` to the next ready task.
+    pub rmq_block_per_node: Duration,
+    /// Fixed cost of unblocking under RM (TCB update + one compare).
+    pub rmq_unblock: Duration,
+    /// Fixed cost of RM selection (dereference `highestp`).
+    pub rmq_select: Duration,
+
+    // --- RM sorted heap (Table 1, column 3) ---
+    /// Fixed part of a heap delete (block).
+    pub rmh_block_fixed: Duration,
+    /// Per-heap-level cost of a delete.
+    pub rmh_block_per_level: Duration,
+    /// Fixed part of a heap insert (unblock).
+    pub rmh_unblock_fixed: Duration,
+    /// Per-heap-level cost of an insert.
+    pub rmh_unblock_per_level: Duration,
+    /// Fixed cost of heap selection (peek root).
+    pub rmh_select: Duration,
+
+    // --- CSD framework (§5.7) ---
+    /// Cost of inspecting one queue header (ready counter / skip) while
+    /// parsing the CSD prioritized list of queues.
+    pub csd_queue_parse: Duration,
+
+    // --- Context switching and mode transitions ---
+    /// Full context switch: register save/restore + dispatch.
+    pub context_switch: Duration,
+    /// User→kernel transition of a system call.
+    pub syscall_entry: Duration,
+    /// Kernel→user return of a system call.
+    pub syscall_exit: Duration,
+
+    // --- Semaphores and priority inheritance (§6) ---
+    /// Fixed bookkeeping of one semaphore operation (test/set state,
+    /// wait-queue link/unlink), excluding PI and switches.
+    pub sem_logic: Duration,
+    /// O(1) priority-inheritance bookkeeping on the DP (EDF) queue:
+    /// deadline inheritance set or restore.
+    pub pi_dp_fixed: Duration,
+    /// EMERALDS placeholder swap on the FP queue (§6.2): O(1) position
+    /// exchange of holder and donor, per swap.
+    pub pi_fp_swap: Duration,
+    /// Fixed part of a *standard* FP-queue PI reposition.
+    pub pi_fp_fixed: Duration,
+    /// Per-node walk cost of a standard FP-queue PI remove+reinsert.
+    pub pi_fp_per_node: Duration,
+
+    // --- IPC (§7, reconstructed) ---
+    /// Fixed kernel path of one mailbox send or receive (excluding the
+    /// syscall envelope and scheduling).
+    pub mbox_fixed: Duration,
+    /// Per-byte kernel copy cost for mailbox messages.
+    pub mbox_per_byte: Duration,
+    /// Fixed cost of one state-message read or write (index arithmetic,
+    /// sequence check; no kernel call).
+    pub statemsg_fixed: Duration,
+    /// Per-byte copy cost of the state-message tight copy loop.
+    pub statemsg_per_byte: Duration,
+
+    // --- Interrupts, timers, clock ---
+    /// First-level interrupt entry (vector + save).
+    pub irq_entry: Duration,
+    /// Interrupt exit (restore + rte).
+    pub irq_exit: Duration,
+    /// Reprogramming the one-shot hardware timer.
+    pub timer_program: Duration,
+    /// Fixed cost of processing one timer expiry in the kernel.
+    pub timer_expiry: Duration,
+    /// Reading the clock.
+    pub clock_read: Duration,
+}
+
+impl CostModel {
+    /// The calibrated model of the paper's measurement platform.
+    pub fn mc68040_25mhz() -> Self {
+        let us = Duration::from_us_f64;
+        CostModel {
+            edf_block: us(1.6),
+            edf_unblock: us(1.2),
+            edf_select_fixed: us(1.2),
+            edf_select_per_node: us(0.25),
+            rmq_block_fixed: us(1.0),
+            rmq_block_per_node: us(0.36),
+            rmq_unblock: us(1.4),
+            rmq_select: us(0.6),
+            rmh_block_fixed: us(0.4),
+            rmh_block_per_level: us(2.8),
+            rmh_unblock_fixed: us(1.9),
+            rmh_unblock_per_level: us(0.7),
+            rmh_select: us(0.6),
+            csd_queue_parse: us(0.55),
+            context_switch: us(5.45),
+            syscall_entry: us(1.55),
+            syscall_exit: us(1.225),
+            sem_logic: us(1.0),
+            pi_dp_fixed: us(0.4),
+            pi_fp_swap: us(3.125),
+            pi_fp_fixed: us(0.4),
+            pi_fp_per_node: us(0.34),
+            mbox_fixed: us(4.0),
+            mbox_per_byte: us(0.15),
+            statemsg_fixed: us(0.7),
+            statemsg_per_byte: us(0.05),
+            irq_entry: us(2.0),
+            irq_exit: us(1.0),
+            timer_program: us(1.0),
+            timer_expiry: us(1.5),
+            clock_read: us(0.5),
+        }
+    }
+
+    /// The same platform with a *conventional trap-based* system-call
+    /// path instead of EMERALDS' optimized user/kernel transition
+    /// (§3 lists the optimized mechanism among the kernel's features;
+    /// the techniques are detailed in the authors' \[38\]). Used by the
+    /// `syscalls` ablation experiment.
+    pub fn mc68040_25mhz_trap_syscalls() -> Self {
+        let us = Duration::from_us_f64;
+        CostModel {
+            // A full exception frame + dispatch on the 68040 costs
+            // several microseconds each way.
+            syscall_entry: us(6.2),
+            syscall_exit: us(4.9),
+            ..CostModel::mc68040_25mhz()
+        }
+    }
+
+    /// A model with every charge zero, for logic-only unit tests where
+    /// virtual-time charges would obscure behaviour.
+    pub fn zero() -> Self {
+        CostModel {
+            edf_block: Duration::ZERO,
+            edf_unblock: Duration::ZERO,
+            edf_select_fixed: Duration::ZERO,
+            edf_select_per_node: Duration::ZERO,
+            rmq_block_fixed: Duration::ZERO,
+            rmq_block_per_node: Duration::ZERO,
+            rmq_unblock: Duration::ZERO,
+            rmq_select: Duration::ZERO,
+            rmh_block_fixed: Duration::ZERO,
+            rmh_block_per_level: Duration::ZERO,
+            rmh_unblock_fixed: Duration::ZERO,
+            rmh_unblock_per_level: Duration::ZERO,
+            rmh_select: Duration::ZERO,
+            csd_queue_parse: Duration::ZERO,
+            context_switch: Duration::ZERO,
+            syscall_entry: Duration::ZERO,
+            syscall_exit: Duration::ZERO,
+            sem_logic: Duration::ZERO,
+            pi_dp_fixed: Duration::ZERO,
+            pi_fp_swap: Duration::ZERO,
+            pi_fp_fixed: Duration::ZERO,
+            pi_fp_per_node: Duration::ZERO,
+            mbox_fixed: Duration::ZERO,
+            mbox_per_byte: Duration::ZERO,
+            statemsg_fixed: Duration::ZERO,
+            statemsg_per_byte: Duration::ZERO,
+            irq_entry: Duration::ZERO,
+            irq_exit: Duration::ZERO,
+            timer_program: Duration::ZERO,
+            timer_expiry: Duration::ZERO,
+            clock_read: Duration::ZERO,
+        }
+    }
+
+    // --- Table 1 closed forms (worst case, n tasks in the queue) ---
+
+    /// Worst-case EDF blocking overhead `t_b` (Table 1): O(1).
+    pub fn edf_tb(&self) -> Duration {
+        self.edf_block
+    }
+
+    /// Worst-case EDF unblocking overhead `t_u` (Table 1): O(1).
+    pub fn edf_tu(&self) -> Duration {
+        self.edf_unblock
+    }
+
+    /// Worst-case EDF selection overhead `t_s` (Table 1): full walk of
+    /// an `n`-task queue, `1.2 + 0.25 n` µs on the reference platform.
+    pub fn edf_ts(&self, n: usize) -> Duration {
+        self.edf_select_fixed + self.edf_select_per_node * n as u64
+    }
+
+    /// Worst-case RM-queue blocking overhead `t_b` (Table 1): scan of
+    /// the whole `n`-task queue, `1.0 + 0.36 n` µs.
+    pub fn rmq_tb(&self, n: usize) -> Duration {
+        self.rmq_block_fixed + self.rmq_block_per_node * n as u64
+    }
+
+    /// Worst-case RM-queue unblocking overhead `t_u` (Table 1): O(1).
+    pub fn rmq_tu(&self) -> Duration {
+        self.rmq_unblock
+    }
+
+    /// RM-queue selection overhead `t_s` (Table 1): O(1).
+    pub fn rmq_ts(&self) -> Duration {
+        self.rmq_select
+    }
+
+    /// Worst-case RM-heap blocking overhead (Table 1):
+    /// `0.4 + 2.8 ⌈log₂(n+1)⌉` µs.
+    pub fn rmh_tb(&self, n: usize) -> Duration {
+        self.rmh_block_fixed + self.rmh_block_per_level * ceil_log2(n + 1)
+    }
+
+    /// Worst-case RM-heap unblocking overhead (Table 1):
+    /// `1.9 + 0.7 ⌈log₂(n+1)⌉` µs.
+    pub fn rmh_tu(&self, n: usize) -> Duration {
+        self.rmh_unblock_fixed + self.rmh_unblock_per_level * ceil_log2(n + 1)
+    }
+
+    /// RM-heap selection overhead (Table 1): O(1).
+    pub fn rmh_ts(&self) -> Duration {
+        self.rmh_select
+    }
+
+    /// Per-period scheduler run-time overhead `t = 1.5 (t_b + t_u +
+    /// 2 t_s)` (§5.1): each task blocks/unblocks at least once per
+    /// period, and on average half the tasks make one additional
+    /// blocking call per period.
+    pub fn per_period(&self, tb: Duration, tu: Duration, ts: Duration) -> Duration {
+        (tb + tu + ts * 2).scale_f64(1.5)
+    }
+
+    /// Mailbox copy cost for a `bytes`-byte message (one direction).
+    pub fn mbox_copy(&self, bytes: usize) -> Duration {
+        self.mbox_fixed + self.mbox_per_byte * bytes as u64
+    }
+
+    /// State-message copy cost for a `bytes`-byte variable.
+    pub fn statemsg_copy(&self, bytes: usize) -> Duration {
+        self.statemsg_fixed + self.statemsg_per_byte * bytes as u64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::mc68040_25mhz()
+    }
+}
+
+/// `⌈log₂ v⌉` for `v ≥ 1`, as used by the heap formulas of Table 1.
+pub fn ceil_log2(v: usize) -> u64 {
+    assert!(v >= 1, "ceil_log2 of zero");
+    (usize::BITS - (v - 1).leading_zeros()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: f64) -> Duration {
+        Duration::from_us_f64(v)
+    }
+
+    #[test]
+    fn ceil_log2_matches_definition() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(16), 4);
+        assert_eq!(ceil_log2(17), 5);
+    }
+
+    #[test]
+    fn table1_edf_formulas() {
+        let m = CostModel::mc68040_25mhz();
+        assert_eq!(m.edf_tb(), us(1.6));
+        assert_eq!(m.edf_tu(), us(1.2));
+        assert_eq!(m.edf_ts(10), us(1.2 + 0.25 * 10.0));
+        assert_eq!(m.edf_ts(40), us(1.2 + 0.25 * 40.0));
+    }
+
+    #[test]
+    fn table1_rm_queue_formulas() {
+        let m = CostModel::mc68040_25mhz();
+        assert_eq!(m.rmq_tb(10), us(1.0 + 0.36 * 10.0));
+        assert_eq!(m.rmq_tu(), us(1.4));
+        assert_eq!(m.rmq_ts(), us(0.6));
+    }
+
+    #[test]
+    fn table1_rm_heap_formulas() {
+        let m = CostModel::mc68040_25mhz();
+        // n = 10: ceil(log2(11)) = 4.
+        assert_eq!(m.rmh_tb(10), us(0.4 + 2.8 * 4.0));
+        assert_eq!(m.rmh_tu(10), us(1.9 + 0.7 * 4.0));
+        assert_eq!(m.rmh_ts(), us(0.6));
+    }
+
+    /// The paper avoids heaps because "unless n is very large (58 in
+    /// this case), the total run-time overhead t for a heap is more
+    /// than for a queue" (§5.1). Verify the crossover from the model.
+    #[test]
+    fn rm_heap_crosses_queue_near_58_tasks() {
+        let m = CostModel::mc68040_25mhz();
+        let total_queue = |n: usize| m.per_period(m.rmq_tb(n), m.rmq_tu(), m.rmq_ts());
+        let total_heap = |n: usize| m.per_period(m.rmh_tb(n), m.rmh_tu(n), m.rmh_ts());
+        assert!(total_heap(50) > total_queue(50));
+        assert!(total_heap(70) < total_queue(70));
+        // Locate the first n where the heap wins; Table 1's discussion
+        // puts it at 58.
+        let crossover = (2..200)
+            .find(|&n| total_heap(n) < total_queue(n))
+            .unwrap();
+        assert!(
+            (55..=60).contains(&crossover),
+            "crossover at {crossover}, expected ≈58"
+        );
+    }
+
+    #[test]
+    fn per_period_matches_1_5x_formula() {
+        let m = CostModel::mc68040_25mhz();
+        let t = m.per_period(us(1.0), us(2.0), us(3.0));
+        assert_eq!(t, us(1.5 * (1.0 + 2.0 + 2.0 * 3.0)));
+    }
+
+    /// The fitted identities behind the §6.4 anchors (see module docs
+    /// and the `fig11`/`fig12` experiments, which measure the same
+    /// quantities from the executing kernel). For a contended pair on
+    /// a queue of length 15, with the Figure 6 scenario's geometry:
+    ///
+    /// - DP saving = t_b + t_s(15) + ctx − hint check = 11.0 µs;
+    /// - DP new-scheme pair = 4 syscall envelopes + 5 semaphore ops +
+    ///   2 deadline inheritances + t_s(15) + ctx = 28.3 µs
+    ///   (std = 39.3 µs → 28% improvement);
+    /// - FP new-scheme pair = same with 2 placeholder swaps and the
+    ///   O(1) FP select = 29.4 µs, constant in queue length;
+    /// - FP saving = t_b(1) + t_s + ctx + 2 PI-fixed + 28-node walk −
+    ///   2 swaps − hint check ≈ 10.4 µs (26%).
+    #[test]
+    fn fit_identities() {
+        let m = CostModel::mc68040_25mhz();
+        let envelope = m.syscall_entry + m.syscall_exit;
+        let dp_saving = m.edf_tb() + m.edf_ts(15) + m.context_switch - m.sem_logic;
+        assert_eq!(dp_saving, us(11.0));
+        // The Figure 6 scenario's contended pair performs 4 syscall
+        // envelopes and 6 semaphore bookkeeping steps beyond the
+        // no-semaphore baseline (verified live by `expts fig11/fig12`).
+        let dp_new = envelope * 4
+            + m.sem_logic * 6
+            + m.pi_dp_fixed * 2
+            + m.edf_ts(15)
+            + m.context_switch;
+        assert_eq!(dp_new, us(28.3));
+        let fp_new = envelope * 4
+            + m.sem_logic * 6
+            + m.pi_fp_swap * 2
+            + m.rmq_ts()
+            + m.context_switch;
+        assert_eq!(fp_new, us(29.4));
+        let fp_saving = m.rmq_tb(1) + m.rmq_ts() + m.context_switch + m.pi_fp_fixed * 2
+            + m.pi_fp_per_node * 28
+            - m.pi_fp_swap * 2
+            - m.sem_logic;
+        assert!((fp_saving.as_us_f64() - 10.4).abs() < 0.15, "{fp_saving}");
+    }
+
+    #[test]
+    fn ipc_anchor_costs() {
+        let m = CostModel::mc68040_25mhz();
+        // 16-byte state message read ≈ 1.5 µs (reconstructed anchor).
+        assert_eq!(m.statemsg_copy(16), us(1.5));
+        // 16-byte mailbox copy = 6.4 µs before the syscall envelope:
+        // with entry+exit (3.3 µs) one side lands near 10 µs.
+        assert_eq!(m.mbox_copy(16), us(6.4));
+        assert!(m.mbox_copy(16) + m.syscall_entry + m.syscall_exit > us(9.0));
+    }
+
+    #[test]
+    fn zero_model_charges_nothing() {
+        let z = CostModel::zero();
+        assert_eq!(z.edf_ts(100), Duration::ZERO);
+        assert_eq!(z.rmq_tb(50), Duration::ZERO);
+        assert_eq!(z.per_period(z.edf_tb(), z.edf_tu(), z.edf_ts(9)), Duration::ZERO);
+        assert_eq!(z.mbox_copy(64), Duration::ZERO);
+    }
+
+    #[test]
+    fn default_is_calibrated_model() {
+        assert_eq!(CostModel::default(), CostModel::mc68040_25mhz());
+    }
+
+    /// The trap path costs several times the optimized transition and
+    /// differs in nothing else.
+    #[test]
+    fn trap_variant_only_raises_syscall_costs() {
+        let opt = CostModel::mc68040_25mhz();
+        let trap = CostModel::mc68040_25mhz_trap_syscalls();
+        assert!(trap.syscall_entry.as_us_f64() > 3.0 * opt.syscall_entry.as_us_f64());
+        assert!(trap.syscall_exit.as_us_f64() > 3.0 * opt.syscall_exit.as_us_f64());
+        let mut normalized = trap.clone();
+        normalized.syscall_entry = opt.syscall_entry;
+        normalized.syscall_exit = opt.syscall_exit;
+        assert_eq!(normalized, opt);
+    }
+}

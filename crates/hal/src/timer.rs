@@ -1,0 +1,108 @@
+//! One-shot programmable hardware timer.
+//!
+//! EMERALDS drives all time-based kernel services (periodic task
+//! releases, timeouts, the clock tick) from the single on-chip timer,
+//! reprogramming it to the nearest pending expiry. The kernel keeps
+//! its own software queue of expiries; this type models the hardware
+//! end: a single deadline register with finite resolution.
+
+use emeralds_sim::Time;
+
+/// A one-shot hardware timer with finite resolution.
+#[derive(Clone, Debug)]
+pub struct ProgrammableTimer {
+    /// Timer input clock in Hz; expiries are quantized *up* to this
+    /// resolution (the hardware cannot fire early, only on a tick).
+    hz: u64,
+    deadline: Option<Time>,
+}
+
+impl ProgrammableTimer {
+    /// Creates a timer clocked at `hz` (the paper's platform: 5 MHz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero or above 1 GHz (the simulation's
+    /// resolution).
+    pub fn new(hz: u64) -> Self {
+        assert!(hz > 0 && hz <= 1_000_000_000, "unsupported timer rate");
+        ProgrammableTimer { hz, deadline: None }
+    }
+
+    /// Tick period in nanoseconds.
+    pub fn tick_ns(&self) -> u64 {
+        1_000_000_000 / self.hz
+    }
+
+    /// Programs the timer to fire at (the first tick at or after) `at`.
+    /// Returns the actual hardware expiry instant.
+    pub fn program(&mut self, at: Time) -> Time {
+        let tick = self.tick_ns();
+        let ns = at.as_ns();
+        let fire = Time::from_ns(ns.div_ceil(tick) * tick);
+        self.deadline = Some(fire);
+        fire
+    }
+
+    /// Cancels any pending expiry.
+    pub fn cancel(&mut self) {
+        self.deadline = None;
+    }
+
+    /// The pending hardware expiry, if armed.
+    pub fn deadline(&self) -> Option<Time> {
+        self.deadline
+    }
+
+    /// True if the timer should fire at or before `now`; firing
+    /// disarms it (one-shot).
+    pub fn check_fire(&mut self, now: Time) -> bool {
+        match self.deadline {
+            Some(d) if d <= now => {
+                self.deadline = None;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Default for ProgrammableTimer {
+    /// The paper's 5 MHz on-chip timer.
+    fn default() -> Self {
+        ProgrammableTimer::new(5_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_round_up_to_tick() {
+        let mut t = ProgrammableTimer::new(5_000_000); // 200 ns ticks
+        let fire = t.program(Time::from_ns(1_001));
+        assert_eq!(fire, Time::from_ns(1_200));
+        assert_eq!(t.deadline(), Some(Time::from_ns(1_200)));
+        let fire = t.program(Time::from_ns(1_200));
+        assert_eq!(fire, Time::from_ns(1_200));
+    }
+
+    #[test]
+    fn one_shot_fire_semantics() {
+        let mut t = ProgrammableTimer::default();
+        t.program(Time::from_us(10));
+        assert!(!t.check_fire(Time::from_us(9)));
+        assert!(t.check_fire(Time::from_us(10)));
+        assert!(!t.check_fire(Time::from_us(11)), "disarmed after firing");
+    }
+
+    #[test]
+    fn cancel_disarms() {
+        let mut t = ProgrammableTimer::default();
+        t.program(Time::from_us(10));
+        t.cancel();
+        assert_eq!(t.deadline(), None);
+        assert!(!t.check_fire(Time::from_us(20)));
+    }
+}

@@ -1,0 +1,275 @@
+//! Per-task scheduler overhead models (Table 1 → §5.1, Table 3).
+//!
+//! §5.1 charges each task, per period, `t = 1.5 (t_b + t_u + 2 t_s)`:
+//! one block/unblock pair per period plus, on average across the task
+//! set, half a blocking system call. For EDF/RM the worst-case `t_b`,
+//! `t_u`, `t_s` are the Table 1 closed forms; for CSD they depend on
+//! which queue the task lives in and on the lengths of all queues
+//! (Table 3). This module turns a [`CostModel`] plus a queue shape into
+//! a per-task, per-period overhead, which the schedulability tests add
+//! to each WCET.
+
+use emeralds_hal::CostModel;
+use emeralds_sim::Duration;
+
+/// Queue shape of a CSD-x configuration: lengths of the dynamic
+/// priority queues (highest-priority first) and of the fixed-priority
+/// queue. `dp_lens.len() + 1` is the paper's `x`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsdShape {
+    /// Length of each DP (EDF) queue, DP1 first.
+    pub dp_lens: Vec<usize>,
+    /// Length of the FP (RM) queue.
+    pub fp_len: usize,
+}
+
+impl CsdShape {
+    /// Number of queues the scheduler parses (`x` in "CSD-x").
+    pub fn num_queues(&self) -> usize {
+        self.dp_lens.len() + 1
+    }
+
+    /// Total number of tasks.
+    pub fn total(&self) -> usize {
+        self.dp_lens.iter().sum::<usize>() + self.fp_len
+    }
+}
+
+/// Computes per-period scheduler overheads from a cost model.
+#[derive(Clone, Debug)]
+pub struct OverheadModel {
+    cost: CostModel,
+}
+
+impl OverheadModel {
+    /// Wraps a cost model.
+    pub fn new(cost: CostModel) -> Self {
+        OverheadModel { cost }
+    }
+
+    /// The underlying cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Per-period overhead of pure EDF over an `n`-task queue.
+    pub fn edf_per_period(&self, n: usize) -> Duration {
+        self.cost
+            .per_period(self.cost.edf_tb(), self.cost.edf_tu(), self.cost.edf_ts(n))
+    }
+
+    /// Per-period overhead of RM with the sorted-queue implementation.
+    pub fn rmq_per_period(&self, n: usize) -> Duration {
+        self.cost
+            .per_period(self.cost.rmq_tb(n), self.cost.rmq_tu(), self.cost.rmq_ts())
+    }
+
+    /// Per-period overhead of RM with the sorted-heap implementation.
+    pub fn rmh_per_period(&self, n: usize) -> Duration {
+        self.cost
+            .per_period(self.cost.rmh_tb(n), self.cost.rmh_tu(n), self.cost.rmh_ts())
+    }
+
+    /// Worst-case selection cost when the walk may land in any DP queue
+    /// with index `>= from` (or fall through to the FP queue): the full
+    /// queue-list parse plus the longest possible single-queue walk.
+    fn csd_select_from(&self, shape: &CsdShape, from: usize) -> Duration {
+        let parse = self.cost.csd_queue_parse * shape.num_queues() as u64;
+        let worst_dp = shape.dp_lens[from..]
+            .iter()
+            .map(|&l| self.cost.edf_ts(l))
+            .max()
+            .unwrap_or(Duration::ZERO);
+        parse + worst_dp.max(self.cost.rmq_ts())
+    }
+
+    /// Worst-case selection cost when queue `j` is known to contain a
+    /// ready task (a DP_j task just unblocked): the walk stops at the
+    /// first ready queue, which in the worst case is the most expensive
+    /// of queues `0..=j`.
+    fn csd_select_upto(&self, shape: &CsdShape, j: usize) -> Duration {
+        (0..=j)
+            .map(|k| {
+                self.cost.csd_queue_parse * (k + 1) as u64 + self.cost.edf_ts(shape.dp_lens[k])
+            })
+            .max()
+            .expect("at least queue j itself")
+    }
+
+    /// Per-period overhead of a task in DP queue `j` of `shape`
+    /// (Table 3 generalized to any number of DP queues).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is not a valid DP queue index.
+    pub fn csd_dp_per_period(&self, shape: &CsdShape, j: usize) -> Duration {
+        assert!(j < shape.dp_lens.len(), "no DP queue {j}");
+        let tb = self.cost.edf_tb();
+        let tu = self.cost.edf_tu();
+        // Blocking: every queue above j must be empty of ready tasks
+        // (they would have preempted), so the walk starts effectively
+        // at j.
+        let ts_block = self.csd_select_from(shape, j);
+        // Unblocking: queue j has at least the newly ready task; the
+        // walk stops at the first ready queue at or above j.
+        let ts_unblock = self.csd_select_upto(shape, j);
+        (tb + tu + ts_block + ts_unblock).scale_f64(1.5)
+    }
+
+    /// Per-period overhead of a task in the FP queue of `shape`
+    /// (Table 3, last column).
+    pub fn csd_fp_per_period(&self, shape: &CsdShape) -> Duration {
+        let tb = self.cost.rmq_tb(shape.fp_len);
+        let tu = self.cost.rmq_tu();
+        // Blocking: an FP task was running, so every DP queue is empty;
+        // the parse skips them all and dereferences `highestp`.
+        let ts_block =
+            self.cost.csd_queue_parse * shape.num_queues() as u64 + self.cost.rmq_ts();
+        // Unblocking: worst case assumes some DP queue holds a ready
+        // task (§5.4 case 4).
+        let ts_unblock = if shape.dp_lens.is_empty() {
+            ts_block
+        } else {
+            self.csd_select_upto(shape, shape.dp_lens.len() - 1).max(ts_block)
+        };
+        (tb + tu + ts_block + ts_unblock).scale_f64(1.5)
+    }
+
+    /// Per-task, per-period overheads for every task of a CSD
+    /// configuration, in RM order (DP1 tasks first, then DP2, …, then
+    /// FP tasks).
+    pub fn csd_overheads(&self, shape: &CsdShape) -> Vec<Duration> {
+        let mut out = Vec::with_capacity(shape.total());
+        for (j, &len) in shape.dp_lens.iter().enumerate() {
+            let o = self.csd_dp_per_period(shape, j);
+            out.extend(std::iter::repeat(o).take(len));
+        }
+        let o = self.csd_fp_per_period(shape);
+        out.extend(std::iter::repeat(o).take(shape.fp_len));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> OverheadModel {
+        OverheadModel::new(CostModel::mc68040_25mhz())
+    }
+
+    fn us(v: f64) -> Duration {
+        Duration::from_us_f64(v)
+    }
+
+    #[test]
+    fn edf_per_period_matches_closed_form() {
+        let m = model();
+        // t = 1.5 (1.6 + 1.2 + 2 (1.2 + 0.25 n)).
+        let n = 20;
+        let expect = us(1.5 * (1.6 + 1.2 + 2.0 * (1.2 + 0.25 * n as f64)));
+        assert_eq!(m.edf_per_period(n), expect);
+    }
+
+    #[test]
+    fn rm_per_period_matches_closed_form() {
+        let m = model();
+        let n = 20;
+        let expect = us(1.5 * ((1.0 + 0.36 * n as f64) + 1.4 + 2.0 * 0.6));
+        assert_eq!(m.rmq_per_period(n), expect);
+    }
+
+    /// §5.1: RM run-time overhead beats EDF especially "when n is
+    /// large (15 or more)".
+    #[test]
+    fn rm_beats_edf_for_large_n() {
+        let m = model();
+        assert!(m.rmq_per_period(15) < m.edf_per_period(15));
+        assert!(m.rmq_per_period(40) < m.edf_per_period(40));
+    }
+
+    /// §5.3: splitting the workload halves the DP queue, so CSD-2 DP
+    /// tasks pay less than pure-EDF tasks over the whole set.
+    #[test]
+    fn csd2_dp_cheaper_than_pure_edf() {
+        let m = model();
+        let shape = CsdShape {
+            dp_lens: vec![10],
+            fp_len: 10,
+        };
+        assert!(m.csd_dp_per_period(&shape, 0) < m.edf_per_period(20));
+    }
+
+    /// §5.5.1: splitting the DP queue (CSD-3) reduces the overhead of
+    /// the highest-rate (DP1) tasks relative to CSD-2.
+    #[test]
+    fn csd3_dp1_cheaper_than_csd2_dp() {
+        let m = model();
+        let csd2 = CsdShape {
+            dp_lens: vec![16],
+            fp_len: 14,
+        };
+        let csd3 = CsdShape {
+            dp_lens: vec![8, 8],
+            fp_len: 14,
+        };
+        assert!(m.csd_dp_per_period(&csd3, 0) < m.csd_dp_per_period(&csd2, 0));
+    }
+
+    /// Table 3: FP overhead drops from O(n) under CSD-2 to O(n - q)
+    /// under CSD-3 — with a shorter worst DP walk on unblock.
+    #[test]
+    fn csd3_fp_not_worse_than_csd2_fp() {
+        let m = model();
+        let csd2 = CsdShape {
+            dp_lens: vec![16],
+            fp_len: 14,
+        };
+        let csd3 = CsdShape {
+            dp_lens: vec![8, 8],
+            fp_len: 14,
+        };
+        assert!(m.csd_fp_per_period(&csd3) <= m.csd_fp_per_period(&csd2));
+    }
+
+    #[test]
+    fn csd_overheads_cover_every_task_in_order() {
+        let m = model();
+        let shape = CsdShape {
+            dp_lens: vec![2, 3],
+            fp_len: 4,
+        };
+        let o = m.csd_overheads(&shape);
+        assert_eq!(o.len(), 9);
+        assert_eq!(o[0], o[1]);
+        assert_eq!(o[2], o[4]);
+        assert_eq!(o[5], o[8]);
+        assert_eq!(o[0], m.csd_dp_per_period(&shape, 0));
+        assert_eq!(o[5], m.csd_fp_per_period(&shape));
+    }
+
+    #[test]
+    fn empty_dp_configuration_is_rm_plus_parse() {
+        let m = model();
+        let shape = CsdShape {
+            dp_lens: vec![],
+            fp_len: 10,
+        };
+        // One queue to parse on top of plain RM costs.
+        let parse = m.cost().csd_queue_parse;
+        let expect = m
+            .cost()
+            .per_period(m.cost().rmq_tb(10), m.cost().rmq_tu(), m.cost().rmq_ts() + parse);
+        assert_eq!(m.csd_fp_per_period(&shape), expect);
+    }
+
+    #[test]
+    fn shape_helpers() {
+        let shape = CsdShape {
+            dp_lens: vec![3, 4],
+            fp_len: 5,
+        };
+        assert_eq!(shape.num_queues(), 3);
+        assert_eq!(shape.total(), 12);
+    }
+}

@@ -1,0 +1,271 @@
+//! Periodic task model.
+//!
+//! The paper's workload model (§2, §5.2): `n` concurrent periodic tasks
+//! `τ_i` with period `P_i`, worst-case execution time `c_i`, and
+//! relative deadline `d_i = P_i` (Table 2 note). Task sets are kept in
+//! rate-monotonic order — shortest period first — because every
+//! construction in §5 ("tasks 1..r are placed in the DP queue") indexes
+//! tasks that way.
+
+use emeralds_sim::Duration;
+
+/// One periodic task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Task {
+    /// Stable identifier, preserved across sorting and scaling.
+    pub id: usize,
+    /// Period `P_i`.
+    pub period: Duration,
+    /// Worst-case execution time `c_i`.
+    pub wcet: Duration,
+    /// Relative deadline `d_i` (equal to the period unless configured
+    /// otherwise).
+    pub deadline: Duration,
+}
+
+impl Task {
+    /// Creates a task with deadline equal to its period.
+    pub fn new(id: usize, period: Duration, wcet: Duration) -> Task {
+        Task {
+            id,
+            period,
+            wcet,
+            deadline: period,
+        }
+    }
+
+    /// Creates a task with an explicit relative deadline `d ≤ P`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline > period` (constrained-deadline model only).
+    pub fn with_deadline(id: usize, period: Duration, wcet: Duration, deadline: Duration) -> Task {
+        assert!(deadline <= period, "deadline must not exceed period");
+        Task {
+            id,
+            period,
+            wcet,
+            deadline,
+        }
+    }
+
+    /// The task's utilization `c_i / P_i`.
+    pub fn utilization(&self) -> f64 {
+        self.wcet.ratio(self.period)
+    }
+}
+
+/// A task set in rate-monotonic order (shortest period first, ties
+/// broken by id for determinism).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskSet {
+    tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// Builds a task set, sorting into RM order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task has a zero period or a WCET exceeding its
+    /// deadline (such a task can never meet a deadline).
+    pub fn new(mut tasks: Vec<Task>) -> TaskSet {
+        for t in &tasks {
+            assert!(!t.period.is_zero(), "task {} has zero period", t.id);
+            assert!(
+                t.wcet <= t.deadline,
+                "task {} has wcet {} > deadline {}",
+                t.id,
+                t.wcet,
+                t.deadline
+            );
+        }
+        tasks.sort_by(|a, b| a.period.cmp(&b.period).then(a.id.cmp(&b.id)));
+        TaskSet { tasks }
+    }
+
+    /// Number of tasks `n`.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Tasks in RM order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The `i`-th task in RM order.
+    pub fn task(&self, i: usize) -> &Task {
+        &self.tasks[i]
+    }
+
+    /// Total utilization `U = Σ c_i / P_i`.
+    pub fn utilization(&self) -> f64 {
+        self.tasks.iter().map(Task::utilization).sum()
+    }
+
+    /// Returns a copy with every WCET multiplied by `k` (the §5.7
+    /// breakdown-utilization scaling), clamping each scaled WCET to at
+    /// least 1 ns so tasks never vanish.
+    pub fn scale_wcets(&self, k: f64) -> TaskSet {
+        let tasks = self
+            .tasks
+            .iter()
+            .map(|t| {
+                let scaled = t.wcet.scale_f64(k);
+                Task {
+                    wcet: if scaled.is_zero() {
+                        Duration::from_ns(1)
+                    } else {
+                        scaled
+                    },
+                    ..*t
+                }
+            })
+            .collect();
+        TaskSet { tasks }
+    }
+
+    /// The hyperperiod (LCM of periods), saturating at `cap`.
+    ///
+    /// Random millisecond periods produce astronomically large LCMs, so
+    /// every consumer passes an explicit cap (simulation horizon or
+    /// analysis bound).
+    pub fn hyperperiod(&self, cap: Duration) -> Duration {
+        let mut l: u128 = 1;
+        for t in &self.tasks {
+            let p = t.period.as_ns() as u128;
+            l = lcm_u128(l, p);
+            if l >= cap.as_ns() as u128 {
+                return cap;
+            }
+        }
+        Duration::from_ns(l as u64)
+    }
+
+    /// The longest period in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty.
+    pub fn max_period(&self) -> Duration {
+        self.tasks
+            .iter()
+            .map(|t| t.period)
+            .max()
+            .expect("empty task set")
+    }
+}
+
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+fn lcm_u128(a: u128, b: u128) -> u128 {
+    a / gcd_u128(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_ms(v)
+    }
+
+    #[test]
+    fn sorted_into_rm_order() {
+        let ts = TaskSet::new(vec![
+            Task::new(0, ms(100), ms(1)),
+            Task::new(1, ms(5), ms(1)),
+            Task::new(2, ms(40), ms(1)),
+        ]);
+        let periods: Vec<u64> = ts.tasks().iter().map(|t| t.period.as_ns() / 1_000_000).collect();
+        assert_eq!(periods, vec![5, 40, 100]);
+        assert_eq!(ts.task(0).id, 1);
+    }
+
+    #[test]
+    fn ties_break_by_id_for_determinism() {
+        let ts = TaskSet::new(vec![Task::new(7, ms(10), ms(1)), Task::new(3, ms(10), ms(1))]);
+        assert_eq!(ts.task(0).id, 3);
+        assert_eq!(ts.task(1).id, 7);
+    }
+
+    #[test]
+    fn utilization_sums() {
+        let ts = TaskSet::new(vec![
+            Task::new(0, ms(10), ms(2)), // 0.2
+            Task::new(1, ms(20), ms(5)), // 0.25
+        ]);
+        assert!((ts.utilization() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_preserves_periods_and_scales_wcets() {
+        let ts = TaskSet::new(vec![Task::new(0, ms(10), ms(2))]);
+        let scaled = ts.scale_wcets(1.5);
+        assert_eq!(scaled.task(0).period, ms(10));
+        assert_eq!(scaled.task(0).wcet, ms(3));
+    }
+
+    #[test]
+    fn scaling_never_produces_zero_wcet() {
+        let ts = TaskSet::new(vec![Task::new(0, ms(10), Duration::from_ns(10))]);
+        let scaled = ts.scale_wcets(1e-6);
+        assert_eq!(scaled.task(0).wcet, Duration::from_ns(1));
+    }
+
+    #[test]
+    fn hyperperiod_and_cap() {
+        let ts = TaskSet::new(vec![
+            Task::new(0, ms(4), ms(1)),
+            Task::new(1, ms(6), ms(1)),
+        ]);
+        assert_eq!(ts.hyperperiod(Duration::from_secs(1)), ms(12));
+        // Co-prime large periods exceed the cap.
+        let ts = TaskSet::new(vec![
+            Task::new(0, Duration::from_ms(997), ms(1)),
+            Task::new(1, Duration::from_ms(991), ms(1)),
+            Task::new(2, Duration::from_ms(983), ms(1)),
+        ]);
+        assert_eq!(ts.hyperperiod(Duration::from_secs(60)), Duration::from_secs(60));
+    }
+
+    #[test]
+    fn deadline_defaults_to_period() {
+        let t = Task::new(0, ms(8), ms(1));
+        assert_eq!(t.deadline, ms(8));
+        let t = Task::with_deadline(0, ms(8), ms(1), ms(6));
+        assert_eq!(t.deadline, ms(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must not exceed period")]
+    fn arbitrary_deadline_beyond_period_rejected() {
+        let _ = Task::with_deadline(0, ms(8), ms(1), ms(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "wcet")]
+    fn infeasible_single_task_rejected() {
+        let _ = TaskSet::new(vec![Task::new(0, ms(5), ms(6))]);
+    }
+
+    #[test]
+    fn max_period() {
+        let ts = TaskSet::new(vec![
+            Task::new(0, ms(4), ms(1)),
+            Task::new(1, ms(60), ms(1)),
+        ]);
+        assert_eq!(ts.max_period(), ms(60));
+    }
+}

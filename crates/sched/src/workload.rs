@@ -1,0 +1,173 @@
+//! Random workload generation (§5.7).
+//!
+//! "To mimic the mix of short and long period tasks expected in
+//! real-time embedded systems, we generate the base task workloads by
+//! randomly selecting task periods such that each period has an equal
+//! probability of being single-digit (5–9 ms), double-digit
+//! (10–99 ms), or triple-digit (100–999 ms)." Execution times are then
+//! drawn and normalized to a base utilization; the breakdown driver
+//! scales them from there. Figures 4 and 5 divide all periods by 2
+//! and 3.
+
+use emeralds_sim::{Duration, SimRng};
+
+use crate::task::{Task, TaskSet};
+
+/// Parameters of one random workload.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadParams {
+    /// Number of tasks `n`.
+    pub n: usize,
+    /// Divide every period by this factor (1 for Figure 3, 2 for
+    /// Figure 4, 3 for Figure 5).
+    pub period_divisor: u64,
+    /// Total utilization the generated WCETs are normalized to. The
+    /// breakdown search rescales anyway; 0.5 keeps initial sets
+    /// comfortably feasible.
+    pub base_utilization: f64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            n: 10,
+            period_divisor: 1,
+            base_utilization: 0.5,
+        }
+    }
+}
+
+impl WorkloadParams {
+    /// Generates one workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, the divisor is 0, or the base utilization is
+    /// not in `(0, 1]`.
+    pub fn generate(&self, rng: &mut SimRng) -> TaskSet {
+        assert!(self.n > 0, "empty workload");
+        assert!(self.period_divisor >= 1, "zero period divisor");
+        assert!(
+            self.base_utilization > 0.0 && self.base_utilization <= 1.0,
+            "base utilization out of range"
+        );
+        let mut periods = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            let ms = match rng.index(3) {
+                0 => rng.int_in(5, 9),
+                1 => rng.int_in(10, 99),
+                _ => rng.int_in(100, 999),
+            };
+            // Divide in microseconds so ÷2 and ÷3 stay exact enough.
+            let us = ms * 1_000 / self.period_divisor;
+            periods.push(Duration::from_us(us));
+        }
+        // Random utilization shares, normalized to the base.
+        let shares: Vec<f64> = (0..self.n).map(|_| rng.float_in(0.1, 1.0)).collect();
+        let total: f64 = shares.iter().sum();
+        let tasks = periods
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let u = self.base_utilization * shares[i] / total;
+                let wcet = p.scale_f64(u);
+                let wcet = if wcet.is_zero() {
+                    Duration::from_ns(1_000)
+                } else {
+                    wcet
+                };
+                Task::new(i, p, wcet)
+            })
+            .collect();
+        TaskSet::new(tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size_and_utilization() {
+        let mut rng = SimRng::seeded(1);
+        let ts = WorkloadParams {
+            n: 30,
+            period_divisor: 1,
+            base_utilization: 0.5,
+        }
+        .generate(&mut rng);
+        assert_eq!(ts.len(), 30);
+        assert!((ts.utilization() - 0.5).abs() < 0.02, "U = {}", ts.utilization());
+    }
+
+    #[test]
+    fn periods_fall_in_the_three_digit_classes() {
+        let mut rng = SimRng::seeded(2);
+        let ts = WorkloadParams {
+            n: 300,
+            period_divisor: 1,
+            base_utilization: 0.3,
+        }
+        .generate(&mut rng);
+        let mut classes = [0usize; 3];
+        for t in ts.tasks() {
+            let ms = t.period.as_ms_f64();
+            assert!((5.0..1000.0).contains(&ms), "period {ms} ms out of range");
+            if ms < 10.0 {
+                classes[0] += 1;
+            } else if ms < 100.0 {
+                classes[1] += 1;
+            } else {
+                classes[2] += 1;
+            }
+        }
+        // Equiprobable classes: each should get roughly a third.
+        for c in classes {
+            assert!((60..=140).contains(&c), "class counts {classes:?}");
+        }
+    }
+
+    #[test]
+    fn period_divisor_shrinks_periods() {
+        let mut r1 = SimRng::seeded(3);
+        let mut r2 = SimRng::seeded(3);
+        let base = WorkloadParams {
+            n: 20,
+            period_divisor: 1,
+            base_utilization: 0.4,
+        }
+        .generate(&mut r1);
+        let div3 = WorkloadParams {
+            n: 20,
+            period_divisor: 3,
+            base_utilization: 0.4,
+        }
+        .generate(&mut r2);
+        // Same RNG stream → same draws; periods divided by 3.
+        let max_base = base.max_period();
+        let max_div = div3.max_period();
+        assert!(max_div.as_ns() * 3 <= max_base.as_ns() + 3_000);
+        // Utilization stays at the base despite shorter periods.
+        assert!((div3.utilization() - 0.4).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = WorkloadParams::default();
+        let a = p.generate(&mut SimRng::seeded(7));
+        let b = p.generate(&mut SimRng::seeded(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wcets_never_zero() {
+        let mut rng = SimRng::seeded(9);
+        let ts = WorkloadParams {
+            n: 50,
+            period_divisor: 3,
+            base_utilization: 0.01,
+        }
+        .generate(&mut rng);
+        assert!(ts.tasks().iter().all(|t| !t.wcet.is_zero()));
+    }
+}

@@ -1,0 +1,190 @@
+//! Deterministic pending-event set.
+//!
+//! The kernel simulator and the fieldbus both schedule future
+//! occurrences (timer expiries, interrupt arrivals, frame deliveries).
+//! [`EventQueue`] orders them by time and, within one instant, by
+//! insertion order, so simulations are fully deterministic regardless of
+//! the heap's internal layout.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// A pending-event set ordered by `(time, insertion sequence)`.
+///
+/// # Examples
+///
+/// ```
+/// use emeralds_sim::{EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_us(5), "b");
+/// q.push(Time::from_us(1), "a");
+/// q.push(Time::from_us(5), "c");
+/// assert_eq!(q.pop(), Some((Time::from_us(1), "a")));
+/// assert_eq!(q.pop(), Some((Time::from_us(5), "b"))); // FIFO within an instant
+/// assert_eq!(q.pop(), Some((Time::from_us(5), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to occur at `at`.
+    pub fn push(&mut self, at: Time, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Removes and returns the earliest event if it occurs at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: Time) -> Option<(Time, E)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event, keeping the sequence counter so
+    /// determinism is preserved across a reuse.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Removes all events matching `pred`, returning how many were
+    /// removed. O(n log n); used only by cancellation paths.
+    pub fn retain(&mut self, mut pred: impl FnMut(&E) -> bool) -> usize {
+        let before = self.heap.len();
+        let kept: Vec<Entry<E>> = self.heap.drain().filter(|e| pred(&e.payload)).collect();
+        self.heap.extend(kept);
+        before - self.heap.len()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        for (t, v) in [(3u64, 'x'), (1, 'a'), (1, 'b'), (2, 'm')] {
+            q.push(Time::from_us(t), v);
+        }
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec!['a', 'b', 'm', 'x']);
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_us(10), 1);
+        q.push(Time::from_us(20), 2);
+        assert_eq!(q.pop_due(Time::from_us(5)), None);
+        assert_eq!(q.pop_due(Time::from_us(10)), Some((Time::from_us(10), 1)));
+        assert_eq!(q.pop_due(Time::from_us(15)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn retain_cancels_matching_events() {
+        let mut q = EventQueue::new();
+        for i in 0..6 {
+            q.push(Time::from_us(i), i);
+        }
+        let removed = q.retain(|&v| v % 2 == 0);
+        assert_eq!(removed, 3);
+        let left: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(left, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_survives_interleaved_pops() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_us(1), 'a');
+        assert_eq!(q.pop().unwrap().1, 'a');
+        q.push(Time::from_us(1), 'b');
+        q.push(Time::from_us(1), 'c');
+        assert_eq!(q.pop().unwrap().1, 'b');
+        assert_eq!(q.pop().unwrap().1, 'c');
+    }
+}

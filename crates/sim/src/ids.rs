@@ -1,0 +1,118 @@
+//! Shared identifier vocabulary.
+//!
+//! EMERALDS statically names kernel objects at compile time (§6.2.1:
+//! "Semaphore identifiers are statically defined (at compile time) in
+//! EMERALDS as is commonly the case in OSs for small-memory
+//! applications"), which is what makes the code-parser semaphore hints
+//! possible. The reproduction mirrors that: every kernel object is
+//! identified by a small dense integer id assigned at creation.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The dense index of this id, for table lookups.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A kernel-scheduled thread (the paper's "task" when periodic).
+    ThreadId,
+    "T"
+);
+define_id!(
+    /// A protected process (address space) holding one or more threads.
+    ProcId,
+    "P"
+);
+define_id!(
+    /// A semaphore (binary mutex or counting), statically created.
+    SemId,
+    "S"
+);
+define_id!(
+    /// A condition variable.
+    CvId,
+    "CV"
+);
+define_id!(
+    /// A kernel mailbox used for copying message-passing IPC.
+    MboxId,
+    "MB"
+);
+define_id!(
+    /// A state-message variable (single-writer shared-memory IPC).
+    StateId,
+    "SM"
+);
+define_id!(
+    /// A shared-memory region registered with the MPU.
+    RegionId,
+    "R"
+);
+define_id!(
+    /// A software event object (internal signal, §6.3.2).
+    EventId,
+    "E"
+);
+define_id!(
+    /// A hardware interrupt line on the simulated interrupt controller.
+    IrqLine,
+    "IRQ"
+);
+define_id!(
+    /// A simulated device (sensor, actuator, NIC, UART).
+    DevId,
+    "DEV"
+);
+define_id!(
+    /// A node in a distributed (fieldbus) configuration.
+    NodeId,
+    "N"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_prefixes() {
+        assert_eq!(ThreadId(3).to_string(), "T3");
+        assert_eq!(SemId(0).to_string(), "S0");
+        assert_eq!(format!("{:?}", IrqLine(7)), "IRQ7");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_indexable() {
+        assert!(ThreadId(1) < ThreadId(2));
+        assert_eq!(MboxId(9).index(), 9);
+        assert_eq!(ThreadId::from(4u32), ThreadId(4));
+    }
+}

@@ -1,0 +1,415 @@
+//! Execution trace recording.
+//!
+//! The paper's semaphore argument (Figures 6–10) is made in terms of
+//! *event sequences*: which context switches happen, in which order,
+//! around a contended `acquire_sem()`. The trace recorder captures those
+//! sequences so tests can assert them literally, and so the experiment
+//! harness can redraw Figure 2's RM schedule.
+
+use crate::ids::{CvId, EventId, IrqLine, MboxId, SemId, StateId, ThreadId};
+use crate::time::{Duration, Time};
+
+/// One recorded kernel-level occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The dispatcher switched execution contexts. `None` means idle.
+    ContextSwitch {
+        from: Option<ThreadId>,
+        to: Option<ThreadId>,
+    },
+    /// A periodic/sporadic job was released.
+    JobRelease {
+        tid: ThreadId,
+        job: u64,
+        deadline: Time,
+    },
+    /// A job finished its work for the period.
+    JobComplete { tid: ThreadId, job: u64 },
+    /// A job was still incomplete at its absolute deadline.
+    DeadlineMiss {
+        tid: ThreadId,
+        job: u64,
+        deadline: Time,
+    },
+    /// A thread blocked in the kernel (any reason).
+    Blocked { tid: ThreadId },
+    /// A thread became ready.
+    Unblocked { tid: ThreadId },
+    /// A semaphore was acquired without contention (or handed over).
+    SemAcquired { tid: ThreadId, sem: SemId },
+    /// A thread found the semaphore held and blocked on it.
+    SemBlocked {
+        tid: ThreadId,
+        sem: SemId,
+        holder: ThreadId,
+    },
+    /// A semaphore was released.
+    SemReleased { tid: ThreadId, sem: SemId },
+    /// Priority inheritance: `holder` inherited `donor`'s priority.
+    PriorityInherit { holder: ThreadId, donor: ThreadId },
+    /// `holder` returned to its base priority.
+    PriorityRestore { holder: ThreadId },
+    /// EMERALDS scheme: inheritance performed *early*, at the blocking
+    /// call preceding `acquire_sem()` (§6.2), keeping `waiter` blocked.
+    EarlyInherit {
+        waiter: ThreadId,
+        holder: ThreadId,
+        sem: SemId,
+    },
+    /// EMERALDS scheme: a thread joined the pre-lock queue of a free
+    /// semaphore (§6.3.1 modification).
+    PreLockAdmit { tid: ThreadId, sem: SemId },
+    /// EMERALDS scheme: pre-lock queue members were blocked because one
+    /// of them took the lock.
+    PreLockBlock { tid: ThreadId, sem: SemId },
+    /// A message was copied into a mailbox.
+    MboxSend {
+        tid: ThreadId,
+        mbox: MboxId,
+        bytes: usize,
+    },
+    /// A message was copied out of a mailbox.
+    MboxRecv {
+        tid: ThreadId,
+        mbox: MboxId,
+        bytes: usize,
+    },
+    /// A state-message variable was updated in place (no kernel call).
+    StateWrite {
+        tid: ThreadId,
+        var: StateId,
+        seq: u64,
+    },
+    /// A state-message variable was read (no kernel call).
+    StateRead {
+        tid: ThreadId,
+        var: StateId,
+        seq: u64,
+    },
+    /// A condition variable wait began.
+    CvWait { tid: ThreadId, cv: CvId },
+    /// A condition variable was signalled.
+    CvSignal { tid: ThreadId, cv: CvId },
+    /// A software event was signalled.
+    EventSignal { tid: ThreadId, event: EventId },
+    /// A hardware interrupt was raised by a device.
+    IrqRaised { line: IrqLine },
+    /// The kernel finished first-level handling of an interrupt.
+    IrqHandled { line: IrqLine },
+    /// A system call was entered.
+    Syscall { tid: ThreadId, name: &'static str },
+    /// A memory-protection fault was detected by the MPU.
+    ProtectionFault { tid: ThreadId, addr: u64 },
+    /// Free-form annotation from examples/tests.
+    Note(String),
+}
+
+/// A timestamped trace of kernel events.
+///
+/// Recording can be disabled (`Trace::disabled()`) for long experiment
+/// runs where only the [`crate::Accounting`] totals matter; all `push`
+/// calls then become no-ops while counters stay live.
+#[derive(Debug)]
+pub struct Trace {
+    events: Vec<(Time, TraceEvent)>,
+    recording: bool,
+    context_switches: u64,
+    deadline_misses: u64,
+}
+
+impl Trace {
+    /// Creates a recording trace.
+    pub fn new() -> Self {
+        Trace {
+            events: Vec::new(),
+            recording: true,
+            context_switches: 0,
+            deadline_misses: 0,
+        }
+    }
+
+    /// Creates a trace that keeps counters but stores no events.
+    pub fn disabled() -> Self {
+        Trace {
+            recording: false,
+            ..Trace::new()
+        }
+    }
+
+    /// True if events are being stored.
+    pub fn is_recording(&self) -> bool {
+        self.recording
+    }
+
+    /// Records `event` at `at`.
+    pub fn push(&mut self, at: Time, event: TraceEvent) {
+        match &event {
+            TraceEvent::ContextSwitch { .. } => self.context_switches += 1,
+            TraceEvent::DeadlineMiss { .. } => self.deadline_misses += 1,
+            _ => {}
+        }
+        if self.recording {
+            debug_assert!(
+                self.events.last().map_or(true, |&(t, _)| t <= at),
+                "trace timestamps must be monotone"
+            );
+            self.events.push((at, event));
+        }
+    }
+
+    /// All stored events in order.
+    pub fn events(&self) -> &[(Time, TraceEvent)] {
+        &self.events
+    }
+
+    /// Total context switches (counted even when not recording).
+    pub fn context_switch_count(&self) -> u64 {
+        self.context_switches
+    }
+
+    /// Total deadline misses (counted even when not recording).
+    pub fn deadline_miss_count(&self) -> u64 {
+        self.deadline_misses
+    }
+
+    /// Stored deadline-miss events.
+    pub fn deadline_misses(&self) -> Vec<(Time, ThreadId)> {
+        self.events
+            .iter()
+            .filter_map(|(t, e)| match e {
+                TraceEvent::DeadlineMiss { tid, .. } => Some((*t, *tid)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Stored events matching `pred`, with timestamps.
+    pub fn filter<'a>(
+        &'a self,
+        mut pred: impl FnMut(&TraceEvent) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a (Time, TraceEvent)> + 'a {
+        self.events.iter().filter(move |(_, e)| pred(e))
+    }
+
+    /// The sequence of `(from, to)` context switches, for scenario
+    /// assertions like "context switch C2 is eliminated" (Figure 8).
+    pub fn context_switch_sequence(&self) -> Vec<(Option<ThreadId>, Option<ThreadId>)> {
+        self.events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                TraceEvent::ContextSwitch { from, to } => Some((*from, *to)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Builds the per-thread execution timeline: intervals during which
+    /// each thread occupied the CPU, derived from context switches.
+    /// `end` closes the final open interval.
+    pub fn execution_intervals(&self, end: Time) -> Vec<(ThreadId, Time, Time)> {
+        let mut out = Vec::new();
+        let mut current: Option<(ThreadId, Time)> = None;
+        for (t, e) in &self.events {
+            if let TraceEvent::ContextSwitch { to, .. } = e {
+                if let Some((tid, start)) = current.take() {
+                    if *t > start {
+                        out.push((tid, start, *t));
+                    }
+                }
+                if let Some(to) = to {
+                    current = Some((*to, *t));
+                }
+            }
+        }
+        if let Some((tid, start)) = current {
+            if end > start {
+                out.push((tid, start, end));
+            }
+        }
+        out
+    }
+
+    /// Renders the trace as one line per event, for debugging and for
+    /// the quickstart example.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (t, e) in &self.events {
+            s.push_str(&format!("[{:>12}] {}\n", t.to_string(), describe(e)));
+        }
+        s
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events are stored.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn describe(e: &TraceEvent) -> String {
+    use TraceEvent::*;
+    match e {
+        ContextSwitch { from, to } => format!(
+            "ctxsw {} -> {}",
+            from.map_or("idle".into(), |t| t.to_string()),
+            to.map_or("idle".into(), |t| t.to_string())
+        ),
+        JobRelease { tid, job, deadline } => {
+            format!("{tid} job {job} released (deadline {deadline})")
+        }
+        JobComplete { tid, job } => format!("{tid} job {job} complete"),
+        DeadlineMiss { tid, job, deadline } => {
+            format!("{tid} job {job} MISSED deadline {deadline}")
+        }
+        Blocked { tid } => format!("{tid} blocked"),
+        Unblocked { tid } => format!("{tid} unblocked"),
+        SemAcquired { tid, sem } => format!("{tid} acquired {sem}"),
+        SemBlocked { tid, sem, holder } => format!("{tid} blocked on {sem} (held by {holder})"),
+        SemReleased { tid, sem } => format!("{tid} released {sem}"),
+        PriorityInherit { holder, donor } => format!("{holder} inherits priority of {donor}"),
+        PriorityRestore { holder } => format!("{holder} priority restored"),
+        EarlyInherit { waiter, holder, sem } => {
+            format!("early PI: {waiter} -> {holder} for {sem}")
+        }
+        PreLockAdmit { tid, sem } => format!("{tid} admitted to pre-lock queue of {sem}"),
+        PreLockBlock { tid, sem } => format!("{tid} re-blocked by pre-lock queue of {sem}"),
+        MboxSend { tid, mbox, bytes } => format!("{tid} sent {bytes}B to {mbox}"),
+        MboxRecv { tid, mbox, bytes } => format!("{tid} received {bytes}B from {mbox}"),
+        StateWrite { tid, var, seq } => format!("{tid} wrote {var} (seq {seq})"),
+        StateRead { tid, var, seq } => format!("{tid} read {var} (seq {seq})"),
+        CvWait { tid, cv } => format!("{tid} waits on {cv}"),
+        CvSignal { tid, cv } => format!("{tid} signals {cv}"),
+        EventSignal { tid, event } => format!("{tid} signals {event}"),
+        IrqRaised { line } => format!("{line} raised"),
+        IrqHandled { line } => format!("{line} handled"),
+        Syscall { tid, name } => format!("{tid} syscall {name}"),
+        ProtectionFault { tid, addr } => format!("{tid} PROTECTION FAULT at {addr:#x}"),
+        Note(s) => s.clone(),
+    }
+}
+
+/// A busy-interval summary over a window, used by utilization reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BusySummary {
+    /// Total simulated window length.
+    pub window: Duration,
+    /// Time some thread was running.
+    pub busy: Duration,
+}
+
+impl BusySummary {
+    /// CPU utilization over the window.
+    pub fn utilization(&self) -> f64 {
+        if self.window.is_zero() {
+            0.0
+        } else {
+            self.busy.ratio(self.window)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn switch(from: Option<u32>, to: Option<u32>) -> TraceEvent {
+        TraceEvent::ContextSwitch {
+            from: from.map(ThreadId),
+            to: to.map(ThreadId),
+        }
+    }
+
+    #[test]
+    fn counts_switches_and_misses() {
+        let mut tr = Trace::new();
+        tr.push(Time::ZERO, switch(None, Some(1)));
+        tr.push(
+            Time::from_us(5),
+            TraceEvent::DeadlineMiss {
+                tid: ThreadId(1),
+                job: 0,
+                deadline: Time::from_us(5),
+            },
+        );
+        assert_eq!(tr.context_switch_count(), 1);
+        assert_eq!(tr.deadline_miss_count(), 1);
+        assert_eq!(tr.deadline_misses(), vec![(Time::from_us(5), ThreadId(1))]);
+    }
+
+    #[test]
+    fn disabled_trace_counts_but_stores_nothing() {
+        let mut tr = Trace::disabled();
+        tr.push(Time::ZERO, switch(None, Some(1)));
+        assert_eq!(tr.context_switch_count(), 1);
+        assert!(tr.is_empty());
+        assert!(!tr.is_recording());
+    }
+
+    #[test]
+    fn context_switch_sequence_extraction() {
+        let mut tr = Trace::new();
+        tr.push(Time::ZERO, switch(None, Some(1)));
+        tr.push(Time::from_us(1), TraceEvent::Note("x".into()));
+        tr.push(Time::from_us(2), switch(Some(1), Some(2)));
+        assert_eq!(
+            tr.context_switch_sequence(),
+            vec![
+                (None, Some(ThreadId(1))),
+                (Some(ThreadId(1)), Some(ThreadId(2)))
+            ]
+        );
+    }
+
+    #[test]
+    fn execution_intervals_from_switches() {
+        let mut tr = Trace::new();
+        tr.push(Time::ZERO, switch(None, Some(1)));
+        tr.push(Time::from_us(4), switch(Some(1), Some(2)));
+        tr.push(Time::from_us(6), switch(Some(2), None));
+        tr.push(Time::from_us(9), switch(None, Some(1)));
+        let iv = tr.execution_intervals(Time::from_us(10));
+        assert_eq!(
+            iv,
+            vec![
+                (ThreadId(1), Time::ZERO, Time::from_us(4)),
+                (ThreadId(2), Time::from_us(4), Time::from_us(6)),
+                (ThreadId(1), Time::from_us(9), Time::from_us(10)),
+            ]
+        );
+    }
+
+    #[test]
+    fn render_is_one_line_per_event() {
+        let mut tr = Trace::new();
+        tr.push(Time::ZERO, switch(None, Some(3)));
+        tr.push(Time::from_us(1), TraceEvent::Note("hello".into()));
+        let s = tr.render();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("ctxsw idle -> T3"));
+        assert!(s.contains("hello"));
+    }
+
+    #[test]
+    fn busy_summary_utilization() {
+        let b = BusySummary {
+            window: Duration::from_ms(10),
+            busy: Duration::from_ms(4),
+        };
+        assert!((b.utilization() - 0.4).abs() < 1e-12);
+        let empty = BusySummary {
+            window: Duration::ZERO,
+            busy: Duration::ZERO,
+        };
+        assert_eq!(empty.utilization(), 0.0);
+    }
+}

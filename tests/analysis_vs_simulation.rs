@@ -1,0 +1,164 @@
+//! Cross-crate validation: the offline schedulability tests of
+//! `emeralds-sched` are *safe* with respect to the executing kernel of
+//! `emeralds-core` — a workload the analysis accepts (with the same
+//! calibrated overhead model) never misses a deadline when actually
+//! run.
+//!
+//! This is the load-bearing link for Figures 3–5: breakdown
+//! utilizations are computed analytically, so the analysis must never
+//! overpromise relative to the kernel it models.
+
+use emeralds::core::kernel::{KernelBuilder, KernelConfig};
+use emeralds::core::script::Script;
+use emeralds::core::SchedPolicy;
+use emeralds::hal::CostModel;
+use emeralds::sched::analysis::AnalysisLimits;
+use emeralds::sched::partition::{find_partition, test_partition};
+use emeralds::sched::{
+    edf_test, rm_test, InflatedTask, OverheadModel, SearchStrategy, TaskSet, TestOutcome,
+    WorkloadParams,
+};
+use emeralds::sim::{Duration, SimRng, Time};
+
+fn build_kernel(ts: &TaskSet, policy: SchedPolicy) -> emeralds::core::Kernel {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy,
+        record_trace: false,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process("w");
+    for t in ts.tasks() {
+        b.add_periodic_task(
+            p,
+            format!("t{}", t.id),
+            t.period,
+            Script::compute_only(t.wcet),
+        );
+    }
+    b.build()
+}
+
+/// Simulation horizon: a few times the longest period (full
+/// hyperperiods are astronomically long for random millisecond
+/// periods).
+fn horizon(ts: &TaskSet) -> Time {
+    Time::ZERO + ts.max_period() * 4 + Duration::from_ms(50)
+}
+
+fn workloads(count: usize, n: usize, seed: u64, util: f64) -> Vec<TaskSet> {
+    let mut rng = SimRng::seeded(seed);
+    (0..count)
+        .map(|_| {
+            WorkloadParams {
+                n,
+                period_divisor: 2,
+                base_utilization: util,
+            }
+            .generate(&mut rng)
+        })
+        .collect()
+}
+
+#[test]
+fn edf_analysis_is_safe_against_the_kernel() {
+    let ovh = OverheadModel::new(CostModel::mc68040_25mhz());
+    for (i, ts) in workloads(8, 8, 11, 0.8).into_iter().enumerate() {
+        let o = ovh.edf_per_period(ts.len());
+        let inflated: Vec<InflatedTask> = ts
+            .tasks()
+            .iter()
+            .map(|t| InflatedTask::new(t.period, t.deadline, t.wcet + o))
+            .collect();
+        if edf_test(&inflated) == TestOutcome::Schedulable {
+            let mut k = build_kernel(&ts, SchedPolicy::Edf);
+            k.run_until(horizon(&ts));
+            assert_eq!(
+                k.total_deadline_misses(),
+                0,
+                "workload {i}: EDF analysis accepted but the kernel missed"
+            );
+        }
+    }
+}
+
+#[test]
+fn rm_analysis_is_safe_against_the_kernel() {
+    let ovh = OverheadModel::new(CostModel::mc68040_25mhz());
+    for (i, ts) in workloads(8, 8, 23, 0.75).into_iter().enumerate() {
+        let o = ovh.rmq_per_period(ts.len());
+        let inflated: Vec<InflatedTask> = ts
+            .tasks()
+            .iter()
+            .map(|t| InflatedTask::new(t.period, t.deadline, t.wcet + o))
+            .collect();
+        if rm_test(&inflated) == TestOutcome::Schedulable {
+            let mut k = build_kernel(&ts, SchedPolicy::RmQueue);
+            k.run_until(horizon(&ts));
+            assert_eq!(
+                k.total_deadline_misses(),
+                0,
+                "workload {i}: RM analysis accepted but the kernel missed"
+            );
+        }
+    }
+}
+
+#[test]
+fn csd_band_analysis_is_safe_against_the_kernel() {
+    let ovh = OverheadModel::new(CostModel::mc68040_25mhz());
+    let limits = AnalysisLimits::default();
+    let mut accepted = 0;
+    for (i, ts) in workloads(10, 10, 37, 0.8).into_iter().enumerate() {
+        let Some(p) = find_partition(&ts, 2, &ovh, &SearchStrategy::TroublesomeRule, limits)
+        else {
+            continue;
+        };
+        assert_eq!(test_partition(&ts, &p, &ovh, limits), TestOutcome::Schedulable);
+        accepted += 1;
+        let boundaries = p.boundaries().to_vec();
+        let mut k = build_kernel(&ts, SchedPolicy::Csd { boundaries });
+        k.run_until(horizon(&ts));
+        assert_eq!(
+            k.total_deadline_misses(),
+            0,
+            "workload {i}: CSD band analysis accepted but the kernel missed"
+        );
+    }
+    assert!(accepted >= 5, "too few accepted workloads ({accepted}) to be meaningful");
+}
+
+/// The converse sanity: the exact RM analysis *rejects* the Table 2
+/// workload, and the kernel indeed misses — the tests are not
+/// vacuously conservative.
+#[test]
+fn rm_rejection_matches_an_actual_miss() {
+    let specs: &[(u64, u64)] = &[
+        (4, 1_000),
+        (5, 1_000),
+        (6, 1_000),
+        (7, 900),
+        (9, 300),
+        (50, 2_200),
+        (60, 1_600),
+        (100, 1_500),
+        (200, 2_000),
+        (400, 2_200),
+    ];
+    let ts = TaskSet::new(
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, c))| {
+                emeralds::sched::Task::new(i, Duration::from_ms(p), Duration::from_us(c))
+            })
+            .collect(),
+    );
+    let inflated: Vec<InflatedTask> = ts
+        .tasks()
+        .iter()
+        .map(|t| InflatedTask::new(t.period, t.deadline, t.wcet))
+        .collect();
+    assert_eq!(rm_test(&inflated), TestOutcome::Unschedulable);
+    let mut k = build_kernel(&ts, SchedPolicy::RmQueue);
+    assert!(k.run_until_miss(Time::from_ms(100)));
+}
