@@ -1,7 +1,7 @@
-//! Criterion bench: the offline analyses — schedulability tests,
+//! Micro-bench: the offline analyses — schedulability tests,
 //! partition search, and a full breakdown-utilization run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emeralds_bench::microbench::BenchGroup;
 use emeralds_hal::CostModel;
 use emeralds_sched::analysis::AnalysisLimits;
 use emeralds_sched::partition::find_partition;
@@ -28,70 +28,60 @@ fn inflated(ts: &TaskSet) -> Vec<InflatedTask> {
         .collect()
 }
 
-fn bench_tests(c: &mut Criterion) {
-    let mut g = c.benchmark_group("schedulability_tests");
+fn bench_tests() {
+    let mut g = BenchGroup::new("schedulability_tests");
     for n in [10usize, 50] {
         let ts = workload(n, 1);
         let inf = inflated(&ts);
-        g.bench_with_input(BenchmarkId::new("edf", n), &n, |b, _| {
-            b.iter(|| black_box(edf_test(&inf)))
-        });
-        g.bench_with_input(BenchmarkId::new("rm_rta", n), &n, |b, _| {
-            b.iter(|| black_box(rm_test(&inf)))
-        });
+        g.bench(format!("edf/{n}"), || black_box(edf_test(&inf)));
+        g.bench(format!("rm_rta/{n}"), || black_box(rm_test(&inf)));
     }
-    g.finish();
 }
 
-fn bench_partition_search(c: &mut Criterion) {
+fn bench_partition_search() {
     let ovh = OverheadModel::new(CostModel::mc68040_25mhz());
-    let mut g = c.benchmark_group("csd3_partition_search");
-    g.sample_size(10);
+    let mut g = BenchGroup::new("csd3_partition_search");
     for n in [20usize, 40] {
         let ts = workload(n, 2);
-        g.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(find_partition(
-                    &ts,
-                    3,
-                    &ovh,
-                    &SearchStrategy::Exhaustive,
-                    AnalysisLimits::default(),
-                ))
-            })
+        g.bench(format!("exhaustive/{n}"), || {
+            black_box(find_partition(
+                &ts,
+                3,
+                &ovh,
+                &SearchStrategy::Exhaustive,
+                AnalysisLimits::default(),
+            ))
         });
-        g.bench_with_input(BenchmarkId::new("rule", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(find_partition(
-                    &ts,
-                    3,
-                    &ovh,
-                    &SearchStrategy::TroublesomeRule,
-                    AnalysisLimits::default(),
-                ))
-            })
+        g.bench(format!("rule/{n}"), || {
+            black_box(find_partition(
+                &ts,
+                3,
+                &ovh,
+                &SearchStrategy::TroublesomeRule,
+                AnalysisLimits::default(),
+            ))
         });
     }
-    g.finish();
 }
 
-fn bench_breakdown(c: &mut Criterion) {
+fn bench_breakdown() {
     let ovh = OverheadModel::new(CostModel::mc68040_25mhz());
     let opts = BreakdownOptions::default();
     let ts = workload(20, 3);
-    let mut g = c.benchmark_group("breakdown_search");
-    g.sample_size(10);
+    let mut g = BenchGroup::new("breakdown_search");
     for sched in [
         SchedulerConfig::Edf,
         SchedulerConfig::Rm,
         SchedulerConfig::Csd(3),
     ] {
-        g.bench_function(sched.label(), |b| {
-            b.iter(|| black_box(breakdown_utilization(&ts, sched, &ovh, &opts)))
+        g.bench(sched.label(), || {
+            black_box(breakdown_utilization(&ts, sched, &ovh, &opts))
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_tests, bench_partition_search, bench_breakdown);
-criterion_main!(benches);
+fn main() {
+    bench_tests();
+    bench_partition_search();
+    bench_breakdown();
+}

@@ -1,63 +1,60 @@
-//! Criterion bench: IPC primitives — the state-message lock-free
+//! Micro-bench: IPC primitives — the state-message lock-free
 //! protocol vs mailbox queue operations, in host nanoseconds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emeralds_bench::microbench::BenchGroup;
 use emeralds_core::ipc::statemsg::protocol::{Buffer, Reader, Writer};
 use emeralds_core::ipc::{Mailbox, Message, StateMsgVar};
 use emeralds_sim::{MboxId, RegionId, StateId, ThreadId};
 use std::hint::black_box;
 
-fn bench_statemsg_protocol(c: &mut Criterion) {
-    let mut g = c.benchmark_group("statemsg_protocol");
+fn bench_statemsg_protocol() {
+    let mut g = BenchGroup::new("statemsg_protocol");
     for size in [8usize, 64, 256] {
-        g.bench_with_input(BenchmarkId::new("write", size), &size, |b, &size| {
-            let mut buf = Buffer::new(3, size);
-            b.iter(|| {
-                let mut w = Writer::start(&buf);
-                while !w.step(&mut buf) {}
-                black_box(buf.seq)
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("read", size), &size, |b, &size| {
-            let mut buf = Buffer::new(3, size);
+        let mut buf = Buffer::new(3, size);
+        g.bench(format!("write/{size}"), || {
             let mut w = Writer::start(&buf);
             while !w.step(&mut buf) {}
-            b.iter(|| {
-                let mut r = Reader::start(&buf);
-                loop {
-                    if let Some(res) = r.step(&buf) {
-                        break black_box(res);
-                    }
+            black_box(buf.seq)
+        });
+
+        let mut buf = Buffer::new(3, size);
+        let mut w = Writer::start(&buf);
+        while !w.step(&mut buf) {}
+        g.bench(format!("read/{size}"), || {
+            let mut r = Reader::start(&buf);
+            loop {
+                if let Some(res) = r.step(&buf) {
+                    break black_box(res);
                 }
-            })
+            }
         });
     }
-    g.finish();
 }
 
-fn bench_statemsg_var(c: &mut Criterion) {
-    c.bench_function("statemsg_var_write_read", |b| {
-        let mut v = StateMsgVar::new(StateId(0), ThreadId(0), RegionId(0), 16, 3);
-        b.iter(|| {
-            v.write(ThreadId(0), 7);
-            black_box(v.read())
-        })
+fn bench_statemsg_var() {
+    let mut g = BenchGroup::new("statemsg_var");
+    let mut v = StateMsgVar::new(StateId(0), ThreadId(0), RegionId(0), 16, 3);
+    g.bench("write_read", || {
+        v.write(ThreadId(0), 7);
+        black_box(v.read())
     });
 }
 
-fn bench_mailbox(c: &mut Criterion) {
-    c.bench_function("mailbox_push_pop", |b| {
-        let mut mb = Mailbox::new(MboxId(0), 8);
-        b.iter(|| {
-            mb.push(Message {
-                bytes: 16,
-                tag: 1,
-                sender: ThreadId(0),
-            });
-            black_box(mb.pop())
-        })
+fn bench_mailbox() {
+    let mut g = BenchGroup::new("mailbox");
+    let mut mb = Mailbox::new(MboxId(0), 8);
+    g.bench("push_pop", || {
+        mb.push(Message {
+            bytes: 16,
+            tag: 1,
+            sender: ThreadId(0),
+        });
+        black_box(mb.pop())
     });
 }
 
-criterion_group!(benches, bench_statemsg_protocol, bench_statemsg_var, bench_mailbox);
-criterion_main!(benches);
+fn main() {
+    bench_statemsg_protocol();
+    bench_statemsg_var();
+    bench_mailbox();
+}

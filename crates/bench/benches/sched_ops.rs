@@ -1,11 +1,11 @@
-//! Criterion bench: native cost of the scheduler data structures.
+//! Micro-bench: native cost of the scheduler data structures.
 //!
 //! The paper's Table 1 prices operations on a 25 MHz 68040; these
 //! benches measure the same operations in host nanoseconds to confirm
 //! the *shapes* — O(1) EDF block/unblock vs O(n) select, O(1) RM
 //! select vs O(n) block scan, O(log n) heap ops with larger constants.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emeralds_bench::microbench::BenchGroup;
 use emeralds_bench::table1::ready_tasks;
 use emeralds_core::sched::{EdfQueue, RmHeap, RmQueue};
 use emeralds_core::tcb::{BlockReason, QueueAssign, ThreadState};
@@ -13,101 +13,85 @@ use emeralds_hal::CostModel;
 use emeralds_sim::ThreadId;
 use std::hint::black_box;
 
-fn bench_edf_select(c: &mut Criterion) {
+fn bench_edf_select() {
     let cost = CostModel::mc68040_25mhz();
-    let mut g = c.benchmark_group("edf_select");
+    let mut g = BenchGroup::new("edf_select");
     for n in [5usize, 15, 50] {
         let tcbs = ready_tasks(n, QueueAssign::Dp(0));
         let mut q = EdfQueue::new();
         for i in 0..n {
             q.add(ThreadId(i as u32), &tcbs);
         }
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(q.select(&tcbs, &cost)))
-        });
+        g.bench(n.to_string(), || black_box(q.select(&tcbs, &cost)));
     }
-    g.finish();
 }
 
-fn bench_rm_block_unblock(c: &mut Criterion) {
+fn bench_rm_block_unblock() {
     let cost = CostModel::mc68040_25mhz();
-    let mut g = c.benchmark_group("rm_block_unblock");
+    let mut g = BenchGroup::new("rm_block_unblock");
     for n in [5usize, 15, 50] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut tcbs = ready_tasks(n, QueueAssign::Fp);
-            let mut q = RmQueue::new();
-            for i in 0..n {
-                q.add(ThreadId(i as u32), &mut tcbs);
-            }
-            b.iter(|| {
-                tcbs.get_mut(ThreadId(0)).state = ThreadState::Blocked(BlockReason::EndOfJob);
-                black_box(q.on_block(ThreadId(0), &tcbs, &cost));
-                tcbs.get_mut(ThreadId(0)).state = ThreadState::Ready;
-                black_box(q.on_unblock(ThreadId(0), &tcbs, &cost));
-            })
+        let mut tcbs = ready_tasks(n, QueueAssign::Fp);
+        let mut q = RmQueue::new();
+        for i in 0..n {
+            q.add(ThreadId(i as u32), &mut tcbs);
+        }
+        g.bench(n.to_string(), || {
+            tcbs.get_mut(ThreadId(0)).state = ThreadState::Blocked(BlockReason::EndOfJob);
+            black_box(q.on_block(ThreadId(0), &tcbs, &cost));
+            tcbs.get_mut(ThreadId(0)).state = ThreadState::Ready;
+            black_box(q.on_unblock(ThreadId(0), &tcbs, &cost));
         });
     }
-    g.finish();
 }
 
-fn bench_heap_block_unblock(c: &mut Criterion) {
+fn bench_heap_block_unblock() {
     let cost = CostModel::mc68040_25mhz();
-    let mut g = c.benchmark_group("heap_block_unblock");
+    let mut g = BenchGroup::new("heap_block_unblock");
     for n in [5usize, 15, 50] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut tcbs = ready_tasks(n, QueueAssign::Fp);
-            let mut h = RmHeap::new();
-            for i in 0..n {
-                h.add(ThreadId(i as u32), &tcbs);
-            }
-            b.iter(|| {
-                tcbs.get_mut(ThreadId(0)).state = ThreadState::Blocked(BlockReason::EndOfJob);
-                black_box(h.on_block(ThreadId(0), &tcbs, &cost));
-                tcbs.get_mut(ThreadId(0)).state = ThreadState::Ready;
-                black_box(h.on_unblock(ThreadId(0), &tcbs, &cost));
-            })
+        let mut tcbs = ready_tasks(n, QueueAssign::Fp);
+        let mut h = RmHeap::new();
+        for i in 0..n {
+            h.add(ThreadId(i as u32), &tcbs);
+        }
+        g.bench(n.to_string(), || {
+            tcbs.get_mut(ThreadId(0)).state = ThreadState::Blocked(BlockReason::EndOfJob);
+            black_box(h.on_block(ThreadId(0), &tcbs, &cost));
+            tcbs.get_mut(ThreadId(0)).state = ThreadState::Ready;
+            black_box(h.on_unblock(ThreadId(0), &tcbs, &cost));
         });
     }
-    g.finish();
 }
 
-fn bench_pi_swap_vs_walk(c: &mut Criterion) {
+fn bench_pi_swap_vs_walk() {
     let cost = CostModel::mc68040_25mhz();
-    let mut g = c.benchmark_group("pi_fp");
+    let mut g = BenchGroup::new("pi_fp");
     for n in [15usize, 50] {
-        g.bench_with_input(BenchmarkId::new("placeholder_swap", n), &n, |b, &n| {
-            let mut tcbs = ready_tasks(n, QueueAssign::Fp);
-            let mut q = RmQueue::new();
-            for i in 0..n {
-                q.add(ThreadId(i as u32), &mut tcbs);
-            }
-            let (hi, lo) = (ThreadId(0), ThreadId((n - 1) as u32));
-            b.iter(|| {
-                black_box(q.pi_swap(lo, hi, &mut tcbs, &cost));
-                black_box(q.pi_swap(lo, hi, &mut tcbs, &cost));
-            })
+        let mut tcbs = ready_tasks(n, QueueAssign::Fp);
+        let mut q = RmQueue::new();
+        for i in 0..n {
+            q.add(ThreadId(i as u32), &mut tcbs);
+        }
+        let (hi, lo) = (ThreadId(0), ThreadId((n - 1) as u32));
+        g.bench(format!("placeholder_swap/{n}"), || {
+            black_box(q.pi_swap(lo, hi, &mut tcbs, &cost));
+            black_box(q.pi_swap(lo, hi, &mut tcbs, &cost));
         });
-        g.bench_with_input(BenchmarkId::new("standard_walk", n), &n, |b, &n| {
-            let mut tcbs = ready_tasks(n, QueueAssign::Fp);
-            let mut q = RmQueue::new();
-            for i in 0..n {
-                q.add(ThreadId(i as u32), &mut tcbs);
-            }
-            let (hi, lo) = (ThreadId(0), ThreadId((n - 1) as u32));
-            b.iter(|| {
-                black_box(q.pi_raise_standard(lo, hi, &mut tcbs, &cost));
-                black_box(q.pi_restore_standard(lo, &mut tcbs, &cost));
-            })
+
+        let mut tcbs = ready_tasks(n, QueueAssign::Fp);
+        let mut q = RmQueue::new();
+        for i in 0..n {
+            q.add(ThreadId(i as u32), &mut tcbs);
+        }
+        g.bench(format!("standard_walk/{n}"), || {
+            black_box(q.pi_raise_standard(lo, hi, &mut tcbs, &cost));
+            black_box(q.pi_restore_standard(lo, &mut tcbs, &cost));
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_edf_select,
-    bench_rm_block_unblock,
-    bench_heap_block_unblock,
-    bench_pi_swap_vs_walk
-);
-criterion_main!(benches);
+fn main() {
+    bench_edf_select();
+    bench_rm_block_unblock();
+    bench_heap_block_unblock();
+    bench_pi_swap_vs_walk();
+}

@@ -1,28 +1,19 @@
-//! Criterion bench: the full contended semaphore scenario (Figure 6)
+//! Micro-bench: the full contended semaphore scenario (Figure 6)
 //! on the live kernel — one measurement per scheme and queue kind.
 //!
-//! Criterion reports host time per simulated scenario; the *virtual*
+//! This reports host time per simulated scenario; the *virtual*
 //! microseconds (the paper's Figure 11 / §6.4 numbers) come from
 //! `expts fig11` / `expts fig12`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emeralds_bench::microbench::BenchGroup;
 use emeralds_bench::semfig::{measure, QueueKind};
 use std::hint::black_box;
 
-fn bench_contended_pair(c: &mut Criterion) {
-    let mut g = c.benchmark_group("contended_pair_scenario");
-    g.sample_size(20);
+fn main() {
+    let mut g = BenchGroup::new("contended_pair_scenario");
     for (queue, name) in [(QueueKind::Dp, "dp"), (QueueKind::Fp, "fp")] {
         for len in [5usize, 15, 30] {
-            g.bench_with_input(
-                BenchmarkId::new(name, len),
-                &len,
-                |b, &len| b.iter(|| black_box(measure(queue, len))),
-            );
+            g.bench(format!("{name}/{len}"), || black_box(measure(queue, len)));
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_contended_pair);
-criterion_main!(benches);

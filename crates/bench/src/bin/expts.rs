@@ -18,8 +18,8 @@
 //! ```
 
 use emeralds_bench::{
-    breakdown_figs, csdx_expt, cyclic_expt, fig2, searchcost, semfig, statemsg_expt,
-    syscall_expt, table1, table3,
+    breakdown_figs, csdx_expt, cyclic_expt, fig2, searchcost, semfig, statemsg_expt, syscall_expt,
+    table1, table3,
 };
 use emeralds_core::footprint;
 
@@ -50,7 +50,10 @@ fn main() {
 
     match cmd {
         "table1" => print!("{}", table1::report(&[5, 10, 15, 20, 30, 40, 50])),
-        "fig2" => print!("{}", fig2::report()),
+        "fig2" => {
+            print!("{}", fig2::report());
+            write_fig2_sidecars();
+        }
         "fig3" => run_breakdown(1),
         "fig4" => run_breakdown(2),
         "fig5" => run_breakdown(3),
@@ -84,6 +87,7 @@ fn main() {
             print!("{}", table1::report(&[5, 10, 15, 20, 30, 40, 50]));
             banner("F2  Table 2 workload / Figure 2 schedule");
             print!("{}", fig2::report());
+            write_fig2_sidecars();
             banner("F3  breakdown utilization, base periods");
             run_breakdown(1);
             banner("F4  breakdown utilization, periods / 2");
@@ -123,10 +127,47 @@ fn main() {
     }
 }
 
+/// Machine-readable companions to the F2 run: a per-policy
+/// `KernelMetrics` sidecar JSON and the RM run's JSONL event trace.
+fn write_fig2_sidecars() {
+    let dir = std::path::Path::new("target/expts");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("sidecar: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let horizon = emeralds_sim::Time::from_ms(400);
+    for policy in [
+        emeralds_core::SchedPolicy::RmQueue,
+        emeralds_core::SchedPolicy::Edf,
+        emeralds_core::SchedPolicy::Csd {
+            boundaries: vec![5],
+        },
+    ] {
+        let (k, o) = fig2::run(policy, horizon);
+        let path = dir.join(format!(
+            "fig2-metrics-{}.json",
+            o.policy.to_lowercase().replace('-', "")
+        ));
+        match std::fs::write(&path, k.metrics().to_json()) {
+            Ok(()) => println!("metrics sidecar: {}", path.display()),
+            Err(e) => eprintln!("sidecar: cannot write {}: {e}", path.display()),
+        }
+        if o.policy == "RM" {
+            let path = dir.join("fig2-trace-rm.jsonl");
+            match std::fs::File::create(&path).and_then(|mut f| k.trace().write_jsonl(&mut f)) {
+                Ok(()) => println!("trace sidecar:   {}", path.display()),
+                Err(e) => eprintln!("sidecar: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
 /// Footprint of a representative application: the Table 2 workload's
 /// kernel after a run, so the pool high-water marks reflect real use.
 fn footprint_report() -> String {
-    let mut k = fig2::build(emeralds_core::SchedPolicy::Csd { boundaries: vec![5] });
+    let mut k = fig2::build(emeralds_core::SchedPolicy::Csd {
+        boundaries: vec![5],
+    });
     k.run_until(emeralds_sim::Time::from_ms(100));
     footprint::report(k.pools())
 }

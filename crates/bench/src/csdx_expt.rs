@@ -66,7 +66,9 @@ pub fn render(points: &[CsdxPoint]) -> String {
         out.push_str(&format!("{:>4} {:>12.1}\n", p.x, p.breakdown * 100.0));
     }
     if let (Some(best), Some(last)) = (
-        points.iter().max_by(|a, b| a.breakdown.total_cmp(&b.breakdown)),
+        points
+            .iter()
+            .max_by(|a, b| a.breakdown.total_cmp(&b.breakdown)),
         points.last(),
     ) {
         out.push_str(&format!(
@@ -107,9 +109,18 @@ mod tests {
     #[test]
     fn render_reports_peak() {
         let pts = vec![
-            CsdxPoint { x: 2, breakdown: 0.80 },
-            CsdxPoint { x: 3, breakdown: 0.85 },
-            CsdxPoint { x: 4, breakdown: 0.84 },
+            CsdxPoint {
+                x: 2,
+                breakdown: 0.80,
+            },
+            CsdxPoint {
+                x: 3,
+                breakdown: 0.85,
+            },
+            CsdxPoint {
+                x: 4,
+                breakdown: 0.84,
+            },
         ];
         let s = render(&pts);
         assert!(s.contains("peak at x = 3"));

@@ -33,12 +33,18 @@ pub fn workloads() -> Vec<(&'static str, TaskSet)> {
         )
     };
     vec![
-        ("harmonic (10/20/40/80 ms)", set(&[(10, 2_000), (20, 3_000), (40, 6_000), (80, 9_000)])),
+        (
+            "harmonic (10/20/40/80 ms)",
+            set(&[(10, 2_000), (20, 3_000), (40, 6_000), (80, 9_000)]),
+        ),
         (
             "mixed (10/25/60/150 ms)",
             set(&[(10, 2_000), (25, 4_000), (60, 8_000), (150, 12_000)]),
         ),
-        ("prime (7/11/13/17 ms)", set(&[(7, 800), (11, 900), (13, 900), (17, 1_000)])),
+        (
+            "prime (7/11/13/17 ms)",
+            set(&[(7, 800), (11, 900), (13, 900), (17, 1_000)]),
+        ),
     ]
 }
 
@@ -62,7 +68,9 @@ fn csd_aperiodic_response(ts: &TaskSet) -> f64 {
     let mut worst = Duration::ZERO;
     for offset_us in [0u64, 1_500, 4_200, 9_100] {
         let mut b = KernelBuilder::new(KernelConfig {
-            policy: SchedPolicy::Csd { boundaries: vec![1] },
+            policy: SchedPolicy::Csd {
+                boundaries: vec![1],
+            },
             record_trace: false,
             ..KernelConfig::default()
         });
@@ -85,7 +93,12 @@ fn csd_aperiodic_response(ts: &TaskSet) -> f64 {
             Script::looping(vec![Action::AcquireSem(go), Action::Compute(ms(1))]),
         );
         for t in ts.tasks() {
-            b.add_periodic_task(p, format!("t{}", t.id), t.period, Script::compute_only(t.wcet));
+            b.add_periodic_task(
+                p,
+                format!("t{}", t.id),
+                t.period,
+                Script::compute_only(t.wcet),
+            );
         }
         let mut k = b.build();
         // Drain the counting semaphore's initial permit before the
@@ -119,7 +132,9 @@ fn csd_aperiodic_response(ts: &TaskSet) -> f64 {
 /// agree exactly).
 fn rebuild(ts: &TaskSet, fired: Time) -> emeralds_core::Kernel {
     let mut b = KernelBuilder::new(KernelConfig {
-        policy: SchedPolicy::Csd { boundaries: vec![1] },
+        policy: SchedPolicy::Csd {
+            boundaries: vec![1],
+        },
         record_trace: false,
         ..KernelConfig::default()
     });
@@ -139,7 +154,12 @@ fn rebuild(ts: &TaskSet, fired: Time) -> emeralds_core::Kernel {
         Script::looping(vec![Action::AcquireSem(go), Action::Compute(ms(1))]),
     );
     for t in ts.tasks() {
-        b.add_periodic_task(p, format!("t{}", t.id), t.period, Script::compute_only(t.wcet));
+        b.add_periodic_task(
+            p,
+            format!("t{}", t.id),
+            t.period,
+            Script::compute_only(t.wcet),
+        );
     }
     b.build()
 }
@@ -150,9 +170,7 @@ pub fn compute() -> Vec<CyclicRow> {
     workloads()
         .into_iter()
         .map(|(name, ts)| {
-            let table = build_schedule(&ts, 4_096).map(|s| {
-                (s.frame_count(), s.table_bytes())
-            });
+            let table = build_schedule(&ts, 4_096).map(|s| (s.frame_count(), s.table_bytes()));
             let cyclic_aperiodic_us = build_schedule(&ts, 4_096).ok().map(|s| {
                 let r = s.aperiodic_response_background(ms(1));
                 if r == Duration::MAX {
@@ -193,7 +211,13 @@ pub fn render(rows: &[CyclicRow]) -> String {
         };
         let cy = r
             .cyclic_aperiodic_us
-            .map(|v| if v.is_infinite() { "never".into() } else { format!("{v:.0}") })
+            .map(|v| {
+                if v.is_infinite() {
+                    "never".into()
+                } else {
+                    format!("{v:.0}")
+                }
+            })
             .unwrap_or_else(|| "-".into());
         out.push_str(&format!(
             "{:<28} {:>18} {:>16} {:>14.0}\n",
@@ -239,7 +263,10 @@ mod tests {
         let prime = &rows[2];
         match &prime.table {
             Ok((frames, bytes)) => {
-                assert!(*frames > 500 || *bytes > 2_000, "{frames} frames / {bytes}B");
+                assert!(
+                    *frames > 500 || *bytes > 2_000,
+                    "{frames} frames / {bytes}B"
+                );
             }
             Err(CyclicError::TableTooLarge { .. }) => {}
             Err(e) => panic!("unexpected {e:?}"),

@@ -96,8 +96,9 @@ pub fn ascii_timeline(k: &Kernel, upto: Time, cols: usize) -> String {
         }
         let c0 = (a.as_ns() as f64 / per_col) as usize;
         let c1 = ((b.min(upto).as_ns() as f64 / per_col).ceil() as usize).min(cols);
-        for c in c0..c1.max(c0 + 1).min(cols) {
-            rows[tid.index()][c] = '#';
+        let row = &mut rows[tid.index()];
+        for cell in &mut row[c0..c1.max(c0 + 1).min(cols)] {
+            *cell = '#';
         }
     }
     let mut s = String::new();
@@ -108,7 +109,11 @@ pub fn ascii_timeline(k: &Kernel, upto: Time, cols: usize) -> String {
         per_col / 1e6
     ));
     for (i, row) in rows.iter().enumerate() {
-        s.push_str(&format!("tau{:<2} |{}|\n", i + 1, row.iter().collect::<String>()));
+        s.push_str(&format!(
+            "tau{:<2} |{}|\n",
+            i + 1,
+            row.iter().collect::<String>()
+        ));
     }
     s
 }
@@ -127,7 +132,9 @@ pub fn report() -> String {
     for policy in [
         SchedPolicy::RmQueue,
         SchedPolicy::Edf,
-        SchedPolicy::Csd { boundaries: vec![5] },
+        SchedPolicy::Csd {
+            boundaries: vec![5],
+        },
     ] {
         let (_, o) = run(policy, horizon);
         let first = o
@@ -139,9 +146,7 @@ pub fn report() -> String {
             o.policy, o.misses, first, o.scheduler_overhead_us, o.context_switches
         ));
     }
-    out.push_str(
-        "\npaper: feasible under EDF, infeasible under RM — tau5 misses its deadline\n",
-    );
+    out.push_str("\npaper: feasible under EDF, infeasible under RM — tau5 misses its deadline\n");
     out
 }
 
@@ -151,7 +156,11 @@ mod tests {
 
     #[test]
     fn utilization_is_088() {
-        assert!((utilization() - 0.88).abs() < 0.005, "U = {}", utilization());
+        assert!(
+            (utilization() - 0.88).abs() < 0.005,
+            "U = {}",
+            utilization()
+        );
     }
 
     #[test]
@@ -161,7 +170,12 @@ mod tests {
         assert_eq!(rm.first_miss.unwrap().1, ThreadId(4));
         let (_, edf) = run(SchedPolicy::Edf, Time::from_ms(400));
         assert_eq!(edf.misses, 0);
-        let (_, csd) = run(SchedPolicy::Csd { boundaries: vec![5] }, Time::from_ms(400));
+        let (_, csd) = run(
+            SchedPolicy::Csd {
+                boundaries: vec![5],
+            },
+            Time::from_ms(400),
+        );
         assert_eq!(csd.misses, 0);
     }
 

@@ -22,6 +22,7 @@ pub mod breakdown_figs;
 pub mod csdx_expt;
 pub mod cyclic_expt;
 pub mod fig2;
+pub mod microbench;
 pub mod searchcost;
 pub mod semfig;
 pub mod statemsg_expt;

@@ -1,0 +1,63 @@
+//! Minimal self-timed micro-benchmark harness.
+//!
+//! The original seed used criterion; this container builds fully
+//! offline, so the benches run on a dependency-free harness instead:
+//! warm up, then time adaptive batches with `std::time::Instant` until
+//! a target measuring window is filled, and report ns/iter. The point
+//! of these benches is *shape* confirmation (O(1) vs O(n) vs O(log n)),
+//! not publishable absolute numbers, so a simple median-of-batches
+//! estimator is plenty.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring each benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(60);
+/// Wall-clock spent warming up each benchmark.
+const WARMUP_WINDOW: Duration = Duration::from_millis(15);
+
+/// One benchmark group; prints rows as `group/label ... ns/iter`.
+pub struct BenchGroup {
+    name: String,
+}
+
+impl BenchGroup {
+    /// Starts a named group.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchGroup { name }
+    }
+
+    /// Times `f` and prints its per-iteration cost.
+    pub fn bench<T>(&mut self, label: impl AsRef<str>, mut f: impl FnMut() -> T) {
+        let ns = time_ns(&mut f);
+        println!("{}/{:<28} {:>12.1} ns/iter", self.name, label.as_ref(), ns);
+    }
+}
+
+/// Median ns/iter over adaptive batches of `f`.
+fn time_ns<T>(f: &mut impl FnMut() -> T) -> f64 {
+    // Warm up and size the batch so one batch takes ~1/20 of the
+    // measurement window.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < WARMUP_WINDOW || warm_iters == 0 {
+        black_box(f());
+        warm_iters += 1;
+    }
+    let per_iter = WARMUP_WINDOW.as_nanos() as f64 / warm_iters as f64;
+    let batch = ((MEASURE_WINDOW.as_nanos() as f64 / 20.0 / per_iter.max(1.0)) as u64).max(1);
+
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < MEASURE_WINDOW || samples.is_empty() {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}

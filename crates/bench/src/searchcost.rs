@@ -85,7 +85,10 @@ mod tests {
     fn search_times_and_finds() {
         let pts = sweep(&[10, 20], 7);
         assert_eq!(pts.len(), 2);
-        assert!(pts.iter().all(|p| p.found), "moderate workloads must partition");
+        assert!(
+            pts.iter().all(|p| p.found),
+            "moderate workloads must partition"
+        );
         let s = render(&pts);
         assert!(s.contains("partition search"));
     }

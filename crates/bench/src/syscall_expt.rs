@@ -32,10 +32,13 @@ impl SyscallRow {
 
 fn run_workload(cost: CostModel, with_ipc: bool) -> f64 {
     let mut b = KernelBuilder::new(KernelConfig {
-        policy: SchedPolicy::Csd { boundaries: vec![1] },
+        policy: SchedPolicy::Csd {
+            boundaries: vec![1],
+        },
         sem_scheme: SemScheme::Emeralds,
         cost,
         record_trace: false,
+        ..KernelConfig::default()
     });
     let p = b.add_process("w");
     let lock = b.add_mutex();

@@ -202,7 +202,10 @@ mod tests {
                         assert!((m - exact).abs() < 1e-9, "n={n}: {m} != {exact}");
                         assert!(m <= f + 1e-9);
                     } else {
-                        assert!((m - f).abs() < 1e-9, "n={n} impl={impl_idx} op={op}: {m} != {f}");
+                        assert!(
+                            (m - f).abs() < 1e-9,
+                            "n={n} impl={impl_idx} op={op}: {m} != {f}"
+                        );
                     }
                 }
             }

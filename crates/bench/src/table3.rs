@@ -64,22 +64,12 @@ fn build(shape: Shape) -> (TcbTable, CsdSched) {
     (tcbs, sched)
 }
 
-fn block(
-    sched: &mut CsdSched,
-    tcbs: &mut TcbTable,
-    tid: ThreadId,
-    cost: &CostModel,
-) -> Duration {
+fn block(sched: &mut CsdSched, tcbs: &mut TcbTable, tid: ThreadId, cost: &CostModel) -> Duration {
     tcbs.get_mut(tid).state = ThreadState::Blocked(BlockReason::EndOfJob);
     sched.on_block(tid, tcbs, cost)
 }
 
-fn unblock(
-    sched: &mut CsdSched,
-    tcbs: &mut TcbTable,
-    tid: ThreadId,
-    cost: &CostModel,
-) -> Duration {
+fn unblock(sched: &mut CsdSched, tcbs: &mut TcbTable, tid: ThreadId, cost: &CostModel) -> Duration {
     tcbs.get_mut(tid).state = ThreadState::Ready;
     sched.on_unblock(tid, tcbs, cost)
 }
@@ -203,7 +193,8 @@ mod tests {
         let cost = CostModel::mc68040_25mhz();
         let rows = measure(shape);
         let parse = cost.csd_queue_parse.as_us_f64();
-        let edf = |k: usize| (cost.edf_select_fixed + cost.edf_select_per_node * k as u64).as_us_f64();
+        let edf =
+            |k: usize| (cost.edf_select_fixed + cost.edf_select_per_node * k as u64).as_us_f64();
         // DP1 blocks: t_b O(1); select skips DP1, walks DP2 (r-q).
         assert!((rows[0].t_b_or_u - 1.6).abs() < 1e-9);
         assert!((rows[0].t_s - (2.0 * parse + edf(shape.r - shape.q))).abs() < 1e-9);
@@ -217,7 +208,11 @@ mod tests {
         let fp_len = shape.n - shape.r;
         let want_tb =
             (cost.rmq_block_fixed + cost.rmq_block_per_node * (fp_len - 1) as u64).as_us_f64();
-        assert!((rows[3].t_b_or_u - want_tb).abs() < 1e-9, "{} vs {want_tb}", rows[3].t_b_or_u);
+        assert!(
+            (rows[3].t_b_or_u - want_tb).abs() < 1e-9,
+            "{} vs {want_tb}",
+            rows[3].t_b_or_u
+        );
         // FP blocks: select = 3 parses + highestp.
         assert!((rows[3].t_s - (3.0 * parse + 0.6)).abs() < 1e-9);
         // FP unblocks: select walks DP1 (first ready queue).

@@ -85,11 +85,7 @@ pub fn report(pools: &PoolSet) -> String {
     for &(name, bytes) in ROM_BUDGET {
         s.push_str(&format!("  {name:<44} {bytes:>6} B\n"));
     }
-    s.push_str(&format!(
-        "  {:<44} {:>6} B\n\n",
-        "TOTAL",
-        rom_total()
-    ));
+    s.push_str(&format!("  {:<44} {:>6} B\n\n", "TOTAL", rom_total()));
     s.push_str("Kernel object sizes (target model vs host simulation struct)\n");
     for r in object_rows() {
         s.push_str(&format!(

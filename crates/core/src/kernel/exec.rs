@@ -210,11 +210,7 @@ impl Kernel {
             let t = self.tcbs.get_mut(tid);
             t.missed_current = true;
             t.deadline_misses += 1;
-            self.record(TraceEvent::DeadlineMiss {
-                tid,
-                job,
-                deadline: dl,
-            });
+            self.note_deadline_miss(tid, job, dl);
         }
     }
 
@@ -267,11 +263,7 @@ impl Kernel {
                     t.deadline_misses += 1;
                     (t.job, t.abs_deadline)
                 };
-                self.record(TraceEvent::DeadlineMiss {
-                    tid,
-                    job,
-                    deadline: dl,
-                });
+                self.note_deadline_miss(tid, job, dl);
             }
             return;
         }
@@ -283,6 +275,7 @@ impl Kernel {
             t.abs_deadline = now + deadline;
             t.job_done = false;
             t.missed_current = false;
+            t.dispatched = false;
             t.pc = 0;
             t.compute_left = emeralds_sim::Duration::ZERO;
             t.job
@@ -337,6 +330,15 @@ impl Kernel {
                 to: next,
             });
             self.current = next;
+            // First dispatch of a job: record its release→run latency.
+            if let Some(n) = next {
+                let now = self.clock.now();
+                let t = self.tcbs.get_mut(n);
+                if !t.dispatched {
+                    t.dispatched = true;
+                    t.dispatch_hist.record(now.saturating_since(t.job_release));
+                }
+            }
         }
     }
 
@@ -388,8 +390,10 @@ impl Kernel {
                     // The hint check itself is semaphore bookkeeping.
                     self.charge(OverheadKind::Semaphore, self.cfg.cost.sem_logic);
                     if !self.sems[s.index()].available() {
-                        let holder = self.sems[s.index()].holder.expect("locked mutex has holder");
-                        self.do_priority_inheritance(s, tid);
+                        let holder = self.sems[s.index()]
+                            .holder
+                            .expect("locked mutex has holder");
+                        let boosted = self.do_priority_inheritance(s, tid);
                         let key = self.prio_key(tid);
                         let keys: Vec<u128> = self.sems[s.index()]
                             .waiters
@@ -399,16 +403,18 @@ impl Kernel {
                         let waiters = &mut self.sems[s.index()];
                         let pos = keys.iter().position(|&k| k > key).unwrap_or(keys.len());
                         waiters.waiters.insert(pos, tid);
-                        self.tcbs.get_mut(tid).state =
-                            ThreadState::Blocked(BlockReason::Sem(s));
+                        self.tcbs.get_mut(tid).state = ThreadState::Blocked(BlockReason::Sem(s));
                         self.record(TraceEvent::EarlyInherit {
                             waiter: tid,
                             holder,
                             sem: s,
                         });
-                        // The holder may have risen above the running
-                        // thread.
-                        self.reschedule();
+                        // The thread stays blocked, so the only way
+                        // scheduler state changed is a holder boost:
+                        // invoke the scheduler only then.
+                        if boosted {
+                            self.reschedule();
+                        }
                         return;
                     }
                     self.sems[s.index()].prelock_add(tid);

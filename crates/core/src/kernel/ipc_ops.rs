@@ -110,7 +110,10 @@ impl Kernel {
                 let pending = self.pending_send[snd.index()]
                     .take()
                     .expect("parked sender has a pending message");
-                self.charge(OverheadKind::IpcCopy, self.cfg.cost.mbox_copy(pending.bytes));
+                self.charge(
+                    OverheadKind::IpcCopy,
+                    self.cfg.cost.mbox_copy(pending.bytes),
+                );
                 self.mboxes[mb.index()].push(pending);
                 self.record(TraceEvent::MboxSend {
                     tid: snd,
@@ -263,7 +266,10 @@ impl Kernel {
             let pending = self.pending_send[snd.index()]
                 .take()
                 .expect("parked sender has a pending message");
-            self.charge(OverheadKind::IpcCopy, self.cfg.cost.mbox_copy(pending.bytes));
+            self.charge(
+                OverheadKind::IpcCopy,
+                self.cfg.cost.mbox_copy(pending.bytes),
+            );
             self.mboxes[mb.index()].push(pending);
             self.complete_blocking_call(snd);
         }
@@ -337,6 +343,7 @@ impl Kernel {
                         } else {
                             t.granted_sem = Some(s);
                         }
+                        self.counters.sem_handed_over += 1;
                         self.record(TraceEvent::SemAcquired { tid: w, sem: s });
                         self.make_ready(w);
                         self.reschedule();

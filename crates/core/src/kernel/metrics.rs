@@ -1,0 +1,459 @@
+//! Kernel observability: per-service counters, metrics snapshots, and
+//! deadline-miss forensics.
+//!
+//! The paper evaluates EMERALDS by counting what the kernel *does* —
+//! context switches avoided (Figures 6–10), semaphore-path operations
+//! (Figure 11), state-message copies (§7) — so the reproduction keeps
+//! those counts as first-class kernel state. [`ServiceCounters`] is
+//! updated on every recorded [`TraceEvent`] (even when trace storage is
+//! disabled or bounded), [`Kernel::metrics`] snapshots them together
+//! with per-task timing histograms, and a [`MissReport`] captures the
+//! last-K event window plus the ready-queue state whenever a deadline
+//! is missed, so a failing test prints *why*.
+
+use emeralds_sim::{Duration, ThreadId, Time, TraceEvent};
+
+use crate::kernel::Kernel;
+use crate::tcb::{ThreadState, Timing};
+
+/// Bound on retained [`MissReport`]s: forensics must not turn into an
+/// unbounded log on a pathological workload.
+pub const MAX_MISS_REPORTS: usize = 8;
+
+/// Live event counters, one per kernel service. Updated by
+/// [`Kernel::record`] on every event, independent of whether the trace
+/// stores it, so they are exact for arbitrarily long runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    // --- System calls by kind ---
+    pub sys_acquire_sem: u64,
+    pub sys_release_sem: u64,
+    pub sys_cond_wait: u64,
+    pub sys_cond_signal: u64,
+    pub sys_mbox_send: u64,
+    pub sys_mbox_recv: u64,
+    pub sys_event_signal: u64,
+    pub sys_event_wait: u64,
+    pub sys_wait_irq: u64,
+    pub sys_sleep: u64,
+    /// Syscalls recorded under a name not listed above.
+    pub sys_other: u64,
+
+    // --- Semaphore path ---
+    /// Successful acquisitions (uncontended + handed over).
+    pub sem_acquired: u64,
+    /// Acquires that found the semaphore held and blocked.
+    pub sem_contended: u64,
+    /// Grants made directly to a blocked waiter (lock passing); bumped
+    /// explicitly by the grant paths, not derived from the trace.
+    pub sem_handed_over: u64,
+    pub sem_released: u64,
+    /// §6.2 early inheritance performed at the preceding blocking call.
+    pub early_inherits: u64,
+    /// §6.3.1 pre-lock queue admissions.
+    pub prelock_admits: u64,
+    /// §6.3.1 pre-lock members parked because a peer took the lock.
+    pub prelock_blocks: u64,
+    pub priority_inherits: u64,
+    pub priority_restores: u64,
+
+    // --- IPC ---
+    pub mbox_sends: u64,
+    pub mbox_recvs: u64,
+    pub statemsg_writes: u64,
+    pub statemsg_reads: u64,
+    /// Reader restarts due to a writer wrapping the buffer mid-read.
+    /// Structurally zero in-kernel: buffers are sized by
+    /// [`crate::ipc::required_depth`], which is the §7 guarantee this
+    /// counter exists to check.
+    pub statemsg_retries: u64,
+    pub cv_waits: u64,
+    pub cv_signals: u64,
+    pub event_signals: u64,
+
+    // --- Interrupts / protection ---
+    pub irq_raised: u64,
+    pub irq_dispatched: u64,
+    pub protection_faults: u64,
+}
+
+impl ServiceCounters {
+    /// Folds one recorded event into the counters.
+    pub fn observe(&mut self, e: &TraceEvent) {
+        match e {
+            TraceEvent::Syscall { name, .. } => match *name {
+                "acquire_sem" => self.sys_acquire_sem += 1,
+                "release_sem" => self.sys_release_sem += 1,
+                "cond_wait" => self.sys_cond_wait += 1,
+                "cond_signal" => self.sys_cond_signal += 1,
+                "mbox_send" => self.sys_mbox_send += 1,
+                "mbox_recv" => self.sys_mbox_recv += 1,
+                "event_signal" => self.sys_event_signal += 1,
+                "event_wait" => self.sys_event_wait += 1,
+                "wait_irq" => self.sys_wait_irq += 1,
+                "sleep" => self.sys_sleep += 1,
+                _ => self.sys_other += 1,
+            },
+            TraceEvent::SemAcquired { .. } => self.sem_acquired += 1,
+            TraceEvent::SemBlocked { .. } => self.sem_contended += 1,
+            TraceEvent::SemReleased { .. } => self.sem_released += 1,
+            TraceEvent::EarlyInherit { .. } => self.early_inherits += 1,
+            TraceEvent::PreLockAdmit { .. } => self.prelock_admits += 1,
+            TraceEvent::PreLockBlock { .. } => self.prelock_blocks += 1,
+            TraceEvent::PriorityInherit { .. } => self.priority_inherits += 1,
+            TraceEvent::PriorityRestore { .. } => self.priority_restores += 1,
+            TraceEvent::MboxSend { .. } => self.mbox_sends += 1,
+            TraceEvent::MboxRecv { .. } => self.mbox_recvs += 1,
+            TraceEvent::StateWrite { .. } => self.statemsg_writes += 1,
+            TraceEvent::StateRead { .. } => self.statemsg_reads += 1,
+            TraceEvent::CvWait { .. } => self.cv_waits += 1,
+            TraceEvent::CvSignal { .. } => self.cv_signals += 1,
+            TraceEvent::EventSignal { .. } => self.event_signals += 1,
+            TraceEvent::IrqRaised { .. } => self.irq_raised += 1,
+            TraceEvent::IrqHandled { .. } => self.irq_dispatched += 1,
+            TraceEvent::ProtectionFault { .. } => self.protection_faults += 1,
+            _ => {}
+        }
+    }
+
+    /// Total system calls across all kinds.
+    pub fn syscall_total(&self) -> u64 {
+        self.sys_acquire_sem
+            + self.sys_release_sem
+            + self.sys_cond_wait
+            + self.sys_cond_signal
+            + self.sys_mbox_send
+            + self.sys_mbox_recv
+            + self.sys_event_signal
+            + self.sys_event_wait
+            + self.sys_wait_irq
+            + self.sys_sleep
+            + self.sys_other
+    }
+
+    /// Acquisitions that succeeded without a prior grant: total
+    /// acquired minus the hand-overs.
+    pub fn sem_uncontended(&self) -> u64 {
+        self.sem_acquired - self.sem_handed_over
+    }
+
+    /// Named `(label, value)` pairs, in a stable order, for rendering
+    /// and serialization.
+    pub fn entries(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("sys_acquire_sem", self.sys_acquire_sem),
+            ("sys_release_sem", self.sys_release_sem),
+            ("sys_cond_wait", self.sys_cond_wait),
+            ("sys_cond_signal", self.sys_cond_signal),
+            ("sys_mbox_send", self.sys_mbox_send),
+            ("sys_mbox_recv", self.sys_mbox_recv),
+            ("sys_event_signal", self.sys_event_signal),
+            ("sys_event_wait", self.sys_event_wait),
+            ("sys_wait_irq", self.sys_wait_irq),
+            ("sys_sleep", self.sys_sleep),
+            ("sys_other", self.sys_other),
+            ("sem_acquired", self.sem_acquired),
+            ("sem_uncontended", self.sem_uncontended()),
+            ("sem_contended", self.sem_contended),
+            ("sem_handed_over", self.sem_handed_over),
+            ("sem_released", self.sem_released),
+            ("early_inherits", self.early_inherits),
+            ("prelock_admits", self.prelock_admits),
+            ("prelock_blocks", self.prelock_blocks),
+            ("priority_inherits", self.priority_inherits),
+            ("priority_restores", self.priority_restores),
+            ("mbox_sends", self.mbox_sends),
+            ("mbox_recvs", self.mbox_recvs),
+            ("statemsg_writes", self.statemsg_writes),
+            ("statemsg_reads", self.statemsg_reads),
+            ("statemsg_retries", self.statemsg_retries),
+            ("cv_waits", self.cv_waits),
+            ("cv_signals", self.cv_signals),
+            ("event_signals", self.event_signals),
+            ("irq_raised", self.irq_raised),
+            ("irq_dispatched", self.irq_dispatched),
+            ("protection_faults", self.protection_faults),
+        ]
+    }
+}
+
+/// Per-task slice of a metrics snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskMetrics {
+    pub tid: ThreadId,
+    pub name: String,
+    pub jobs_completed: u64,
+    pub deadline_misses: u64,
+    pub cpu_time: Duration,
+    /// Worst release→completion response.
+    pub max_response: Duration,
+    pub mean_response: Duration,
+    /// Upper bound on the 99th-percentile response.
+    pub p99_response: Duration,
+    /// Worst release→first-dispatch latency.
+    pub max_dispatch_latency: Duration,
+    pub mean_dispatch_latency: Duration,
+}
+
+/// A point-in-time snapshot of everything the kernel counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelMetrics {
+    pub now: Time,
+    pub context_switches: u64,
+    pub deadline_misses: u64,
+    /// CPU time spent in application computation.
+    pub app_time: Duration,
+    /// CPU time spent idle.
+    pub idle_time: Duration,
+    /// CPU time spent in kernel paths (all overhead kinds).
+    pub total_overhead: Duration,
+    pub counters: ServiceCounters,
+    pub tasks: Vec<TaskMetrics>,
+    /// Events the trace saw but no longer stores (ring eviction or
+    /// disabled recording).
+    pub trace_dropped: u64,
+}
+
+impl KernelMetrics {
+    /// Renders the snapshot as a human-readable report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "kernel metrics @ {} | ctxsw {} | misses {} | app {} | overhead {} | idle {}\n",
+            self.now,
+            self.context_switches,
+            self.deadline_misses,
+            self.app_time,
+            self.total_overhead,
+            self.idle_time
+        ));
+        s.push_str("service counters:\n");
+        for (label, v) in self.counters.entries() {
+            if v != 0 {
+                s.push_str(&format!("  {label:<20} {v}\n"));
+            }
+        }
+        s.push_str("tasks:\n");
+        for t in &self.tasks {
+            s.push_str(&format!(
+                "  {} {:<12} jobs {:<6} misses {:<3} cpu {:<12} resp max {} mean {} p99<= {} dispatch max {}\n",
+                t.tid,
+                t.name,
+                t.jobs_completed,
+                t.deadline_misses,
+                t.cpu_time.to_string(),
+                t.max_response,
+                t.mean_response,
+                t.p99_response,
+                t.max_dispatch_latency,
+            ));
+        }
+        s
+    }
+
+    /// Serializes the snapshot as one JSON object (hand-rolled; no
+    /// external dependencies). Durations are reported in nanoseconds.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{{\n  \"now_ns\": {},\n  \"context_switches\": {},\n  \"deadline_misses\": {},\n  \"app_ns\": {},\n  \"idle_ns\": {},\n  \"overhead_ns\": {},\n  \"trace_dropped\": {},\n",
+            self.now.as_ns(),
+            self.context_switches,
+            self.deadline_misses,
+            self.app_time.as_ns(),
+            self.idle_time.as_ns(),
+            self.total_overhead.as_ns(),
+            self.trace_dropped
+        ));
+        s.push_str("  \"counters\": {");
+        let entries = self.counters.entries();
+        for (i, (label, v)) in entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{label}\": {v}"));
+        }
+        s.push_str("\n  },\n  \"tasks\": [");
+        for (i, t) in self.tasks.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"tid\": {}, \"name\": \"{}\", \"jobs_completed\": {}, \"deadline_misses\": {}, \"cpu_ns\": {}, \"max_response_ns\": {}, \"mean_response_ns\": {}, \"p99_response_ns\": {}, \"max_dispatch_latency_ns\": {}, \"mean_dispatch_latency_ns\": {}}}",
+                t.tid.0,
+                t.name,
+                t.jobs_completed,
+                t.deadline_misses,
+                t.cpu_time.as_ns(),
+                t.max_response.as_ns(),
+                t.mean_response.as_ns(),
+                t.p99_response.as_ns(),
+                t.max_dispatch_latency.as_ns(),
+                t.mean_dispatch_latency.as_ns()
+            ));
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+/// One task's state at the instant of a deadline miss.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskSnapshot {
+    pub tid: ThreadId,
+    pub name: String,
+    pub ready: bool,
+    /// Debug rendering of the thread state (block reason included).
+    pub state: String,
+    pub pc: usize,
+    pub effective_deadline: Time,
+}
+
+/// Forensic capture of a deadline miss: what was running, who was
+/// ready, and the last-K trace window leading up to the miss.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MissReport {
+    pub at: Time,
+    pub tid: ThreadId,
+    pub name: String,
+    pub job: u64,
+    pub deadline: Time,
+    pub release: Time,
+    pub running: Option<ThreadId>,
+    pub tasks: Vec<TaskSnapshot>,
+    /// The last-K events (K = `KernelConfig::miss_window`), miss
+    /// included; empty when the trace stores nothing.
+    pub window: Vec<(Time, TraceEvent)>,
+    /// Events that had already been evicted before the capture.
+    pub dropped_before_window: u64,
+}
+
+impl MissReport {
+    /// Renders the report as an actionable multi-line diagnosis.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "DEADLINE MISS: {} \"{}\" job {} missed deadline {} (released {}, detected {})\n",
+            self.tid, self.name, self.job, self.deadline, self.release, self.at
+        ));
+        match self.running {
+            Some(r) if r == self.tid => s.push_str("  the missing task itself was running\n"),
+            Some(r) => s.push_str(&format!("  running at detection: {r}\n")),
+            None => s.push_str("  CPU idle at detection\n"),
+        }
+        s.push_str("  task states:\n");
+        for t in &self.tasks {
+            s.push_str(&format!(
+                "    {} {:<12} {:<9} pc={:<3} eff.deadline={} {}\n",
+                t.tid,
+                t.name,
+                if t.ready { "READY" } else { "blocked" },
+                t.pc,
+                t.effective_deadline,
+                if t.ready { "" } else { t.state.as_str() }
+            ));
+        }
+        if self.window.is_empty() {
+            s.push_str("  (trace recording disabled: no event window captured)\n");
+        } else {
+            s.push_str(&format!("  last {} events:\n", self.window.len()));
+            for (t, e) in &self.window {
+                s.push_str(&format!("    [{:>12}] {}\n", t.to_string(), e.describe()));
+            }
+            if self.dropped_before_window > 0 {
+                s.push_str(&format!(
+                    "  ({} earlier events not retained)\n",
+                    self.dropped_before_window
+                ));
+            }
+        }
+        s
+    }
+}
+
+impl Kernel {
+    /// Live per-service counters (cheap to read at any time).
+    pub fn counters(&self) -> &ServiceCounters {
+        &self.counters
+    }
+
+    /// Deadline-miss forensic reports, oldest first (at most
+    /// [`MAX_MISS_REPORTS`] are retained).
+    pub fn miss_reports(&self) -> &[MissReport] {
+        &self.miss_reports
+    }
+
+    /// Snapshots every kernel counter and per-task statistic.
+    pub fn metrics(&self) -> KernelMetrics {
+        let mut counters = self.counters.clone();
+        // The wait-free state-message reader never restarts when the
+        // buffer is deep enough; surface the per-variable check anyway.
+        counters.statemsg_retries = self.statemsgs.iter().map(|v| v.retries()).sum();
+        let tasks = self
+            .tcbs
+            .iter()
+            .map(|t| TaskMetrics {
+                tid: t.id,
+                name: t.name.clone(),
+                jobs_completed: t.jobs_completed,
+                deadline_misses: t.deadline_misses,
+                cpu_time: t.cpu_time,
+                max_response: t.max_response,
+                mean_response: t.response_hist.mean(),
+                p99_response: t.response_hist.quantile_bound(0.99),
+                max_dispatch_latency: t.dispatch_hist.max(),
+                mean_dispatch_latency: t.dispatch_hist.mean(),
+            })
+            .collect();
+        KernelMetrics {
+            now: self.clock.now(),
+            context_switches: self.trace.context_switch_count(),
+            deadline_misses: self.trace.deadline_miss_count(),
+            app_time: self.acct.app,
+            idle_time: self.acct.idle,
+            total_overhead: self.acct.total_overhead(),
+            counters,
+            tasks,
+            trace_dropped: self.trace.dropped(),
+        }
+    }
+
+    /// Records a deadline miss and captures its forensic report.
+    /// Called from the two miss-detection sites (the constrained
+    /// deadline check and the overrun-at-release check).
+    pub(crate) fn note_deadline_miss(&mut self, tid: ThreadId, job: u64, deadline: Time) {
+        self.record(TraceEvent::DeadlineMiss { tid, job, deadline });
+        if self.miss_reports.len() >= MAX_MISS_REPORTS {
+            return;
+        }
+        let window = self.trace.recent(self.cfg.miss_window);
+        let tasks = self
+            .tcbs
+            .iter()
+            .map(|t| TaskSnapshot {
+                tid: t.id,
+                name: t.name.clone(),
+                ready: t.state == ThreadState::Ready,
+                state: format!("{:?}", t.state),
+                pc: t.pc,
+                effective_deadline: t.effective_deadline(),
+            })
+            .collect();
+        let release = match self.tcbs.get(tid).timing {
+            Timing::Periodic { .. } => self.tcbs.get(tid).job_release,
+            Timing::EventDriven { .. } => Time::ZERO,
+        };
+        self.miss_reports.push(MissReport {
+            at: self.clock.now(),
+            tid,
+            name: self.tcbs.get(tid).name.clone(),
+            job,
+            deadline,
+            release,
+            running: self.current,
+            tasks,
+            window,
+            dropped_before_window: self.trace.dropped(),
+        });
+    }
+}

@@ -11,9 +11,14 @@
 
 mod exec;
 mod ipc_ops;
+mod metrics;
 mod sem_ops;
 #[cfg(test)]
 mod tests;
+
+pub use metrics::{
+    KernelMetrics, MissReport, ServiceCounters, TaskMetrics, TaskSnapshot, MAX_MISS_REPORTS,
+};
 
 use emeralds_hal::{Board, BoardConfig, Clock, CostModel, Perms};
 use emeralds_sim::{
@@ -26,10 +31,10 @@ use crate::ipc::{Mailbox, SharedRegion, StateMsgVar};
 use crate::parser;
 use crate::proc::Process;
 use crate::sched::{SchedPolicy, SchedulerImpl};
-use crate::timerq::TimerQueue;
 use crate::script::{Script, ScriptKind};
 use crate::sync::{CondVar, SemScheme, Semaphore};
 use crate::tcb::{QueueAssign, Tcb, TcbTable, Timing};
+use crate::timerq::TimerQueue;
 
 /// Kernel-wide configuration.
 #[derive(Clone, Debug)]
@@ -42,15 +47,25 @@ pub struct KernelConfig {
     pub cost: CostModel,
     /// Record the full event trace (disable for long experiment runs).
     pub record_trace: bool,
+    /// When recording, bound trace storage to the most recent N events
+    /// (`None` = unbounded). Counters and deadline-miss forensics stay
+    /// exact either way.
+    pub trace_ring: Option<usize>,
+    /// How many trailing trace events a deadline-miss report captures.
+    pub miss_window: usize,
 }
 
 impl Default for KernelConfig {
     fn default() -> Self {
         KernelConfig {
-            policy: SchedPolicy::Csd { boundaries: vec![0] },
+            policy: SchedPolicy::Csd {
+                boundaries: vec![0],
+            },
             sem_scheme: SemScheme::Emeralds,
             cost: CostModel::mc68040_25mhz(),
             record_trace: true,
+            trace_ring: None,
+            miss_window: 32,
         }
     }
 }
@@ -110,6 +125,8 @@ pub struct Kernel {
     pub(crate) current: Option<ThreadId>,
     pub(crate) trace: Trace,
     pub(crate) acct: Accounting,
+    pub(crate) counters: ServiceCounters,
+    pub(crate) miss_reports: Vec<MissReport>,
     /// Pending message of a sender blocked on a full mailbox.
     pub(crate) pending_send: Vec<Option<crate::ipc::Message>>,
 }
@@ -196,8 +213,10 @@ impl Kernel {
         self.clock.advance(d);
     }
 
-    /// Records a trace event at the current instant.
+    /// Records a trace event at the current instant. The live service
+    /// counters observe every event, even when the trace stores none.
     pub(crate) fn record(&mut self, ev: TraceEvent) {
+        self.counters.observe(&ev);
         self.trace.push(self.clock.now(), ev);
     }
 
@@ -207,8 +226,14 @@ impl Kernel {
     pub(crate) fn prio_key(&self, tid: ThreadId) -> u128 {
         let t = self.tcbs.get(tid);
         match t.queue {
-            QueueAssign::Dp(j) => ((j as u128) << 96) | ((t.effective_deadline().as_ns() as u128) << 32) | t.id.0 as u128,
-            QueueAssign::Fp => (u64::MAX as u128) << 96 | ((t.rm_prio as u128) << 32) | t.id.0 as u128,
+            QueueAssign::Dp(j) => {
+                ((j as u128) << 96)
+                    | ((t.effective_deadline().as_ns() as u128) << 32)
+                    | t.id.0 as u128
+            }
+            QueueAssign::Fp => {
+                (u64::MAX as u128) << 96 | ((t.rm_prio as u128) << 32) | t.id.0 as u128
+            }
         }
     }
 }
@@ -299,7 +324,11 @@ impl KernelBuilder {
     ) -> ThreadId {
         assert!(!period.is_zero(), "zero period");
         assert!(deadline <= period, "deadline beyond period");
-        assert_eq!(script.kind, ScriptKind::PeriodicJob, "periodic task needs a job script");
+        assert_eq!(
+            script.kind,
+            ScriptKind::PeriodicJob,
+            "periodic task needs a job script"
+        );
         let id = ThreadId(self.tasks.len() as u32);
         self.tasks.push(TaskSpec {
             proc,
@@ -326,7 +355,11 @@ impl KernelBuilder {
         rank_period: Duration,
         script: Script,
     ) -> ThreadId {
-        assert_eq!(script.kind, ScriptKind::Looping, "driver task needs a looping script");
+        assert_eq!(
+            script.kind,
+            ScriptKind::Looping,
+            "driver task needs a looping script"
+        );
         let id = ThreadId(self.tasks.len() as u32);
         self.tasks.push(TaskSpec {
             proc,
@@ -416,7 +449,14 @@ impl KernelBuilder {
         let mut idx: Vec<usize> = (0..self.tasks.len()).collect();
         idx.sort_by_key(|&i| {
             let s = &self.tasks[i];
-            (if by_deadline { s.sort_deadline } else { s.sort_period }, i)
+            (
+                if by_deadline {
+                    s.sort_deadline
+                } else {
+                    s.sort_period
+                },
+                i,
+            )
         });
         idx.into_iter().map(|i| ThreadId(i as u32)).collect()
     }
@@ -447,10 +487,10 @@ impl KernelBuilder {
         let mut tcbs = TcbTable::new();
         let mut sched = SchedulerImpl::new(&self.cfg.policy);
         let mut timers = TimerQueue::new();
-        let trace = if self.cfg.record_trace {
-            Trace::new()
-        } else {
-            Trace::disabled()
+        let trace = match (self.cfg.record_trace, self.cfg.trace_ring) {
+            (false, _) => Trace::disabled(),
+            (true, Some(cap)) => Trace::ring(cap),
+            (true, None) => Trace::new(),
         };
 
         for (i, spec) in self.tasks.iter().enumerate() {
@@ -514,7 +554,10 @@ impl KernelBuilder {
             let bytes = (size * depth + 16) as u64;
             let base = self.next_region_base;
             self.next_region_base = base + bytes.next_multiple_of(0x100);
-            let rid = self.board.mpu.add_region(writer_proc, base, bytes, Perms::RW);
+            let rid = self
+                .board
+                .mpu
+                .add_region(writer_proc, base, bytes, Perms::RW);
             let mut region = SharedRegion::new(rid, base, bytes, writer_proc);
             for &p in &self.statemsg_readers[i] {
                 self.board.mpu.share(rid, p);
@@ -554,6 +597,8 @@ impl KernelBuilder {
             current: None,
             trace,
             acct: Accounting::new(),
+            counters: ServiceCounters::default(),
+            miss_reports: Vec::new(),
             pending_send,
         };
         // Event-driven tasks are ready at boot: dispatch one.

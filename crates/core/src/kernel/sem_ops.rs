@@ -45,6 +45,12 @@ impl Kernel {
                 self.tcbs.get_mut(tid).held_sems.push(s);
             }
             self.record(TraceEvent::SemAcquired { tid, sem: s });
+            // A release that deferred to a parked pre-lock member
+            // leaves its waiters queued, so a free lock can still
+            // have waiters: the new holder inherits from the top one.
+            if let Some(&next) = self.sems[s.index()].waiters.first() {
+                self.do_priority_inheritance(s, next);
+            }
             // §6.3.1: every other pre-lock member is blocked until we
             // release.
             if self.cfg.sem_scheme == SemScheme::Emeralds {
@@ -72,7 +78,9 @@ impl Kernel {
             self.charge(OverheadKind::Syscall, self.cfg.cost.syscall_exit);
         } else if self.sems[s.index()].is_mutex() {
             // Contended mutex: inherit and wait.
-            let holder = self.sems[s.index()].holder.expect("locked mutex has holder");
+            let holder = self.sems[s.index()]
+                .holder
+                .expect("locked mutex has holder");
             self.do_priority_inheritance(s, tid);
             self.enqueue_sem_waiter(s, tid);
             {
@@ -137,7 +145,27 @@ impl Kernel {
             self.tcbs.get_mut(tid).held_sems.retain(|&h| h != s);
         }
         self.record(TraceEvent::SemReleased { tid, sem: s });
-        if let Some(w) = self.sems[s.index()].pop_waiter() {
+        // A parked pre-lock member (§6.3.1) is a contender for the
+        // lock just like a queued waiter: handing the permit past a
+        // higher-priority parked member would invert priorities (and
+        // a steady stream of waiters could starve it, since parked
+        // members are otherwise only woken by an uncontended
+        // release). Hand over only when the top waiter outranks
+        // every parked member; otherwise free the lock and wake the
+        // parked members to contend — the waiters stay queued.
+        let best_parked = self.sems[s.index()]
+            .prelock
+            .iter()
+            .filter(|&&(_, blocked)| blocked)
+            .map(|&(t, _)| self.prio_key(t))
+            .min();
+        let hand_over = match (self.sems[s.index()].waiters.first(), best_parked) {
+            (Some(&w), Some(parked)) => self.prio_key(w) < parked,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if hand_over {
+            let w = self.sems[s.index()].pop_waiter().expect("checked above");
             // Hand the permit straight over.
             if self.sems[s.index()].is_mutex() {
                 self.sems[s.index()].holder = Some(w);
@@ -161,7 +189,13 @@ impl Kernel {
                 .filter(|&&(_, blocked)| blocked)
                 .map(|&(t, _)| t)
                 .collect();
-            let woke = !parked.is_empty();
+            // Preemption check instead of an unconditional scheduler
+            // pass: a member was parked while ready, so it ranked
+            // below the then-running acquirer, and priority keys are
+            // fixed for the life of a job — waking it cannot displace
+            // the releaser unless it outranks it now.
+            let releaser_key = self.prio_key(tid);
+            let mut preempts = false;
             for p in parked {
                 for entry in &mut self.sems[s.index()].prelock {
                     if entry.0 == p {
@@ -170,8 +204,9 @@ impl Kernel {
                 }
                 self.charge(OverheadKind::Semaphore, self.cfg.cost.sem_logic);
                 self.make_ready(p);
+                preempts |= self.prio_key(p) < releaser_key;
             }
-            woke
+            preempts
         }
     }
 
@@ -182,6 +217,7 @@ impl Kernel {
             self.tcbs.get(w).state,
             ThreadState::Blocked(BlockReason::Sem(s))
         );
+        self.counters.sem_handed_over += 1;
         self.record(TraceEvent::SemAcquired { tid: w, sem: s });
         if self.tcbs.get(w).blocked_in_acquire {
             // It blocked inside acquire_sem()/cond_wait(): the call
@@ -201,21 +237,24 @@ impl Kernel {
 
     /// Priority inheritance from `donor` (blocked or about to block on
     /// `s`) to the current holder of `s`, transitively through chains
-    /// of held semaphores (bounded depth).
-    pub(crate) fn do_priority_inheritance(&mut self, s: SemId, donor: ThreadId) {
+    /// of held semaphores (bounded depth). Returns true when at least
+    /// one holder was actually boosted (so scheduler state changed).
+    pub(crate) fn do_priority_inheritance(&mut self, s: SemId, donor: ThreadId) -> bool {
         let mut sem = s;
         let mut donor = donor;
+        let mut applied = false;
         for _ in 0..8 {
             if !self.sems[sem.index()].is_mutex() {
-                return;
+                return applied;
             }
             let Some(holder) = self.sems[sem.index()].holder else {
-                return;
+                return applied;
             };
             if self.prio_key(donor) >= self.prio_key(holder) {
-                return;
+                return applied;
             }
             self.apply_inheritance(sem, holder, donor);
+            applied = true;
             // Transitive case: the holder itself waits on another
             // semaphore.
             match self.tcbs.get(holder).state {
@@ -223,9 +262,10 @@ impl Kernel {
                     sem = s2;
                     donor = holder;
                 }
-                _ => return,
+                _ => return applied,
             }
         }
+        applied
     }
 
     /// One inheritance step on one semaphore.
@@ -240,20 +280,23 @@ impl Kernel {
                     // swap with the new donor.
                     if let Some(old) = self.sems[s.index()].placeholder {
                         if old != donor {
-                            let c =
-                                self.sched.pi_swap(holder, old, &mut self.tcbs, &self.cfg.cost);
+                            let c = self
+                                .sched
+                                .pi_swap(holder, old, &mut self.tcbs, &self.cfg.cost);
                             self.charge(OverheadKind::PriorityInheritance, c);
                         } else {
                             return; // already placeholding
                         }
                     }
-                    let c = self.sched.pi_swap(holder, donor, &mut self.tcbs, &self.cfg.cost);
+                    let c = self
+                        .sched
+                        .pi_swap(holder, donor, &mut self.tcbs, &self.cfg.cost);
                     self.charge(OverheadKind::PriorityInheritance, c);
                     self.sems[s.index()].placeholder = Some(donor);
                 } else {
-                    let c = self
-                        .sched
-                        .pi_raise_standard(holder, donor, &mut self.tcbs, &self.cfg.cost);
+                    let c =
+                        self.sched
+                            .pi_raise_standard(holder, donor, &mut self.tcbs, &self.cfg.cost);
                     self.charge(OverheadKind::PriorityInheritance, c);
                 }
             }
@@ -280,9 +323,12 @@ impl Kernel {
                 };
                 if let Some(front) = front {
                     if front != holder {
-                        let c = self
-                            .sched
-                            .pi_raise_standard(holder, front, &mut self.tcbs, &self.cfg.cost);
+                        let c = self.sched.pi_raise_standard(
+                            holder,
+                            front,
+                            &mut self.tcbs,
+                            &self.cfg.cost,
+                        );
                         self.charge(OverheadKind::PriorityInheritance, c);
                     }
                 }
@@ -301,7 +347,9 @@ impl Kernel {
         match self.tcbs.get(holder).queue {
             QueueAssign::Fp => {
                 if let Some(ph) = self.sems[s.index()].placeholder.take() {
-                    let c = self.sched.pi_swap(holder, ph, &mut self.tcbs, &self.cfg.cost);
+                    let c = self
+                        .sched
+                        .pi_swap(holder, ph, &mut self.tcbs, &self.cfg.cost);
                     self.charge(OverheadKind::PriorityInheritance, c);
                 } else {
                     let c = self

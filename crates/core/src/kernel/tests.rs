@@ -83,7 +83,10 @@ fn fig2_edf_schedules_everything() {
 fn fig2_csd2_schedules_with_less_overhead_than_edf() {
     let mut edf = table2_builder(SchedPolicy::Edf).build();
     edf.run_until(Time::from_ms(400));
-    let mut csd = table2_builder(SchedPolicy::Csd { boundaries: vec![5] }).build();
+    let mut csd = table2_builder(SchedPolicy::Csd {
+        boundaries: vec![5],
+    })
+    .build();
     csd.run_until(Time::from_ms(400));
     assert_eq!(csd.total_deadline_misses(), 0);
     let edf_sched = edf.accounting().scheduler_overhead();
@@ -157,7 +160,8 @@ fn fig6_standard_scheme_bounces_through_t2() {
     // switch from T2 to T1.
     let seq = k.trace().context_switch_sequence();
     assert!(
-        seq.windows(2).any(|w| w[0].1 == Some(t2) && w[1] == (Some(t2), Some(t1))),
+        seq.windows(2)
+            .any(|w| w[0].1 == Some(t2) && w[1] == (Some(t2), Some(t1))),
         "expected the T2 → T1 bounce, got {seq:?}"
     );
     // No early inheritance happens under the standard scheme.
@@ -182,14 +186,20 @@ fn fig8_emeralds_scheme_eliminates_c2() {
         .filter(|e| matches!(e, TraceEvent::EarlyInherit { .. }))
         .collect();
     assert_eq!(early.len(), 1);
-    if let TraceEvent::EarlyInherit { waiter, holder, sem } = &early[0].1 {
+    if let TraceEvent::EarlyInherit {
+        waiter,
+        holder,
+        sem,
+    } = &early[0].1
+    {
         assert_eq!((*waiter, *holder, *sem), (t2, t1, s));
     }
     // The bounce is gone: T2 never runs between the event and T1's
     // release — so no (…→T2) followed by (T2→T1).
     let seq = k.trace().context_switch_sequence();
     assert!(
-        !seq.windows(2).any(|w| w[0].1 == Some(t2) && w[1] == (Some(t2), Some(t1))),
+        !seq.windows(2)
+            .any(|w| w[0].1 == Some(t2) && w[1] == (Some(t2), Some(t1))),
         "C2 must be eliminated, got {seq:?}"
     );
     // And it saves exactly one switch relative to the standard run.
@@ -277,17 +287,19 @@ fn fig9_prelock_queue_turns_case_b_into_case_a() {
     k.run_until(Time::from_ms(50));
     assert_eq!(k.total_deadline_misses(), 0);
     // T2 was admitted to the pre-lock queue...
-    assert!(k
-        .trace()
-        .filter(|e| matches!(e, TraceEvent::PreLockAdmit { tid, .. } if *tid == t2))
-        .count()
-        >= 1);
+    assert!(
+        k.trace()
+            .filter(|e| matches!(e, TraceEvent::PreLockAdmit { tid, .. } if *tid == t2))
+            .count()
+            >= 1
+    );
     // ...and re-blocked when T1 locked S.
-    assert!(k
-        .trace()
-        .filter(|e| matches!(e, TraceEvent::PreLockBlock { tid, .. } if *tid == t2))
-        .count()
-        >= 1);
+    assert!(
+        k.trace()
+            .filter(|e| matches!(e, TraceEvent::PreLockBlock { tid, .. } if *tid == t2))
+            .count()
+            >= 1
+    );
     // T2 never performed a futile blocking acquire (no SemBlocked).
     assert_eq!(
         k.trace()
@@ -375,9 +387,21 @@ fn mailbox_blocking_semantics() {
         ms(200),
         Script::periodic(vec![
             Action::SleepFor(ms(1)),
-            Action::SendMbox { mbox: mb, bytes: 16, tag: 11 },
-            Action::SendMbox { mbox: mb, bytes: 16, tag: 22 },
-            Action::SendMbox { mbox: mb, bytes: 16, tag: 33 },
+            Action::SendMbox {
+                mbox: mb,
+                bytes: 16,
+                tag: 11,
+            },
+            Action::SendMbox {
+                mbox: mb,
+                bytes: 16,
+                tag: 22,
+            },
+            Action::SendMbox {
+                mbox: mb,
+                bytes: 16,
+                tag: 33,
+            },
         ]),
     );
     let mut k = b.build();
@@ -404,7 +428,10 @@ fn state_message_pipeline() {
         ms(10),
         Script::periodic(vec![
             Action::Compute(us(200)),
-            Action::StateWrite { var: emeralds_sim::StateId(0), value: crate::script::Operand::Const(7) },
+            Action::StateWrite {
+                var: emeralds_sim::StateId(0),
+                value: crate::script::Operand::Const(7),
+            },
         ]),
     );
     let var = b.add_state_msg(writer, 16, 3, &[p]);
@@ -417,8 +444,8 @@ fn state_message_pipeline() {
     let mut k = b.build();
     k.run_until(Time::from_ms(100));
     assert_eq!(k.total_deadline_misses(), 0);
-    assert_eq!(k.statemsg(var).writes, 10);
-    assert_eq!(k.statemsg(var).reads, 5);
+    assert_eq!(k.statemsg(var).writes(), 10);
+    assert_eq!(k.statemsg(var).reads(), 5);
     assert_eq!(k.tcb(reader).last_read, 7);
     // No mailbox copies, but state-message copies were charged.
     use emeralds_sim::OverheadKind;
@@ -487,7 +514,11 @@ fn irq_action_releases_counting_sem() {
     let mut k = b.build();
     k.run_until(Time::from_ms(50));
     // Initial permit + 3 interrupts = 4 passes.
-    assert!(k.tcb(worker).cpu_time >= us(200), "cpu {}", k.tcb(worker).cpu_time);
+    assert!(
+        k.tcb(worker).cpu_time >= us(200),
+        "cpu {}",
+        k.tcb(worker).cpu_time
+    );
     let _ = k;
 }
 
@@ -526,11 +557,12 @@ fn condvar_wait_signal_round_trip() {
     assert_eq!(k.total_deadline_misses(), 0);
     assert_eq!(k.tcb(waiter).jobs_completed, 1);
     assert_eq!(k.tcb(signaller).jobs_completed, 1);
-    assert!(k
-        .trace()
-        .filter(|e| matches!(e, TraceEvent::CvSignal { .. }))
-        .count()
-        == 1);
+    assert!(
+        k.trace()
+            .filter(|e| matches!(e, TraceEvent::CvSignal { .. }))
+            .count()
+            == 1
+    );
 }
 
 /// The placeholder swap keeps the FP queue consistent through the §6.2
@@ -606,7 +638,10 @@ fn overload_misses_deadlines() {
 /// The accounting ledger balances: app + idle + overhead = elapsed.
 #[test]
 fn accounting_ledger_balances() {
-    let mut k = table2_builder(SchedPolicy::Csd { boundaries: vec![5] }).build();
+    let mut k = table2_builder(SchedPolicy::Csd {
+        boundaries: vec![5],
+    })
+    .build();
     k.run_until(Time::from_ms(200));
     let total = k.accounting().grand_total();
     assert_eq!(total.as_ns(), k.now().as_ns());
@@ -637,7 +672,6 @@ fn event_latch_semantics() {
     assert_eq!(k.tcb(late).jobs_completed, 1, "latched signal consumed");
 }
 
-
 /// Deadline-monotonic assignment: with constrained deadlines, DM
 /// schedules a workload that period-based RM misses (the classic
 /// Leung–Whitehead example shape).
@@ -649,14 +683,29 @@ fn dm_beats_rm_on_constrained_deadlines() {
         // τa: long period but tight deadline; τb: short period, lax
         // deadline. RM ranks τb higher and τa misses; DM ranks τa
         // higher and both fit.
-        b.add_periodic_task_phased(p, "tight", ms(20), ms(3), Duration::ZERO,
-            Script::compute_only(ms(2)));
-        b.add_periodic_task_phased(p, "lax", ms(10), ms(10), Duration::ZERO,
-            Script::compute_only(ms(2)));
+        b.add_periodic_task_phased(
+            p,
+            "tight",
+            ms(20),
+            ms(3),
+            Duration::ZERO,
+            Script::compute_only(ms(2)),
+        );
+        b.add_periodic_task_phased(
+            p,
+            "lax",
+            ms(10),
+            ms(10),
+            Duration::ZERO,
+            Script::compute_only(ms(2)),
+        );
         b.build()
     };
     let mut rm = build(SchedPolicy::RmQueue);
-    assert!(rm.run_until_miss(Time::from_ms(100)), "RM must miss the tight deadline");
+    assert!(
+        rm.run_until_miss(Time::from_ms(100)),
+        "RM must miss the tight deadline"
+    );
     assert_eq!(rm.trace().deadline_misses()[0].1, ThreadId(0));
     let mut dm = build(SchedPolicy::DmQueue);
     dm.run_until(Time::from_ms(100));
@@ -670,13 +719,22 @@ fn constrained_deadline_miss_detected_at_the_deadline() {
     let mut b = KernelBuilder::new(cfg(SchedPolicy::RmQueue, SemScheme::Emeralds));
     let p = b.add_process("app");
     // Needs 5 ms of work before a 4 ms deadline in a 100 ms period.
-    b.add_periodic_task_phased(p, "t", ms(100), ms(4), Duration::ZERO,
-        Script::compute_only(ms(5)));
+    b.add_periodic_task_phased(
+        p,
+        "t",
+        ms(100),
+        ms(4),
+        Duration::ZERO,
+        Script::compute_only(ms(5)),
+    );
     let mut k = b.build();
     assert!(k.run_until_miss(Time::from_ms(50)));
     let (at, tid) = k.trace().deadline_misses()[0];
     assert_eq!(tid, ThreadId(0));
-    assert!(at >= Time::from_ms(4) && at < Time::from_ms(5), "miss at {at}");
+    assert!(
+        at >= Time::from_ms(4) && at < Time::from_ms(5),
+        "miss at {at}"
+    );
     // Exactly one miss is recorded for the job — no double count at
     // the next release (run to just before job 2's deadline check).
     k.run_until(Time::from_ms(90));
@@ -695,7 +753,6 @@ fn response_time_statistics() {
     let r10 = k.tcb(ThreadId(9)).max_response;
     assert!(r10 > ms(2) && r10 <= ms(400), "tau10 response {r10}");
 }
-
 
 /// The RM-heap policy behaves like RM end to end (Table 1's rejected
 /// implementation still schedules correctly — it is only slower).
@@ -806,7 +863,6 @@ fn run_until_is_idempotent_at_horizon() {
     assert_eq!(k.accounting().grand_total(), total1);
 }
 
-
 /// Transitive priority inheritance: H blocks on S2 held by M, which
 /// blocks on S1 held by L — L must inherit H's priority through the
 /// chain so the unrelated middle-priority hog cannot interpose.
@@ -830,7 +886,14 @@ fn transitive_priority_inheritance_through_a_chain() {
         ]),
     );
     // Hog: released at 4 ms, 20 ms of pure compute, outranks M and L.
-    b.add_periodic_task_phased(p, "hog", ms(150), ms(150), ms(4), Script::compute_only(ms(20)));
+    b.add_periodic_task_phased(
+        p,
+        "hog",
+        ms(150),
+        ms(150),
+        ms(4),
+        Script::compute_only(ms(20)),
+    );
     // M: takes S2 then blocks on S1.
     let m = b.add_periodic_task(
         p,
@@ -909,13 +972,24 @@ fn non_holder_release_is_fatal() {
 /// all interrupt time shows up in the ledger.
 #[test]
 fn irq_storm_is_survivable_and_accounted() {
-    let mut b = KernelBuilder::new(cfg(SchedPolicy::Csd { boundaries: vec![1] }, SemScheme::Emeralds));
+    let mut b = KernelBuilder::new(cfg(
+        SchedPolicy::Csd {
+            boundaries: vec![1],
+        },
+        SemScheme::Emeralds,
+    ));
     let p = b.add_process("app");
     let line = IrqLine(7);
     {
         let board = b.board_mut();
         let dev = board.add_sensor("noisy", Some(line));
-        board.schedule_periodic_samples(dev, Time::from_us(100), Duration::from_us(50), 1_000, |k| k as u32);
+        board.schedule_periodic_samples(
+            dev,
+            Time::from_us(100),
+            Duration::from_us(50),
+            1_000,
+            |k| k as u32,
+        );
     }
     let worker = b.add_driver_task(
         p,

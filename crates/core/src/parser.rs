@@ -31,11 +31,10 @@ use crate::script::{Action, Script, ScriptKind};
 /// end-of-job blocking call's hint is returned separately by
 /// [`end_of_job_hint`].
 pub fn compute_hints(script: &Script) -> Vec<Option<SemId>> {
-    let n = script.actions.len();
-    let mut hints = vec![None; n];
-    for i in 0..n {
-        if script.actions[i].is_hintable_block() {
-            hints[i] = next_acquire_after(script, i + 1);
+    let mut hints = vec![None; script.actions.len()];
+    for (i, (hint, action)) in hints.iter_mut().zip(&script.actions).enumerate() {
+        if action.is_hintable_block() {
+            *hint = next_acquire_after(script, i + 1);
         }
     }
     hints
@@ -110,7 +109,10 @@ mod tests {
             Action::ReleaseSem(SemId(1)),
         ]);
         let hints = compute_hints(&s);
-        assert_eq!(hints[0], None, "an intervening blocking call kills the hint");
+        assert_eq!(
+            hints[0], None,
+            "an intervening blocking call kills the hint"
+        );
         assert_eq!(hints[2], Some(SemId(1)));
     }
 

@@ -155,7 +155,7 @@ mod tests {
         let cost = CostModel::mc68040_25mhz();
         let (pick, charge) = c.select(&tcbs, &cost);
         assert_eq!(pick, Some(ThreadId(0))); // earliest deadline in DP1
-        // One queue parsed + EDF walk of 2.
+                                             // One queue parsed + EDF walk of 2.
         assert_eq!(
             charge,
             cost.csd_queue_parse + cost.edf_select_fixed + cost.edf_select_per_node * 2

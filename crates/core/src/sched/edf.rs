@@ -143,7 +143,7 @@ mod tests {
         let cost = CostModel::mc68040_25mhz();
         let (pick, charge) = q.select(&tcbs, &cost);
         assert_eq!(pick, Some(ThreadId(4))); // deadline 96ms, earliest
-        // Full walk: 1.2 + 0.25 * 5 µs.
+                                             // Full walk: 1.2 + 0.25 * 5 µs.
         assert_eq!(charge, Duration::from_us_f64(1.2 + 0.25 * 5.0));
     }
 
@@ -153,8 +153,7 @@ mod tests {
         let mut q = build(&tcbs);
         let cost = CostModel::mc68040_25mhz();
         assert!(q.has_ready());
-        tcbs.get_mut(ThreadId(2)).state =
-            ThreadState::Blocked(crate::tcb::BlockReason::EndOfJob);
+        tcbs.get_mut(ThreadId(2)).state = ThreadState::Blocked(crate::tcb::BlockReason::EndOfJob);
         let c = q.on_block(ThreadId(2), &cost);
         assert_eq!(c, Duration::from_us_f64(1.6));
         let (pick, _) = q.select(&tcbs, &cost);

@@ -76,9 +76,7 @@ impl SchedulerImpl {
             SchedPolicy::Edf => SchedulerImpl::Edf(EdfQueue::new()),
             SchedPolicy::RmQueue | SchedPolicy::DmQueue => SchedulerImpl::Rm(RmQueue::new()),
             SchedPolicy::RmHeap => SchedulerImpl::RmHeap(RmHeap::new()),
-            SchedPolicy::Csd { boundaries } => {
-                SchedulerImpl::Csd(CsdSched::new(boundaries.len()))
-            }
+            SchedPolicy::Csd { boundaries } => SchedulerImpl::Csd(CsdSched::new(boundaries.len())),
         }
     }
 

@@ -243,7 +243,7 @@ mod tests {
         let (mut tcbs, mut h) = setup(32);
         let cost = CostModel::mc68040_25mhz();
         let mut rng = SimRng::seeded(42);
-        let mut blocked = vec![false; 32];
+        let mut blocked = [false; 32];
         for _ in 0..1000 {
             let i = rng.index(32) as u32;
             let tid = ThreadId(i);

@@ -300,12 +300,30 @@ mod tests {
         let cost = CostModel::mc68040_25mhz();
         // T4 (lowest) inherits T1's priority: reinserted at slot 1.
         let c = q.pi_raise_standard(ThreadId(4), ThreadId(1), &mut tcbs, &cost);
-        assert_eq!(q.order(), &[ThreadId(0), ThreadId(4), ThreadId(1), ThreadId(2), ThreadId(3)]);
+        assert_eq!(
+            q.order(),
+            &[
+                ThreadId(0),
+                ThreadId(4),
+                ThreadId(1),
+                ThreadId(2),
+                ThreadId(3)
+            ]
+        );
         // Unlink walk (slot 4) + insert walk (slot 1).
         assert_eq!(c, cost.pi_fp_fixed + cost.pi_fp_per_node * 5);
         // Restore: T4 walks back to the tail.
         let c = q.pi_restore_standard(ThreadId(4), &mut tcbs, &cost);
-        assert_eq!(q.order(), &[ThreadId(0), ThreadId(1), ThreadId(2), ThreadId(3), ThreadId(4)]);
+        assert_eq!(
+            q.order(),
+            &[
+                ThreadId(0),
+                ThreadId(1),
+                ThreadId(2),
+                ThreadId(3),
+                ThreadId(4)
+            ]
+        );
         assert_eq!(c, cost.pi_fp_fixed + cost.pi_fp_per_node * 5);
     }
 
@@ -314,16 +332,23 @@ mod tests {
         let (mut tcbs, mut q) = setup(4);
         let cost = CostModel::mc68040_25mhz();
         // Donor T1 blocks on the sem held by T3, then swap.
-        tcbs.get_mut(ThreadId(1)).state = ThreadState::Blocked(BlockReason::Sem(emeralds_sim::SemId(0)));
+        tcbs.get_mut(ThreadId(1)).state =
+            ThreadState::Blocked(BlockReason::Sem(emeralds_sim::SemId(0)));
         q.on_block(ThreadId(1), &tcbs, &cost);
         let c = q.pi_swap(ThreadId(3), ThreadId(1), &mut tcbs, &cost);
         assert_eq!(c, cost.pi_fp_swap);
-        assert_eq!(q.order(), &[ThreadId(0), ThreadId(3), ThreadId(2), ThreadId(1)]);
+        assert_eq!(
+            q.order(),
+            &[ThreadId(0), ThreadId(3), ThreadId(2), ThreadId(1)]
+        );
         assert_eq!(tcbs.get(ThreadId(3)).fp_slot, 1);
         assert_eq!(tcbs.get(ThreadId(1)).fp_slot, 3);
         // Swap back on release.
         q.pi_swap(ThreadId(3), ThreadId(1), &mut tcbs, &cost);
-        assert_eq!(q.order(), &[ThreadId(0), ThreadId(1), ThreadId(2), ThreadId(3)]);
+        assert_eq!(
+            q.order(),
+            &[ThreadId(0), ThreadId(1), ThreadId(2), ThreadId(3)]
+        );
     }
 
     #[test]

@@ -126,18 +126,30 @@ impl KernelReport {
 mod tests {
     use super::*;
     use crate::kernel::{KernelBuilder, KernelConfig};
-    use crate::script::Script;
     use crate::sched::SchedPolicy;
+    use crate::script::Script;
     use emeralds_sim::Time;
 
     fn sample_kernel() -> Kernel {
         let mut b = KernelBuilder::new(KernelConfig {
-            policy: SchedPolicy::Csd { boundaries: vec![1] },
+            policy: SchedPolicy::Csd {
+                boundaries: vec![1],
+            },
             ..KernelConfig::default()
         });
         let p = b.add_process("app");
-        b.add_periodic_task(p, "fast", Duration::from_ms(5), Script::compute_only(Duration::from_ms(1)));
-        b.add_periodic_task(p, "slow", Duration::from_ms(50), Script::compute_only(Duration::from_ms(10)));
+        b.add_periodic_task(
+            p,
+            "fast",
+            Duration::from_ms(5),
+            Script::compute_only(Duration::from_ms(1)),
+        );
+        b.add_periodic_task(
+            p,
+            "slow",
+            Duration::from_ms(50),
+            Script::compute_only(Duration::from_ms(10)),
+        );
         b.build()
     }
 
@@ -151,7 +163,11 @@ mod tests {
         assert_eq!(r.tasks[0].jobs_completed, 20);
         assert_eq!(r.tasks[1].jobs_completed, 2);
         // fast: 1/5 = 20%, slow: 10/50 = 20%.
-        assert!((r.total_utilization() - 0.4).abs() < 0.02, "{}", r.total_utilization());
+        assert!(
+            (r.total_utilization() - 0.4).abs() < 0.02,
+            "{}",
+            r.total_utilization()
+        );
         assert!(r.app_fraction > 0.35 && r.app_fraction < 0.45);
         assert!(r.overhead_fraction > 0.0 && r.overhead_fraction < 0.05);
     }

@@ -142,6 +142,12 @@ pub struct Tcb {
     pub max_response: Duration,
     /// Distribution of response times across completed jobs.
     pub response_hist: DurationHistogram,
+    /// Distribution of release→first-dispatch latencies (periodic
+    /// tasks only; event-driven tasks have no release instant).
+    pub dispatch_hist: DurationHistogram,
+    /// True once the current job has been dispatched (guards the
+    /// latency sample; starts true so boot-time state records nothing).
+    pub dispatched: bool,
 }
 
 impl Tcb {
@@ -191,6 +197,8 @@ impl Tcb {
             deadline_misses: 0,
             max_response: Duration::ZERO,
             response_hist: DurationHistogram::new(),
+            dispatch_hist: DurationHistogram::new(),
+            dispatched: true,
         }
     }
 

@@ -152,10 +152,7 @@ mod tests {
         let mut q = TimerQueue::new();
         q.arm(Time::from_us(100), 7);
         q.arm(Time::from_us(200), 8);
-        assert_eq!(
-            q.head_delta(Time::from_us(40)),
-            Some(Duration::from_us(60))
-        );
+        assert_eq!(q.head_delta(Time::from_us(40)), Some(Duration::from_us(60)));
         assert_eq!(q.cancel(|&v| v == 7), 1);
         assert_eq!(q.next_expiry(), Some(Time::from_us(200)));
         assert_eq!(q.len(), 1);

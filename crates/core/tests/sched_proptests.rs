@@ -1,6 +1,7 @@
 //! Property tests for the scheduler implementations against simple
 //! reference models, and the classic EDF-optimality cross-check of the
-//! whole execution engine.
+//! whole execution engine. Randomized op sequences are generated with
+//! a seeded [`SimRng`] (offline replacement for the proptest crate).
 
 use emeralds_core::kernel::{KernelBuilder, KernelConfig};
 use emeralds_core::sched::{CsdSched, EdfQueue, RmQueue, SchedPolicy};
@@ -8,8 +9,9 @@ use emeralds_core::script::Script;
 use emeralds_core::tcb::{BlockReason, QueueAssign, Tcb, TcbTable, ThreadState, Timing};
 use emeralds_core::SemScheme;
 use emeralds_hal::CostModel;
-use emeralds_sim::{Duration, ProcId, ThreadId, Time};
-use proptest::prelude::*;
+use emeralds_sim::{Duration, ProcId, SimRng, ThreadId, Time};
+
+const CASES: u64 = 64;
 
 fn make_tcbs(n: usize, queue_of: impl Fn(usize) -> QueueAssign) -> TcbTable {
     let mut tcbs = TcbTable::new();
@@ -37,18 +39,20 @@ fn make_tcbs(n: usize, queue_of: impl Fn(usize) -> QueueAssign) -> TcbTable {
 }
 
 /// An op sequence: block/unblock of task index (mod n).
-fn ops_strategy() -> impl Strategy<Value = Vec<(bool, usize)>> {
-    prop::collection::vec((any::<bool>(), 0usize..16), 1..200)
+fn gen_ops(rng: &mut SimRng) -> Vec<(bool, usize)> {
+    let len = rng.int_in(1, 199) as usize;
+    (0..len).map(|_| (rng.chance(0.5), rng.index(16))).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// RmQueue's `highestp` bookkeeping always agrees with a full scan
-    /// of the queue order.
-    #[test]
-    fn rm_queue_matches_reference_scan(ops in ops_strategy(), n in 2usize..16) {
-        let cost = CostModel::mc68040_25mhz();
+/// RmQueue's `highestp` bookkeeping always agrees with a full scan
+/// of the queue order.
+#[test]
+fn rm_queue_matches_reference_scan() {
+    let cost = CostModel::mc68040_25mhz();
+    let mut rng = SimRng::seeded(0x4321);
+    for _ in 0..CASES {
+        let ops = gen_ops(&mut rng);
+        let n = rng.int_in(2, 15) as usize;
         let mut tcbs = make_tcbs(n, |_| QueueAssign::Fp);
         let mut q = RmQueue::new();
         for i in 0..n {
@@ -70,20 +74,21 @@ proptest! {
                 q.on_unblock(tid, &tcbs, &cost);
             }
             let (pick, _) = q.select(&cost);
-            let reference = q
-                .order()
-                .iter()
-                .copied()
-                .find(|&t| tcbs.get(t).is_ready());
-            prop_assert_eq!(pick, reference);
+            let reference = q.order().iter().copied().find(|&t| tcbs.get(t).is_ready());
+            assert_eq!(pick, reference);
         }
     }
+}
 
-    /// EdfQueue always picks the minimum effective deadline among
-    /// ready members.
-    #[test]
-    fn edf_queue_matches_reference_min(ops in ops_strategy(), n in 2usize..16) {
-        let cost = CostModel::mc68040_25mhz();
+/// EdfQueue always picks the minimum effective deadline among
+/// ready members.
+#[test]
+fn edf_queue_matches_reference_min() {
+    let cost = CostModel::mc68040_25mhz();
+    let mut rng = SimRng::seeded(0xEDF);
+    for _ in 0..CASES {
+        let ops = gen_ops(&mut rng);
+        let n = rng.int_in(2, 15) as usize;
         let mut tcbs = make_tcbs(n, |_| QueueAssign::Dp(0));
         let mut q = EdfQueue::new();
         for i in 0..n {
@@ -107,17 +112,21 @@ proptest! {
                     let x = tcbs.get(t);
                     (x.effective_deadline(), x.rm_prio, x.id.0)
                 });
-            prop_assert_eq!(pick, reference);
+            assert_eq!(pick, reference);
         }
     }
+}
 
-    /// CSD always agrees with "first band with a ready task, EDF
-    /// inside DP bands, queue order inside FP".
-    #[test]
-    fn csd_matches_banded_reference(ops in ops_strategy(), split in 1usize..8) {
+/// CSD always agrees with "first band with a ready task, EDF
+/// inside DP bands, queue order inside FP".
+#[test]
+fn csd_matches_banded_reference() {
+    let cost = CostModel::mc68040_25mhz();
+    let mut rng = SimRng::seeded(0xC5D);
+    for _ in 0..CASES {
+        let ops = gen_ops(&mut rng);
         let n = 12usize;
-        let split = split.min(n - 1);
-        let cost = CostModel::mc68040_25mhz();
+        let split = (rng.int_in(1, 7) as usize).min(n - 1);
         let mut tcbs = make_tcbs(n, |i| {
             if i < split {
                 QueueAssign::Dp(0)
@@ -150,20 +159,25 @@ proptest! {
             let fp_pick = (split..n)
                 .map(|i| ThreadId(i as u32))
                 .find(|&t| tcbs.get(t).is_ready());
-            prop_assert_eq!(pick, dp_pick.or(fp_pick));
+            assert_eq!(pick, dp_pick.or(fp_pick));
         }
     }
+}
 
-    /// EDF optimality, end to end: with zero kernel costs and
-    /// implicit deadlines, the executing kernel misses a deadline iff
-    /// the workload is over-utilized. This ties the whole engine (job
-    /// releases, preemption, selection, completion bookkeeping) to the
-    /// Liu & Layland theorem.
-    #[test]
-    fn edf_kernel_is_optimal_at_zero_cost(
-        spec in prop::collection::vec((2u64..40, 1u64..25), 1..6)
-    ) {
-        // wcet = percent of period.
+/// EDF optimality, end to end: with zero kernel costs and
+/// implicit deadlines, the executing kernel misses a deadline iff
+/// the workload is over-utilized. This ties the whole engine (job
+/// releases, preemption, selection, completion bookkeeping) to the
+/// Liu & Layland theorem.
+#[test]
+fn edf_kernel_is_optimal_at_zero_cost() {
+    let mut rng = SimRng::seeded(0xED0);
+    for _ in 0..CASES {
+        // (period ms, wcet as percent of period)
+        let n = rng.int_in(1, 5) as usize;
+        let spec: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.int_in(2, 39), rng.int_in(1, 24)))
+            .collect();
         let mut cfg = KernelConfig {
             policy: SchedPolicy::Edf,
             sem_scheme: SemScheme::Emeralds,
@@ -177,18 +191,22 @@ proptest! {
         for (i, &(p_ms, pct)) in spec.iter().enumerate() {
             let wcet = Duration::from_us(p_ms * pct * 10); // pct% of period
             u += pct as f64 / 100.0;
-            b.add_periodic_task(p, format!("t{i}"), Duration::from_ms(p_ms),
-                Script::compute_only(wcet));
+            b.add_periodic_task(
+                p,
+                format!("t{i}"),
+                Duration::from_ms(p_ms),
+                Script::compute_only(wcet),
+            );
         }
         let mut k = b.build();
         // Run several hyper-ish periods.
         k.run_until(Time::from_ms(400));
         let missed = k.total_deadline_misses() > 0;
         if u <= 0.999 {
-            prop_assert!(!missed, "U = {u:.3} but EDF missed");
+            assert!(!missed, "U = {u:.3} but EDF missed for spec {spec:?}");
         }
         if missed {
-            prop_assert!(u > 0.999, "missed at U = {u:.3}");
+            assert!(u > 0.999, "missed at U = {u:.3} for spec {spec:?}");
         }
     }
 }

@@ -249,7 +249,8 @@ impl Network {
             let tx = node.tx_mbox;
             while let Some(msg) = node.kernel.external_mbox_pop(tx) {
                 let at = node.kernel.now().max(now);
-                node.tx_queue.push_back(frame_of(node.id, node.tx_prio, msg, at));
+                node.tx_queue
+                    .push_back(frame_of(node.id, node.tx_prio, msg, at));
                 sent += 1;
             }
         }
@@ -589,7 +590,12 @@ mod tests {
         let line = IrqLine(2);
         b.board_mut().add_nic("can", line);
         // One idle periodic task keeps the kernel alive.
-        b.add_periodic_task(p, "idle", ms(5), Script::compute_only(Duration::from_us(10)));
+        b.add_periodic_task(
+            p,
+            "idle",
+            ms(5),
+            Script::compute_only(Duration::from_us(10)),
+        );
         let sink = b.build();
 
         let (k0, tx0, rx0, irq0) = make_node(2, 3, Some(NodeId(1)));

@@ -22,7 +22,9 @@ pub struct BoardConfig {
 
 impl Default for BoardConfig {
     fn default() -> Self {
-        BoardConfig { timer_hz: 5_000_000 }
+        BoardConfig {
+            timer_hz: 5_000_000,
+        }
     }
 }
 
@@ -70,7 +72,12 @@ impl Board {
 
     fn add_device(&mut self, name: &'static str, kind: DeviceKind, irq: Option<IrqLine>) -> DevId {
         let id = DevId(self.devices.len() as u32);
-        self.devices.push(Device { id, kind, irq, name });
+        self.devices.push(Device {
+            id,
+            kind,
+            irq,
+            name,
+        });
         id
     }
 

@@ -370,9 +370,7 @@ mod tests {
         assert!(total_heap(70) < total_queue(70));
         // Locate the first n where the heap wins; Table 1's discussion
         // puts it at 58.
-        let crossover = (2..200)
-            .find(|&n| total_heap(n) < total_queue(n))
-            .unwrap();
+        let crossover = (2..200).find(|&n| total_heap(n) < total_queue(n)).unwrap();
         assert!(
             (55..=60).contains(&crossover),
             "crossover at {crossover}, expected ≈58"
@@ -408,22 +406,16 @@ mod tests {
         // The Figure 6 scenario's contended pair performs 4 syscall
         // envelopes and 6 semaphore bookkeeping steps beyond the
         // no-semaphore baseline (verified live by `expts fig11/fig12`).
-        let dp_new = envelope * 4
-            + m.sem_logic * 6
-            + m.pi_dp_fixed * 2
-            + m.edf_ts(15)
-            + m.context_switch;
+        let dp_new =
+            envelope * 4 + m.sem_logic * 6 + m.pi_dp_fixed * 2 + m.edf_ts(15) + m.context_switch;
         assert_eq!(dp_new, us(28.3));
-        let fp_new = envelope * 4
-            + m.sem_logic * 6
-            + m.pi_fp_swap * 2
-            + m.rmq_ts()
-            + m.context_switch;
+        let fp_new =
+            envelope * 4 + m.sem_logic * 6 + m.pi_fp_swap * 2 + m.rmq_ts() + m.context_switch;
         assert_eq!(fp_new, us(29.4));
-        let fp_saving = m.rmq_tb(1) + m.rmq_ts() + m.context_switch + m.pi_fp_fixed * 2
-            + m.pi_fp_per_node * 28
-            - m.pi_fp_swap * 2
-            - m.sem_logic;
+        let fp_saving =
+            m.rmq_tb(1) + m.rmq_ts() + m.context_switch + m.pi_fp_fixed * 2 + m.pi_fp_per_node * 28
+                - m.pi_fp_swap * 2
+                - m.sem_logic;
         assert!((fp_saving.as_us_f64() - 10.4).abs() < 0.15, "{fp_saving}");
     }
 
@@ -443,7 +435,10 @@ mod tests {
         let z = CostModel::zero();
         assert_eq!(z.edf_ts(100), Duration::ZERO);
         assert_eq!(z.rmq_tb(50), Duration::ZERO);
-        assert_eq!(z.per_period(z.edf_tb(), z.edf_tu(), z.edf_ts(9)), Duration::ZERO);
+        assert_eq!(
+            z.per_period(z.edf_tb(), z.edf_tu(), z.edf_ts(9)),
+            Duration::ZERO
+        );
         assert_eq!(z.mbox_copy(64), Duration::ZERO);
     }
 

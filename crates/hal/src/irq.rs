@@ -32,10 +32,7 @@ impl InterruptController {
     }
 
     fn bit(line: IrqLine) -> u32 {
-        assert!(
-            line.index() < MAX_IRQ_LINES,
-            "IRQ line {line} out of range"
-        );
+        assert!(line.index() < MAX_IRQ_LINES, "IRQ line {line} out of range");
         1 << line.index()
     }
 

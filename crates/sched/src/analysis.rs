@@ -245,7 +245,7 @@ fn rbf(t: &InflatedTask, l: Duration) -> Duration {
         return Duration::ZERO;
     }
     // ceil(l / P) releases.
-    let releases = (l.as_ns() + t.period.as_ns() - 1) / t.period.as_ns();
+    let releases = l.as_ns().div_ceil(t.period.as_ns());
     t.cost * releases
 }
 
@@ -296,11 +296,7 @@ fn edf_band_test(
             // truncated check would be unsafe.
             return TestOutcome::Undecided;
         }
-        let next: Duration = own
-            .iter()
-            .chain(higher.iter())
-            .map(|t| rbf(t, w))
-            .sum();
+        let next: Duration = own.iter().chain(higher.iter()).map(|t| rbf(t, w)).sum();
         if next == w {
             break w;
         }
@@ -574,13 +570,9 @@ mod tests {
             let tasks: Vec<InflatedTask> = (0..n)
                 .map(|_| {
                     let p = Duration::from_us(rng.int_in(2_000, 50_000));
-                    let d = Duration::from_ns(
-                        (p.as_ns() as f64 * rng.float_in(0.3, 1.0)) as u64,
-                    );
-                    let c = Duration::from_ns(
-                        (d.as_ns() as f64 * rng.float_in(0.05, 0.6)) as u64,
-                    )
-                    .max(Duration::from_ns(1));
+                    let d = Duration::from_ns((p.as_ns() as f64 * rng.float_in(0.3, 1.0)) as u64);
+                    let c = Duration::from_ns((d.as_ns() as f64 * rng.float_in(0.05, 0.6)) as u64)
+                        .max(Duration::from_ns(1));
                     InflatedTask::new(p, d, c)
                 })
                 .collect();

@@ -13,9 +13,7 @@
 
 use emeralds_sim::Duration;
 
-use crate::analysis::{
-    edf_test_with, rm_test_with, AnalysisLimits, InflatedTask, TestOutcome,
-};
+use crate::analysis::{edf_test_with, rm_test_with, AnalysisLimits, InflatedTask, TestOutcome};
 use crate::overhead::OverheadModel;
 use crate::partition::{find_partition, Partition, SearchStrategy};
 use crate::task::TaskSet;
@@ -264,7 +262,8 @@ mod tests {
     #[test]
     fn edf_breakdown_is_one_without_overhead() {
         for w in gen_workloads(8, 5, 1) {
-            let r = breakdown_utilization(&w, SchedulerConfig::Edf, &zero_ovh(), &Default::default());
+            let r =
+                breakdown_utilization(&w, SchedulerConfig::Edf, &zero_ovh(), &Default::default());
             assert!((r.utilization - 1.0).abs() < 0.01, "got {}", r.utilization);
         }
     }
@@ -343,12 +342,7 @@ mod tests {
     #[test]
     fn csd_result_carries_partition() {
         let w = &gen_workloads(12, 1, 1)[0];
-        let r = breakdown_utilization(
-            w,
-            SchedulerConfig::Csd(2),
-            &real_ovh(),
-            &Default::default(),
-        );
+        let r = breakdown_utilization(w, SchedulerConfig::Csd(2), &real_ovh(), &Default::default());
         assert!(r.utilization > 0.5);
         assert!(r.partition.is_some());
     }

@@ -219,7 +219,7 @@ fn divisors_up_to(n: u64, cap: u64) -> Vec<u64> {
     let mut out = Vec::new();
     let mut i = 1u64;
     while i.saturating_mul(i) <= n {
-        if n % i == 0 {
+        if n.is_multiple_of(i) {
             if i <= cap {
                 out.push(i);
             }
@@ -261,7 +261,7 @@ mod tests {
         assert_eq!(s.hyperperiod, ms(40));
         assert!(s.minor_frame <= ms(10));
         // Every task's full demand is placed.
-        let mut placed = vec![Duration::ZERO; 3];
+        let mut placed = [Duration::ZERO; 3];
         for f in &s.frames {
             for &(t, d) in f {
                 placed[t] += d;

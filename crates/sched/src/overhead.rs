@@ -123,14 +123,14 @@ impl OverheadModel {
         let tu = self.cost.rmq_tu();
         // Blocking: an FP task was running, so every DP queue is empty;
         // the parse skips them all and dereferences `highestp`.
-        let ts_block =
-            self.cost.csd_queue_parse * shape.num_queues() as u64 + self.cost.rmq_ts();
+        let ts_block = self.cost.csd_queue_parse * shape.num_queues() as u64 + self.cost.rmq_ts();
         // Unblocking: worst case assumes some DP queue holds a ready
         // task (§5.4 case 4).
         let ts_unblock = if shape.dp_lens.is_empty() {
             ts_block
         } else {
-            self.csd_select_upto(shape, shape.dp_lens.len() - 1).max(ts_block)
+            self.csd_select_upto(shape, shape.dp_lens.len() - 1)
+                .max(ts_block)
         };
         (tb + tu + ts_block + ts_unblock).scale_f64(1.5)
     }
@@ -142,10 +142,10 @@ impl OverheadModel {
         let mut out = Vec::with_capacity(shape.total());
         for (j, &len) in shape.dp_lens.iter().enumerate() {
             let o = self.csd_dp_per_period(shape, j);
-            out.extend(std::iter::repeat(o).take(len));
+            out.extend(std::iter::repeat_n(o, len));
         }
         let o = self.csd_fp_per_period(shape);
-        out.extend(std::iter::repeat(o).take(shape.fp_len));
+        out.extend(std::iter::repeat_n(o, shape.fp_len));
         out
     }
 }
@@ -257,9 +257,11 @@ mod tests {
         };
         // One queue to parse on top of plain RM costs.
         let parse = m.cost().csd_queue_parse;
-        let expect = m
-            .cost()
-            .per_period(m.cost().rmq_tb(10), m.cost().rmq_tu(), m.cost().rmq_ts() + parse);
+        let expect = m.cost().per_period(
+            m.cost().rmq_tb(10),
+            m.cost().rmq_tu(),
+            m.cost().rmq_ts() + parse,
+        );
         assert_eq!(m.csd_fp_per_period(&shape), expect);
     }
 

@@ -10,7 +10,9 @@
 //! implemented here, plus a seeded local search that the
 //! breakdown-utilization driver uses to keep repeated probes cheap.
 
-use crate::analysis::{csd_test_with, rm_test_with, AnalysisLimits, Band, InflatedTask, TestOutcome};
+use crate::analysis::{
+    csd_test_with, rm_test_with, AnalysisLimits, Band, InflatedTask, TestOutcome,
+};
 use crate::overhead::{CsdShape, OverheadModel};
 use crate::task::TaskSet;
 
@@ -192,7 +194,8 @@ pub fn find_partition(
         SearchStrategy::Exhaustive => {
             let mut best: Option<(f64, Partition)> = None;
             let mut bounds = vec![0usize; m];
-            exhaustive_rec(ts, ovh, limits, n, &mut bounds, 0, 0, &mut best);
+            let ctx = SearchCtx { ts, ovh, limits, n };
+            exhaustive_rec(&ctx, &mut bounds, 0, 0, &mut best);
             best.map(|(_, p)| p)
         }
         SearchStrategy::TroublesomeRule => {
@@ -208,29 +211,35 @@ pub fn find_partition(
     }
 }
 
-fn exhaustive_rec(
-    ts: &TaskSet,
-    ovh: &OverheadModel,
+/// The invariants of one exhaustive search, threaded through the
+/// recursion as a unit.
+struct SearchCtx<'a> {
+    ts: &'a TaskSet,
+    ovh: &'a OverheadModel,
     limits: AnalysisLimits,
     n: usize,
+}
+
+fn exhaustive_rec(
+    ctx: &SearchCtx<'_>,
     bounds: &mut Vec<usize>,
     level: usize,
     min: usize,
     best: &mut Option<(f64, Partition)>,
 ) {
     if level == bounds.len() {
-        let p = Partition::new(bounds.clone(), n);
-        if test_partition(ts, &p, ovh, limits) == TestOutcome::Schedulable {
-            let u = overhead_utilization(ts, &p, ovh);
-            if best.as_ref().map_or(true, |(bu, _)| u < *bu) {
+        let p = Partition::new(bounds.clone(), ctx.n);
+        if test_partition(ctx.ts, &p, ctx.ovh, ctx.limits) == TestOutcome::Schedulable {
+            let u = overhead_utilization(ctx.ts, &p, ctx.ovh);
+            if best.as_ref().is_none_or(|(bu, _)| u < *bu) {
                 *best = Some((u, p));
             }
         }
         return;
     }
-    for b in min..=n {
+    for b in min..=ctx.n {
         bounds[level] = b;
-        exhaustive_rec(ts, ovh, limits, n, bounds, level + 1, b, best);
+        exhaustive_rec(ctx, bounds, level + 1, b, best);
     }
 }
 

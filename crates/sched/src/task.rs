@@ -188,14 +188,21 @@ mod tests {
             Task::new(1, ms(5), ms(1)),
             Task::new(2, ms(40), ms(1)),
         ]);
-        let periods: Vec<u64> = ts.tasks().iter().map(|t| t.period.as_ns() / 1_000_000).collect();
+        let periods: Vec<u64> = ts
+            .tasks()
+            .iter()
+            .map(|t| t.period.as_ns() / 1_000_000)
+            .collect();
         assert_eq!(periods, vec![5, 40, 100]);
         assert_eq!(ts.task(0).id, 1);
     }
 
     #[test]
     fn ties_break_by_id_for_determinism() {
-        let ts = TaskSet::new(vec![Task::new(7, ms(10), ms(1)), Task::new(3, ms(10), ms(1))]);
+        let ts = TaskSet::new(vec![
+            Task::new(7, ms(10), ms(1)),
+            Task::new(3, ms(10), ms(1)),
+        ]);
         assert_eq!(ts.task(0).id, 3);
         assert_eq!(ts.task(1).id, 7);
     }
@@ -226,10 +233,7 @@ mod tests {
 
     #[test]
     fn hyperperiod_and_cap() {
-        let ts = TaskSet::new(vec![
-            Task::new(0, ms(4), ms(1)),
-            Task::new(1, ms(6), ms(1)),
-        ]);
+        let ts = TaskSet::new(vec![Task::new(0, ms(4), ms(1)), Task::new(1, ms(6), ms(1))]);
         assert_eq!(ts.hyperperiod(Duration::from_secs(1)), ms(12));
         // Co-prime large periods exceed the cap.
         let ts = TaskSet::new(vec![
@@ -237,7 +241,10 @@ mod tests {
             Task::new(1, Duration::from_ms(991), ms(1)),
             Task::new(2, Duration::from_ms(983), ms(1)),
         ]);
-        assert_eq!(ts.hyperperiod(Duration::from_secs(60)), Duration::from_secs(60));
+        assert_eq!(
+            ts.hyperperiod(Duration::from_secs(60)),
+            Duration::from_secs(60)
+        );
     }
 
     #[test]

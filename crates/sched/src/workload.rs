@@ -97,7 +97,11 @@ mod tests {
         }
         .generate(&mut rng);
         assert_eq!(ts.len(), 30);
-        assert!((ts.utilization() - 0.5).abs() < 0.02, "U = {}", ts.utilization());
+        assert!(
+            (ts.utilization() - 0.5).abs() < 0.02,
+            "U = {}",
+            ts.utilization()
+        );
     }
 
     #[test]

@@ -3,33 +3,60 @@
 //! Every stochastic experiment in the paper ("we generate 500 workloads
 //! with random task periods and execution times", §5.7) is reproduced
 //! with explicit seeds so results are stable across runs and machines.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256** (Blackman & Vigna)
+//! seeded through SplitMix64, so the simulator carries no external
+//! randomness dependency — important for the small-memory spirit and
+//! for fully offline builds.
 
 /// A deterministic random-number generator for experiments.
 ///
-/// Thin wrapper over [`StdRng`] that (a) forces an explicit seed and
-/// (b) provides the couple of sampling shapes the workload generator
-/// needs without pulling distribution crates in.
+/// xoshiro256** with SplitMix64 seeding: (a) forces an explicit seed
+/// and (b) provides the couple of sampling shapes the workload
+/// generator needs without pulling distribution crates in.
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from an explicit seed.
     pub fn seeded(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; used to give each
     /// workload its own stream so adding experiments never perturbs
     /// existing ones.
     pub fn derive(&mut self, salt: u64) -> SimRng {
-        let s: u64 = self.inner.gen();
+        let s = self.next_u64();
         SimRng::seeded(s ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
@@ -40,13 +67,22 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn int_in(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range");
-        self.inner.gen_range(lo..=hi)
+        let span = (hi - lo).wrapping_add(1);
+        if span == 0 {
+            // Full u64 range.
+            return self.next_u64();
+        }
+        // Fixed-point multiply maps [0, 2^64) onto [0, span) almost
+        // uniformly — bias is < span/2^64, invisible at test scales.
+        let wide = (self.next_u64() as u128) * (span as u128);
+        lo + (wide >> 64) as u64
     }
 
     /// Uniform float in `[lo, hi)`.
     pub fn float_in(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo <= hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
     }
 
     /// Uniform index in `[0, n)`.
@@ -56,25 +92,25 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "empty choice set");
-        self.inner.gen_range(0..n)
+        self.int_in(0, n as u64 - 1) as usize
     }
 
     /// Bernoulli draw with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.float_in(0.0, 1.0) < p.clamp(0.0, 1.0)
     }
 
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.index(i + 1);
             xs.swap(i, j);
         }
     }
 
     /// Raw `u64`, for seeding foreign generators.
     pub fn raw(&mut self) -> u64 {
-        self.inner.gen()
+        self.next_u64()
     }
 }
 
@@ -113,6 +149,16 @@ mod tests {
     }
 
     #[test]
+    fn int_in_covers_endpoints() {
+        let mut r = SimRng::seeded(13);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[(r.int_in(5, 9) - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 5..=9 drawn: {seen:?}");
+    }
+
+    #[test]
     fn derive_is_deterministic_and_independent() {
         let mut root1 = SimRng::seeded(9);
         let mut root2 = SimRng::seeded(9);
@@ -130,5 +176,12 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..16).collect::<Vec<_>>());
         assert_ne!(xs, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut r = SimRng::seeded(21);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
     }
 }

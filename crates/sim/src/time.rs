@@ -294,7 +294,7 @@ impl fmt::Display for Duration {
 fn format_ns(ns: u64) -> String {
     if ns == 0 {
         "0ns".to_string()
-    } else if ns % 1_000_000_000 == 0 {
+    } else if ns.is_multiple_of(1_000_000_000) {
         format!("{}s", ns / 1_000_000_000)
     } else if ns >= 1_000_000 {
         format!("{:.3}ms", ns as f64 / 1_000_000.0)
@@ -344,7 +344,10 @@ mod tests {
         let b = Duration::from_us(2);
         assert_eq!(a.saturating_sub(b), Duration::ZERO);
         assert_eq!(b.saturating_sub(a), Duration::from_us(1));
-        assert_eq!(Time::from_us(1).saturating_since(Time::from_us(5)), Duration::ZERO);
+        assert_eq!(
+            Time::from_us(1).saturating_since(Time::from_us(5)),
+            Duration::ZERO
+        );
     }
 
     #[test]

@@ -104,17 +104,36 @@ pub enum TraceEvent {
     Note(String),
 }
 
+impl TraceEvent {
+    /// One-line human-readable description, used by [`Trace::render`]
+    /// and the deadline-miss forensic reports.
+    pub fn describe(&self) -> String {
+        describe(self)
+    }
+}
+
 /// A timestamped trace of kernel events.
 ///
 /// Recording can be disabled (`Trace::disabled()`) for long experiment
 /// runs where only the [`crate::Accounting`] totals matter; all `push`
-/// calls then become no-ops while counters stay live.
+/// calls then become no-ops while counters stay live. For long runs
+/// that still need forensics, `Trace::ring(cap)` keeps only the most
+/// recent `cap` events in bounded memory.
 #[derive(Debug)]
 pub struct Trace {
+    /// Stored events. In full mode this is append-only and
+    /// chronological; in ring mode it is a circular buffer whose
+    /// oldest entry sits at `ring_start` once full.
     events: Vec<(Time, TraceEvent)>,
     recording: bool,
+    /// `Some(cap)` bounds storage to the `cap` most recent events.
+    ring_capacity: Option<usize>,
+    /// Ring mode: index of the oldest stored event.
+    ring_start: usize,
     context_switches: u64,
     deadline_misses: u64,
+    /// Events offered for storage (recorded + evicted + discarded).
+    total_seen: u64,
 }
 
 impl Trace {
@@ -123,8 +142,11 @@ impl Trace {
         Trace {
             events: Vec::new(),
             recording: true,
+            ring_capacity: None,
+            ring_start: 0,
             context_switches: 0,
             deadline_misses: 0,
+            total_seen: 0,
         }
     }
 
@@ -136,9 +158,29 @@ impl Trace {
         }
     }
 
+    /// Creates a bounded trace that keeps only the `capacity` most
+    /// recent events (counters stay exact). Memory use is
+    /// `capacity × sizeof(event)` regardless of run length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn ring(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring trace needs capacity >= 1");
+        Trace {
+            ring_capacity: Some(capacity),
+            ..Trace::new()
+        }
+    }
+
     /// True if events are being stored.
     pub fn is_recording(&self) -> bool {
         self.recording
+    }
+
+    /// The ring capacity, if bounded.
+    pub fn ring_capacity(&self) -> Option<usize> {
+        self.ring_capacity
     }
 
     /// Records `event` at `at`.
@@ -148,18 +190,52 @@ impl Trace {
             TraceEvent::DeadlineMiss { .. } => self.deadline_misses += 1,
             _ => {}
         }
-        if self.recording {
-            debug_assert!(
-                self.events.last().map_or(true, |&(t, _)| t <= at),
-                "trace timestamps must be monotone"
-            );
-            self.events.push((at, event));
+        self.total_seen += 1;
+        if !self.recording {
+            return;
+        }
+        match self.ring_capacity {
+            Some(cap) if self.events.len() == cap => {
+                // Overwrite the oldest slot and advance the start.
+                self.events[self.ring_start] = (at, event);
+                self.ring_start = (self.ring_start + 1) % cap;
+            }
+            _ => {
+                debug_assert!(
+                    self.events.last().is_none_or(|&(t, _)| t <= at),
+                    "trace timestamps must be monotone"
+                );
+                self.events.push((at, event));
+            }
         }
     }
 
-    /// All stored events in order.
+    /// All stored events in order. In ring mode the storage wraps, so
+    /// use [`Trace::iter`] or [`Trace::recent`] instead; this returns
+    /// the raw (possibly rotated) slice.
     pub fn events(&self) -> &[(Time, TraceEvent)] {
         &self.events
+    }
+
+    /// Stored events in chronological order, in either mode.
+    pub fn iter(&self) -> impl Iterator<Item = &(Time, TraceEvent)> {
+        let (tail, head) = self.events.split_at(self.ring_start.min(self.events.len()));
+        head.iter().chain(tail.iter())
+    }
+
+    /// The last `k` stored events in chronological order (all of them
+    /// when fewer are stored). This is the forensic window used by
+    /// deadline-miss reports.
+    pub fn recent(&self, k: usize) -> Vec<(Time, TraceEvent)> {
+        let stored = self.events.len();
+        let take = k.min(stored);
+        self.iter().skip(stored - take).cloned().collect()
+    }
+
+    /// Events seen but no longer stored (ring eviction or disabled
+    /// recording).
+    pub fn dropped(&self) -> u64 {
+        self.total_seen - self.events.len() as u64
     }
 
     /// Total context switches (counted even when not recording).
@@ -174,8 +250,7 @@ impl Trace {
 
     /// Stored deadline-miss events.
     pub fn deadline_misses(&self) -> Vec<(Time, ThreadId)> {
-        self.events
-            .iter()
+        self.iter()
             .filter_map(|(t, e)| match e {
                 TraceEvent::DeadlineMiss { tid, .. } => Some((*t, *tid)),
                 _ => None,
@@ -183,19 +258,19 @@ impl Trace {
             .collect()
     }
 
-    /// Stored events matching `pred`, with timestamps.
+    /// Stored events matching `pred`, with timestamps, in
+    /// chronological order.
     pub fn filter<'a>(
         &'a self,
         mut pred: impl FnMut(&TraceEvent) -> bool + 'a,
     ) -> impl Iterator<Item = &'a (Time, TraceEvent)> + 'a {
-        self.events.iter().filter(move |(_, e)| pred(e))
+        self.iter().filter(move |(_, e)| pred(e))
     }
 
     /// The sequence of `(from, to)` context switches, for scenario
     /// assertions like "context switch C2 is eliminated" (Figure 8).
     pub fn context_switch_sequence(&self) -> Vec<(Option<ThreadId>, Option<ThreadId>)> {
-        self.events
-            .iter()
+        self.iter()
             .filter_map(|(_, e)| match e {
                 TraceEvent::ContextSwitch { from, to } => Some((*from, *to)),
                 _ => None,
@@ -209,7 +284,7 @@ impl Trace {
     pub fn execution_intervals(&self, end: Time) -> Vec<(ThreadId, Time, Time)> {
         let mut out = Vec::new();
         let mut current: Option<(ThreadId, Time)> = None;
-        for (t, e) in &self.events {
+        for (t, e) in self.iter() {
             if let TraceEvent::ContextSwitch { to, .. } = e {
                 if let Some((tid, start)) = current.take() {
                     if *t > start {
@@ -233,10 +308,28 @@ impl Trace {
     /// the quickstart example.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        for (t, e) in &self.events {
+        for (t, e) in self.iter() {
             s.push_str(&format!("[{:>12}] {}\n", t.to_string(), describe(e)));
         }
         s
+    }
+
+    /// Serializes the stored events as JSON Lines: one object per
+    /// event, chronological, each with a `t_ns` timestamp and a
+    /// `kind` discriminant. The format is hand-rolled (no external
+    /// dependencies) and stable for tooling.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for (t, e) in self.iter() {
+            event_to_json(&mut s, *t, e);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Streams [`Trace::to_jsonl`] into `w`.
+    pub fn write_jsonl<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(self.to_jsonl().as_bytes())
     }
 
     /// Number of stored events.
@@ -278,7 +371,11 @@ fn describe(e: &TraceEvent) -> String {
         SemReleased { tid, sem } => format!("{tid} released {sem}"),
         PriorityInherit { holder, donor } => format!("{holder} inherits priority of {donor}"),
         PriorityRestore { holder } => format!("{holder} priority restored"),
-        EarlyInherit { waiter, holder, sem } => {
+        EarlyInherit {
+            waiter,
+            holder,
+            sem,
+        } => {
             format!("early PI: {waiter} -> {holder} for {sem}")
         }
         PreLockAdmit { tid, sem } => format!("{tid} admitted to pre-lock queue of {sem}"),
@@ -296,6 +393,174 @@ fn describe(e: &TraceEvent) -> String {
         ProtectionFault { tid, addr } => format!("{tid} PROTECTION FAULT at {addr:#x}"),
         Note(s) => s.clone(),
     }
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_opt_tid(out: &mut String, key: &str, tid: Option<ThreadId>) {
+    match tid {
+        Some(t) => out.push_str(&format!(",\"{key}\":{}", t.0)),
+        None => out.push_str(&format!(",\"{key}\":null")),
+    }
+}
+
+/// Writes one event as a single-line JSON object into `out`.
+fn event_to_json(out: &mut String, at: Time, e: &TraceEvent) {
+    use TraceEvent::*;
+    out.push_str(&format!("{{\"t_ns\":{}", at.as_ns()));
+    let kind = |out: &mut String, k: &str| out.push_str(&format!(",\"kind\":\"{k}\""));
+    match e {
+        ContextSwitch { from, to } => {
+            kind(out, "context_switch");
+            push_opt_tid(out, "from", *from);
+            push_opt_tid(out, "to", *to);
+        }
+        JobRelease { tid, job, deadline } => {
+            kind(out, "job_release");
+            out.push_str(&format!(
+                ",\"tid\":{},\"job\":{job},\"deadline_ns\":{}",
+                tid.0,
+                deadline.as_ns()
+            ));
+        }
+        JobComplete { tid, job } => {
+            kind(out, "job_complete");
+            out.push_str(&format!(",\"tid\":{},\"job\":{job}", tid.0));
+        }
+        DeadlineMiss { tid, job, deadline } => {
+            kind(out, "deadline_miss");
+            out.push_str(&format!(
+                ",\"tid\":{},\"job\":{job},\"deadline_ns\":{}",
+                tid.0,
+                deadline.as_ns()
+            ));
+        }
+        Blocked { tid } => {
+            kind(out, "blocked");
+            out.push_str(&format!(",\"tid\":{}", tid.0));
+        }
+        Unblocked { tid } => {
+            kind(out, "unblocked");
+            out.push_str(&format!(",\"tid\":{}", tid.0));
+        }
+        SemAcquired { tid, sem } => {
+            kind(out, "sem_acquired");
+            out.push_str(&format!(",\"tid\":{},\"sem\":{}", tid.0, sem.0));
+        }
+        SemBlocked { tid, sem, holder } => {
+            kind(out, "sem_blocked");
+            out.push_str(&format!(
+                ",\"tid\":{},\"sem\":{},\"holder\":{}",
+                tid.0, sem.0, holder.0
+            ));
+        }
+        SemReleased { tid, sem } => {
+            kind(out, "sem_released");
+            out.push_str(&format!(",\"tid\":{},\"sem\":{}", tid.0, sem.0));
+        }
+        PriorityInherit { holder, donor } => {
+            kind(out, "priority_inherit");
+            out.push_str(&format!(",\"holder\":{},\"donor\":{}", holder.0, donor.0));
+        }
+        PriorityRestore { holder } => {
+            kind(out, "priority_restore");
+            out.push_str(&format!(",\"holder\":{}", holder.0));
+        }
+        EarlyInherit {
+            waiter,
+            holder,
+            sem,
+        } => {
+            kind(out, "early_inherit");
+            out.push_str(&format!(
+                ",\"waiter\":{},\"holder\":{},\"sem\":{}",
+                waiter.0, holder.0, sem.0
+            ));
+        }
+        PreLockAdmit { tid, sem } => {
+            kind(out, "prelock_admit");
+            out.push_str(&format!(",\"tid\":{},\"sem\":{}", tid.0, sem.0));
+        }
+        PreLockBlock { tid, sem } => {
+            kind(out, "prelock_block");
+            out.push_str(&format!(",\"tid\":{},\"sem\":{}", tid.0, sem.0));
+        }
+        MboxSend { tid, mbox, bytes } => {
+            kind(out, "mbox_send");
+            out.push_str(&format!(
+                ",\"tid\":{},\"mbox\":{},\"bytes\":{bytes}",
+                tid.0, mbox.0
+            ));
+        }
+        MboxRecv { tid, mbox, bytes } => {
+            kind(out, "mbox_recv");
+            out.push_str(&format!(
+                ",\"tid\":{},\"mbox\":{},\"bytes\":{bytes}",
+                tid.0, mbox.0
+            ));
+        }
+        StateWrite { tid, var, seq } => {
+            kind(out, "state_write");
+            out.push_str(&format!(
+                ",\"tid\":{},\"var\":{},\"seq\":{seq}",
+                tid.0, var.0
+            ));
+        }
+        StateRead { tid, var, seq } => {
+            kind(out, "state_read");
+            out.push_str(&format!(
+                ",\"tid\":{},\"var\":{},\"seq\":{seq}",
+                tid.0, var.0
+            ));
+        }
+        CvWait { tid, cv } => {
+            kind(out, "cv_wait");
+            out.push_str(&format!(",\"tid\":{},\"cv\":{}", tid.0, cv.0));
+        }
+        CvSignal { tid, cv } => {
+            kind(out, "cv_signal");
+            out.push_str(&format!(",\"tid\":{},\"cv\":{}", tid.0, cv.0));
+        }
+        EventSignal { tid, event } => {
+            kind(out, "event_signal");
+            out.push_str(&format!(",\"tid\":{},\"event\":{}", tid.0, event.0));
+        }
+        IrqRaised { line } => {
+            kind(out, "irq_raised");
+            out.push_str(&format!(",\"line\":{}", line.0));
+        }
+        IrqHandled { line } => {
+            kind(out, "irq_handled");
+            out.push_str(&format!(",\"line\":{}", line.0));
+        }
+        Syscall { tid, name } => {
+            kind(out, "syscall");
+            out.push_str(&format!(",\"tid\":{},\"name\":\"{name}\"", tid.0));
+        }
+        ProtectionFault { tid, addr } => {
+            kind(out, "protection_fault");
+            out.push_str(&format!(",\"tid\":{},\"addr\":{addr}", tid.0));
+        }
+        Note(s) => {
+            kind(out, "note");
+            out.push_str(",\"text\":\"");
+            json_escape(s, out);
+            out.push('"');
+        }
+    }
+    out.push('}');
 }
 
 /// A busy-interval summary over a window, used by utilization reports.
@@ -397,6 +662,100 @@ mod tests {
         assert_eq!(s.lines().count(), 2);
         assert!(s.contains("ctxsw idle -> T3"));
         assert!(s.contains("hello"));
+    }
+
+    #[test]
+    fn ring_trace_keeps_only_most_recent() {
+        let mut tr = Trace::ring(3);
+        for i in 0..7u64 {
+            tr.push(Time::from_us(i), TraceEvent::Note(format!("e{i}")));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 4);
+        let kept: Vec<String> = tr
+            .iter()
+            .map(|(_, e)| match e {
+                TraceEvent::Note(s) => s.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec!["e4", "e5", "e6"]);
+        // Counters stay exact across eviction.
+        tr.push(Time::from_us(7), switch(None, Some(1)));
+        assert_eq!(tr.context_switch_count(), 1);
+        assert_eq!(tr.ring_capacity(), Some(3));
+    }
+
+    #[test]
+    fn recent_returns_chronological_window() {
+        let mut full = Trace::new();
+        let mut ring = Trace::ring(4);
+        for i in 0..9u64 {
+            let e = TraceEvent::Note(format!("n{i}"));
+            full.push(Time::from_us(i), e.clone());
+            ring.push(Time::from_us(i), e);
+        }
+        // Both modes agree on the last-2 window.
+        assert_eq!(full.recent(2), ring.recent(2));
+        assert_eq!(
+            full.recent(2)
+                .iter()
+                .map(|(t, _)| t.as_us())
+                .collect::<Vec<_>>(),
+            vec![7, 8]
+        );
+        // Asking for more than stored returns everything stored.
+        assert_eq!(ring.recent(100).len(), 4);
+    }
+
+    #[test]
+    fn ring_filter_and_switch_sequence_are_chronological() {
+        let mut tr = Trace::ring(2);
+        tr.push(Time::ZERO, switch(None, Some(1)));
+        tr.push(Time::from_us(1), switch(Some(1), Some(2)));
+        tr.push(Time::from_us(2), switch(Some(2), None));
+        assert_eq!(
+            tr.context_switch_sequence(),
+            vec![
+                (Some(ThreadId(1)), Some(ThreadId(2))),
+                (Some(ThreadId(2)), None)
+            ]
+        );
+        assert_eq!(tr.context_switch_count(), 3);
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let mut tr = Trace::new();
+        tr.push(Time::ZERO, switch(None, Some(1)));
+        tr.push(
+            Time::from_us(3),
+            TraceEvent::SemBlocked {
+                tid: ThreadId(2),
+                sem: SemId(0),
+                holder: ThreadId(1),
+            },
+        );
+        tr.push(
+            Time::from_us(4),
+            TraceEvent::Note("quote \" and \\ back\nslash".into()),
+        );
+        let out = tr.to_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"t_ns\":0,\"kind\":\"context_switch\",\"from\":null,\"to\":1}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"t_ns\":3000,\"kind\":\"sem_blocked\",\"tid\":2,\"sem\":0,\"holder\":1}"
+        );
+        // Note strings are escaped so each event stays one valid line.
+        assert!(lines[2].contains("quote \\\" and \\\\ back\\nslash"));
+        let mut buf = Vec::new();
+        tr.write_jsonl(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), out);
     }
 
     #[test]

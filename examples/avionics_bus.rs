@@ -36,7 +36,9 @@ fn us(v: u64) -> Duration {
 /// A sensor node: samples and broadcasts on a period.
 fn sensor_node(name: &'static str, period: Duration, payload: u32) -> (Kernel, MboxId, MboxId) {
     let mut b = KernelBuilder::new(KernelConfig {
-        policy: SchedPolicy::Csd { boundaries: vec![1] },
+        policy: SchedPolicy::Csd {
+            boundaries: vec![1],
+        },
         ..KernelConfig::default()
     });
     let p = b.add_process(name);
@@ -71,7 +73,9 @@ fn sensor_node(name: &'static str, period: Duration, payload: u32) -> (Kernel, M
 /// task.
 fn consumer_node(name: &'static str, work: Duration) -> (Kernel, MboxId, MboxId) {
     let mut b = KernelBuilder::new(KernelConfig {
-        policy: SchedPolicy::Csd { boundaries: vec![1] },
+        policy: SchedPolicy::Csd {
+            boundaries: vec![1],
+        },
         ..KernelConfig::default()
     });
     let p = b.add_process(name);
@@ -86,7 +90,12 @@ fn consumer_node(name: &'static str, work: Duration) -> (Kernel, MboxId, MboxId)
         Script::looping(vec![Action::RecvMbox(rx), Action::Compute(us(120))]),
     );
     // The node's periodic work (control law / display refresh / log).
-    b.add_periodic_task(p, format!("{name}-main"), ms(10), Script::compute_only(work));
+    b.add_periodic_task(
+        p,
+        format!("{name}-main"),
+        ms(10),
+        Script::compute_only(work),
+    );
     (b.build(), tx, rx)
 }
 
@@ -139,7 +148,11 @@ fn main() {
     }
     // Both sensor streams flowed: 500 ms → 50 AHRS + 25 ADC frames to
     // each of the three consumers.
-    assert!(net.stats.frames_sent >= 74, "sent {}", net.stats.frames_sent);
+    assert!(
+        net.stats.frames_sent >= 74,
+        "sent {}",
+        net.stats.frames_sent
+    );
     assert_eq!(net.stats.frames_dropped, 0);
     println!("\nall five nodes met every deadline; no frames dropped");
 }

@@ -92,7 +92,10 @@ fn main() {
         let (mut k, estimator) = build(policy);
         k.run_until(Time::from_ms(500));
         let report = KernelReport::collect(&k);
-        println!("--- {name} (fixed priorities by {}) ---", if name == "RM" { "period" } else { "deadline" });
+        println!(
+            "--- {name} (fixed priorities by {}) ---",
+            if name == "RM" { "period" } else { "deadline" }
+        );
         print!("{}", report.render());
         let est = k.tcb(estimator);
         println!(
@@ -104,10 +107,7 @@ fn main() {
                 est.deadline_misses > 0,
                 "RM should miss the constrained deadline (gyro outranks the estimator)"
             ),
-            _ => assert_eq!(
-                report.total_misses, 0,
-                "DM must hold every deadline"
-            ),
+            _ => assert_eq!(report.total_misses, 0, "DM must hold every deadline"),
         }
     }
     println!("deadline-monotonic priorities rescue the constrained 8 ms deadline");

@@ -105,7 +105,12 @@ fn main() {
     for (name, policy) in [
         ("EDF", SchedPolicy::Edf),
         // CSD-3: AGC alone in DP1; the codec pair in DP2; UI in FP.
-        ("CSD-3", SchedPolicy::Csd { boundaries: vec![1, 4] }),
+        (
+            "CSD-3",
+            SchedPolicy::Csd {
+                boundaries: vec![1, 4],
+            },
+        ),
     ] {
         let (mut k, tasks) = build(policy);
         k.run_until(horizon);

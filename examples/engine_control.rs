@@ -25,7 +25,9 @@ use emeralds::sim::{Duration, IrqLine, StateId, Time};
 
 fn main() {
     let cfg = KernelConfig {
-        policy: SchedPolicy::Csd { boundaries: vec![3] },
+        policy: SchedPolicy::Csd {
+            boundaries: vec![3],
+        },
         sem_scheme: SemScheme::Emeralds,
         ..KernelConfig::default()
     };
@@ -41,13 +43,9 @@ fn main() {
         let injector = board.add_actuator("injector");
         let spark = board.add_actuator("spark");
         // 2 ms crank pulses carrying a rising RPM signal.
-        board.schedule_periodic_samples(
-            crank,
-            Time::from_ms(1),
-            Duration::from_ms(2),
-            200,
-            |k| 800 + (k * 7 % 400) as u32,
-        );
+        board.schedule_periodic_samples(crank, Time::from_ms(1), Duration::from_ms(2), 200, |k| {
+            800 + (k * 7 % 400) as u32
+        });
         (crank, injector, spark)
     };
 
@@ -62,7 +60,10 @@ fn main() {
             Action::DevRead(crank),
             Action::Compute(Duration::from_us(80)),
             // Publish the RPM just read from the device register.
-            Action::StateWrite { var: rpm_var, value: Operand::FromLastRead },
+            Action::StateWrite {
+                var: rpm_var,
+                value: Operand::FromLastRead,
+            },
         ]),
     );
 
@@ -124,7 +125,11 @@ fn main() {
     let injections = k.board().actuator_log(injector).len();
     let sparks = k.board().actuator_log(spark).len();
     println!("\ninjector commands: {injections}, spark commands: {sparks}");
-    println!("rpm state message: {} writes, {} reads", k.statemsg(var).writes, k.statemsg(var).reads);
+    println!(
+        "rpm state message: {} writes, {} reads",
+        k.statemsg(var).writes(),
+        k.statemsg(var).reads()
+    );
     println!(
         "priority inheritance events: {}",
         k.trace()

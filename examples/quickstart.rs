@@ -14,7 +14,9 @@ fn main() {
     // CSD-2: the two shortest-period tasks go to the EDF (DP) queue,
     // the rest to the RM (FP) queue — §5.3 of the paper.
     let cfg = KernelConfig {
-        policy: SchedPolicy::Csd { boundaries: vec![2] },
+        policy: SchedPolicy::Csd {
+            boundaries: vec![2],
+        },
         sem_scheme: SemScheme::Emeralds,
         ..KernelConfig::default()
     };
@@ -68,7 +70,10 @@ fn main() {
     print!("{}", report.render());
     println!(
         "tightest task: {} (worst response / period)",
-        report.tightest_task().map(|t| t.name.as_str()).unwrap_or("-")
+        report
+            .tightest_task()
+            .map(|t| t.name.as_str())
+            .unwrap_or("-")
     );
     let _ = (control, sensor, logger, health);
 

@@ -109,11 +109,13 @@ fn csd_band_analysis_is_safe_against_the_kernel() {
     let limits = AnalysisLimits::default();
     let mut accepted = 0;
     for (i, ts) in workloads(10, 10, 37, 0.8).into_iter().enumerate() {
-        let Some(p) = find_partition(&ts, 2, &ovh, &SearchStrategy::TroublesomeRule, limits)
-        else {
+        let Some(p) = find_partition(&ts, 2, &ovh, &SearchStrategy::TroublesomeRule, limits) else {
             continue;
         };
-        assert_eq!(test_partition(&ts, &p, &ovh, limits), TestOutcome::Schedulable);
+        assert_eq!(
+            test_partition(&ts, &p, &ovh, limits),
+            TestOutcome::Schedulable
+        );
         accepted += 1;
         let boundaries = p.boundaries().to_vec();
         let mut k = build_kernel(&ts, SchedPolicy::Csd { boundaries });
@@ -124,7 +126,10 @@ fn csd_band_analysis_is_safe_against_the_kernel() {
             "workload {i}: CSD band analysis accepted but the kernel missed"
         );
     }
-    assert!(accepted >= 5, "too few accepted workloads ({accepted}) to be meaningful");
+    assert!(
+        accepted >= 5,
+        "too few accepted workloads ({accepted}) to be meaningful"
+    );
 }
 
 /// The converse sanity: the exact RM analysis *rejects* the Table 2

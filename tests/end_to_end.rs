@@ -23,7 +23,9 @@ fn us(v: u64) -> Duration {
 #[test]
 fn full_application_exercises_every_service() {
     let mut b = KernelBuilder::new(KernelConfig {
-        policy: SchedPolicy::Csd { boundaries: vec![2] },
+        policy: SchedPolicy::Csd {
+            boundaries: vec![2],
+        },
         sem_scheme: SemScheme::Emeralds,
         ..KernelConfig::default()
     });
@@ -107,7 +109,7 @@ fn full_application_exercises_every_service() {
     assert!(k.tcb(driver).cpu_time > Duration::ZERO);
     assert!(k.tcb(controller).jobs_completed >= 24);
     assert!(k.tcb(logger).jobs_completed >= 4);
-    assert!(k.statemsg(pressure).writes >= 40);
+    assert!(k.statemsg(pressure).writes() >= 40);
     let log = k.board().actuator_log(actuator);
     assert!(log.len() >= 24, "valve commanded {} times", log.len());
     // The valve eventually echoes a real sample value.
@@ -163,8 +165,8 @@ fn mpu_blocks_unmapped_state_messages() {
         .count();
     assert!(faults >= 2, "unmapped reads must fault (got {faults})");
     // The writer is unaffected.
-    assert!(k.statemsg(var).writes >= 4);
-    assert_eq!(k.statemsg(var).reads, 0);
+    assert!(k.statemsg(var).writes() >= 4);
+    assert_eq!(k.statemsg(var).reads(), 0);
 }
 
 /// Direct MPU semantics at the HAL level.
@@ -190,7 +192,9 @@ fn three_node_fieldbus_system() {
     let nic = IrqLine(2);
     let sensor = {
         let mut b = KernelBuilder::new(KernelConfig {
-            policy: SchedPolicy::Csd { boundaries: vec![1] },
+            policy: SchedPolicy::Csd {
+                boundaries: vec![1],
+            },
             ..KernelConfig::default()
         });
         let p = b.add_process("sensor");
@@ -245,7 +249,11 @@ fn three_node_fieldbus_system() {
     let c2 = net.add_node("c2", k2, tx2, rx2, nic, 6);
     net.run_until(Time::from_ms(300));
     assert_eq!(net.stats.frames_dropped, 0);
-    assert!(net.stats.frames_sent >= 29, "sent {}", net.stats.frames_sent);
+    assert!(
+        net.stats.frames_sent >= 29,
+        "sent {}",
+        net.stats.frames_sent
+    );
     // Broadcast to 2 consumers.
     assert!(net.stats.frames_delivered >= 2 * (net.stats.frames_sent - 2));
     for id in [c1, c2] {

@@ -1,155 +1,212 @@
 //! Conservation properties of the IPC paths: nothing is lost or
 //! duplicated, under randomized producer/consumer workloads and both
-//! semaphore schemes.
+//! semaphore schemes. Generation is seeded [`SimRng`]-driven (offline
+//! replacement for the proptest crate).
 
 use emeralds::core::kernel::{KernelBuilder, KernelConfig};
 use emeralds::core::script::{Action, Operand, Script};
 use emeralds::core::{SchedPolicy, SemScheme};
-use emeralds::sim::{Duration, Time, TraceEvent};
-use proptest::prelude::*;
+use emeralds::sim::{Duration, SimRng, Time, TraceEvent};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+const CASES: u64 = 40;
 
-    /// Mailbox conservation: every message enters exactly once and
-    /// leaves at most once; `sent − received` equals what is still
-    /// queued at the horizon.
-    #[test]
-    fn mailbox_messages_are_conserved(
-        prod_period_ms in 4u64..20,
-        cons_period_ms in 4u64..20,
-        capacity in 1usize..6,
-        emeralds_scheme in any::<bool>(),
-    ) {
-        let scheme = if emeralds_scheme { SemScheme::Emeralds } else { SemScheme::Standard };
-        let mut b = KernelBuilder::new(KernelConfig {
-            policy: SchedPolicy::RmQueue,
-            sem_scheme: scheme,
-            ..KernelConfig::default()
-        });
-        let p = b.add_process("w");
-        let mb = b.add_mailbox(capacity);
-        b.add_periodic_task(
-            p,
-            "producer",
-            Duration::from_ms(prod_period_ms),
-            Script::periodic(vec![
-                Action::Compute(Duration::from_us(100)),
-                Action::SendMbox { mbox: mb, bytes: 8, tag: 1 },
-            ]),
+/// Mailbox conservation: every message enters exactly once and
+/// leaves at most once; `sent − received` equals what is still
+/// queued at the horizon.
+fn check_mailbox_conserved(
+    prod_period_ms: u64,
+    cons_period_ms: u64,
+    capacity: usize,
+    emeralds_scheme: bool,
+) {
+    let scheme = if emeralds_scheme {
+        SemScheme::Emeralds
+    } else {
+        SemScheme::Standard
+    };
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::RmQueue,
+        sem_scheme: scheme,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process("w");
+    let mb = b.add_mailbox(capacity);
+    b.add_periodic_task(
+        p,
+        "producer",
+        Duration::from_ms(prod_period_ms),
+        Script::periodic(vec![
+            Action::Compute(Duration::from_us(100)),
+            Action::SendMbox {
+                mbox: mb,
+                bytes: 8,
+                tag: 1,
+            },
+        ]),
+    );
+    b.add_periodic_task(
+        p,
+        "consumer",
+        Duration::from_ms(cons_period_ms),
+        Script::periodic(vec![
+            Action::RecvMbox(mb),
+            Action::Compute(Duration::from_us(100)),
+        ]),
+    );
+    let mut k = b.build();
+    k.run_until(Time::from_ms(300));
+    let ctx = format!(
+        "prod={prod_period_ms}ms cons={cons_period_ms}ms cap={capacity} emeralds={emeralds_scheme}"
+    );
+    let mbx = k.mailbox(mb);
+    assert!(mbx.received <= mbx.sent, "{ctx}");
+    assert_eq!(mbx.sent - mbx.received, mbx.len() as u64, "{ctx}");
+    assert!(mbx.len() <= capacity, "{ctx}");
+    // The trace agrees with the counters.
+    let sends = k
+        .trace()
+        .filter(|e| matches!(e, TraceEvent::MboxSend { .. }))
+        .count() as u64;
+    let recvs = k
+        .trace()
+        .filter(|e| matches!(e, TraceEvent::MboxRecv { .. }))
+        .count() as u64;
+    assert_eq!(sends, mbx.sent, "{ctx}");
+    assert_eq!(recvs, mbx.received, "{ctx}");
+}
+
+#[test]
+fn mailbox_messages_are_conserved() {
+    let mut rng = SimRng::seeded(0x3B0C);
+    for _ in 0..CASES {
+        check_mailbox_conserved(
+            rng.int_in(4, 19),
+            rng.int_in(4, 19),
+            rng.int_in(1, 5) as usize,
+            rng.chance(0.5),
         );
-        b.add_periodic_task(
-            p,
-            "consumer",
-            Duration::from_ms(cons_period_ms),
-            Script::periodic(vec![
-                Action::RecvMbox(mb),
-                Action::Compute(Duration::from_us(100)),
-            ]),
-        );
-        let mut k = b.build();
-        k.run_until(Time::from_ms(300));
-        let mbx = k.mailbox(mb);
-        prop_assert!(mbx.received <= mbx.sent);
-        prop_assert_eq!(mbx.sent - mbx.received, mbx.len() as u64);
-        prop_assert!(mbx.len() <= capacity);
-        // The trace agrees with the counters.
-        let sends = k.trace().filter(|e| matches!(e, TraceEvent::MboxSend { .. })).count() as u64;
-        let recvs = k.trace().filter(|e| matches!(e, TraceEvent::MboxRecv { .. })).count() as u64;
-        prop_assert_eq!(sends, mbx.sent);
-        prop_assert_eq!(recvs, mbx.received);
     }
+}
 
-    /// State-message monotonicity: the sequence number only grows,
-    /// every write bumps it exactly once, and readers always observe
-    /// the newest published value.
-    #[test]
-    fn state_message_sequence_is_monotone_and_fresh(
-        writer_period_ms in 2u64..15,
-        reader_period_ms in 2u64..15,
-        size in 4usize..64,
-    ) {
-        let mut b = KernelBuilder::new(KernelConfig {
-            policy: SchedPolicy::RmQueue,
-            ..KernelConfig::default()
-        });
-        let p = b.add_process("w");
-        let writer = b.add_periodic_task(
-            p,
-            "writer",
-            Duration::from_ms(writer_period_ms),
-            Script::periodic(vec![
-                Action::Compute(Duration::from_us(50)),
-                Action::StateWrite {
-                    var: emeralds::sim::StateId(0),
-                    value: Operand::Const(0xAB),
-                },
-            ]),
-        );
-        let var = b.add_state_msg(writer, size, 3, &[p]);
-        b.add_periodic_task(
-            p,
-            "reader",
-            Duration::from_ms(reader_period_ms),
-            Script::periodic(vec![Action::StateRead(var), Action::Compute(Duration::from_us(50))]),
-        );
-        let mut k = b.build();
-        k.run_until(Time::from_ms(200));
-        let v = k.statemsg(var);
-        prop_assert_eq!(v.seq, v.writes, "each write bumps seq once");
-        // Trace: write sequence numbers strictly increase; every read
-        // observes the latest write's sequence at that instant.
-        let mut last_write_seq = 0u64;
-        for (_, ev) in k.trace().events() {
-            match ev {
-                TraceEvent::StateWrite { seq, .. } => {
-                    prop_assert_eq!(*seq, last_write_seq + 1);
-                    last_write_seq = *seq;
-                }
-                TraceEvent::StateRead { seq, .. } => {
-                    prop_assert_eq!(*seq, last_write_seq, "stale read");
-                }
-                _ => {}
+/// State-message monotonicity: the sequence number only grows,
+/// every write bumps it exactly once, and readers always observe
+/// the newest published value.
+fn check_state_message_monotone(writer_period_ms: u64, reader_period_ms: u64, size: usize) {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::RmQueue,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process("w");
+    let writer = b.add_periodic_task(
+        p,
+        "writer",
+        Duration::from_ms(writer_period_ms),
+        Script::periodic(vec![
+            Action::Compute(Duration::from_us(50)),
+            Action::StateWrite {
+                var: emeralds::sim::StateId(0),
+                value: Operand::Const(0xAB),
+            },
+        ]),
+    );
+    let var = b.add_state_msg(writer, size, 3, &[p]);
+    b.add_periodic_task(
+        p,
+        "reader",
+        Duration::from_ms(reader_period_ms),
+        Script::periodic(vec![
+            Action::StateRead(var),
+            Action::Compute(Duration::from_us(50)),
+        ]),
+    );
+    let mut k = b.build();
+    k.run_until(Time::from_ms(200));
+    let ctx = format!("writer={writer_period_ms}ms reader={reader_period_ms}ms size={size}");
+    let v = k.statemsg(var);
+    assert_eq!(v.seq, v.writes(), "each write bumps seq once ({ctx})");
+    // Trace: write sequence numbers strictly increase; every read
+    // observes the latest write's sequence at that instant.
+    let mut last_write_seq = 0u64;
+    for (_, ev) in k.trace().events() {
+        match ev {
+            TraceEvent::StateWrite { seq, .. } => {
+                assert_eq!(*seq, last_write_seq + 1, "{ctx}");
+                last_write_seq = *seq;
             }
+            TraceEvent::StateRead { seq, .. } => {
+                assert_eq!(*seq, last_write_seq, "stale read ({ctx})");
+            }
+            _ => {}
         }
-        prop_assert_eq!(v.writes, k.tcb(writer).jobs_completed);
     }
+    assert_eq!(v.writes(), k.tcb(writer).jobs_completed, "{ctx}");
+}
 
-    /// Semaphore conservation: acquisitions and releases pair up, and
-    /// at the horizon the lock is held by at most one thread.
-    #[test]
-    fn semaphore_acquire_release_pairing(
-        periods in prop::collection::vec(8u64..40, 2..5),
-        emeralds_scheme in any::<bool>(),
-    ) {
-        let scheme = if emeralds_scheme { SemScheme::Emeralds } else { SemScheme::Standard };
-        let mut b = KernelBuilder::new(KernelConfig {
-            policy: SchedPolicy::Csd { boundaries: vec![1] },
-            sem_scheme: scheme,
-            ..KernelConfig::default()
-        });
-        let p = b.add_process("w");
-        let s = b.add_mutex();
-        for (i, &pm) in periods.iter().enumerate() {
-            b.add_periodic_task(
-                p,
-                format!("t{i}"),
-                Duration::from_ms(pm),
-                Script::periodic(vec![
-                    Action::AcquireSem(s),
-                    Action::Compute(Duration::from_us(300)),
-                    Action::ReleaseSem(s),
-                ]),
-            );
-        }
-        let mut k = b.build();
-        k.run_until(Time::from_ms(400));
-        let acqs = k.trace().filter(|e| matches!(e, TraceEvent::SemAcquired { .. })).count();
-        let rels = k.trace().filter(|e| matches!(e, TraceEvent::SemReleased { .. })).count();
-        // Every release had an acquisition; at most one acquisition is
-        // outstanding.
-        prop_assert!(acqs >= rels);
-        prop_assert!(acqs - rels <= 1, "acqs {acqs} rels {rels}");
-        prop_assert_eq!(k.sem(s).available(), acqs == rels);
+#[test]
+fn state_message_sequence_is_monotone_and_fresh() {
+    let mut rng = SimRng::seeded(0x57A73);
+    for _ in 0..CASES {
+        check_state_message_monotone(
+            rng.int_in(2, 14),
+            rng.int_in(2, 14),
+            rng.int_in(4, 63) as usize,
+        );
+    }
+}
+
+/// Semaphore conservation: acquisitions and releases pair up, and
+/// at the horizon the lock is held by at most one thread.
+fn check_sem_pairing(periods: &[u64], emeralds_scheme: bool) {
+    let scheme = if emeralds_scheme {
+        SemScheme::Emeralds
+    } else {
+        SemScheme::Standard
+    };
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::Csd {
+            boundaries: vec![1],
+        },
+        sem_scheme: scheme,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process("w");
+    let s = b.add_mutex();
+    for (i, &pm) in periods.iter().enumerate() {
+        b.add_periodic_task(
+            p,
+            format!("t{i}"),
+            Duration::from_ms(pm),
+            Script::periodic(vec![
+                Action::AcquireSem(s),
+                Action::Compute(Duration::from_us(300)),
+                Action::ReleaseSem(s),
+            ]),
+        );
+    }
+    let mut k = b.build();
+    k.run_until(Time::from_ms(400));
+    let acqs = k
+        .trace()
+        .filter(|e| matches!(e, TraceEvent::SemAcquired { .. }))
+        .count();
+    let rels = k
+        .trace()
+        .filter(|e| matches!(e, TraceEvent::SemReleased { .. }))
+        .count();
+    // Every release had an acquisition; at most one acquisition is
+    // outstanding.
+    let ctx = format!("periods={periods:?} emeralds={emeralds_scheme}");
+    assert!(acqs >= rels, "{ctx}");
+    assert!(acqs - rels <= 1, "acqs {acqs} rels {rels} ({ctx})");
+    assert_eq!(k.sem(s).available(), acqs == rels, "{ctx}");
+}
+
+#[test]
+fn semaphore_acquire_release_pairing() {
+    let mut rng = SimRng::seeded(0x5E4A);
+    for _ in 0..CASES {
+        let n = rng.int_in(2, 4) as usize;
+        let periods: Vec<u64> = (0..n).map(|_| rng.int_in(8, 39)).collect();
+        check_sem_pairing(&periods, rng.chance(0.5));
     }
 }

@@ -87,7 +87,9 @@ fn mutual_exclusion_holds_under_both_schemes_and_all_policies() {
         for policy in [
             SchedPolicy::Edf,
             SchedPolicy::RmQueue,
-            SchedPolicy::Csd { boundaries: vec![3] },
+            SchedPolicy::Csd {
+                boundaries: vec![3],
+            },
         ] {
             for scheme in [SemScheme::Standard, SemScheme::Emeralds] {
                 let (mut k, _, sems) = lock_workload(policy.clone(), scheme, 6, 2, seed);
@@ -105,7 +107,9 @@ fn mutual_exclusion_holds_under_both_schemes_and_all_policies() {
 #[test]
 fn schemes_agree_and_emeralds_switches_less() {
     for seed in [7u64, 8, 9, 10] {
-        let policy = SchedPolicy::Csd { boundaries: vec![3] };
+        let policy = SchedPolicy::Csd {
+            boundaries: vec![3],
+        };
         let (mut a, tasks, _) = lock_workload(policy.clone(), SemScheme::Standard, 6, 2, seed);
         let (mut b, _, _) = lock_workload(policy, SemScheme::Emeralds, 6, 2, seed);
         a.run_until(Time::from_ms(500));
@@ -116,7 +120,11 @@ fn schemes_agree_and_emeralds_switches_less() {
                 b.tcb(tid).jobs_completed,
                 "seed {seed}, {tid}"
             );
-            assert_eq!(a.tcb(tid).cpu_time, b.tcb(tid).cpu_time, "seed {seed}, {tid}");
+            assert_eq!(
+                a.tcb(tid).cpu_time,
+                b.tcb(tid).cpu_time,
+                "seed {seed}, {tid}"
+            );
         }
         assert!(
             b.trace().context_switch_count() <= a.trace().context_switch_count(),
@@ -262,7 +270,10 @@ fn early_inheritance_event_order() {
         .iter()
         .position(|e| matches!(e, TraceEvent::SemReleased { tid, .. } if tid.0 != t2.0))
         .expect("holder released");
-    assert!(early_at < release_at, "inheritance must precede the release");
+    assert!(
+        early_at < release_at,
+        "inheritance must precede the release"
+    );
     assert_eq!(
         k.trace()
             .filter(|e| matches!(e, TraceEvent::SemBlocked { tid, .. } if *tid == t2))
