@@ -14,12 +14,14 @@
 //! expts cyclic                 # cyclic-executive baseline (§5 motivation)
 //! expts syscalls               # optimized-syscall ablation (§3)
 //! expts csdx [--workloads N]   # CSD queue-count sweep (§5.6)
+//! expts scale [--quick] [--nodes 8,16,...] [--out FILE] [--baseline FILE]
+//!                              # multi-node cluster scaling → BENCH_scale.json
 //! expts all [--workloads N]    # everything above
 //! ```
 
 use emeralds_bench::{
-    breakdown_figs, csdx_expt, cyclic_expt, fig2, searchcost, semfig, statemsg_expt, syscall_expt,
-    table1, table3,
+    breakdown_figs, csdx_expt, cyclic_expt, fig2, scale_expt, searchcost, semfig, statemsg_expt,
+    syscall_expt, table1, table3,
 };
 use emeralds_core::footprint;
 
@@ -32,6 +34,12 @@ fn main() {
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok())
+    };
+    let svalue = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
     };
 
     let run_breakdown = |divisor: u64| {
@@ -82,6 +90,49 @@ fn main() {
             print!("{}", csdx_expt::render(&pts));
         }
         "syscalls" => print!("{}", syscall_expt::render(&syscall_expt::compute())),
+        "scale" => {
+            let mut params = if flag("--quick") {
+                scale_expt::ScaleParams::quick()
+            } else {
+                scale_expt::ScaleParams::full()
+            };
+            if let Some(list) = svalue("--nodes") {
+                params.nodes = list
+                    .split(',')
+                    .filter_map(|v| v.trim().parse().ok())
+                    .collect();
+                assert!(!params.nodes.is_empty(), "--nodes parsed to nothing");
+            }
+            let runs = scale_expt::run(&params);
+            print!("{}", scale_expt::render(&runs));
+            let out = svalue("--out").unwrap_or_else(|| "BENCH_scale.json".into());
+            let json = scale_expt::to_json(&params, &runs);
+            match std::fs::write(&out, &json) {
+                Ok(()) => println!("wrote {out}"),
+                Err(e) => {
+                    eprintln!("cannot write {out}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if let Some(baseline) = svalue("--baseline") {
+                match std::fs::read_to_string(&baseline) {
+                    Ok(text) => {
+                        let (lines, regressed) = scale_expt::check_baseline(&runs, &text, 2.0);
+                        for l in &lines {
+                            println!("{l}");
+                        }
+                        if regressed {
+                            eprintln!("scale experiment regressed vs {baseline}");
+                            std::process::exit(1);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("cannot read baseline {baseline}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
         "all" => {
             banner("T1  Table 1: scheduler run-time overheads");
             print!("{}", table1::report(&[5, 10, 15, 20, 30, 40, 50]));
@@ -121,7 +172,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: table1 fig2 fig3 fig4 fig5 table3 fig11 fig12 statemsg footprint searchcost cyclic syscalls csdx all");
+            eprintln!("known: table1 fig2 fig3 fig4 fig5 table3 fig11 fig12 statemsg footprint searchcost cyclic syscalls csdx scale all");
             std::process::exit(2);
         }
     }

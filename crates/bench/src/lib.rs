@@ -17,12 +17,14 @@
 //! | CY | cyclic-executive baseline (§5 motivation) | [`cyclic_expt`] |
 //! | SY | optimized-syscall ablation (§3) | [`syscall_expt`] |
 //! | CX | CSD queue-count sweep (§5.6) | [`csdx_expt`] |
+//! | SC | multi-node cluster scaling (not a paper figure) | [`scale_expt`] |
 
 pub mod breakdown_figs;
 pub mod csdx_expt;
 pub mod cyclic_expt;
 pub mod fig2;
 pub mod microbench;
+pub mod scale_expt;
 pub mod searchcost;
 pub mod semfig;
 pub mod statemsg_expt;

@@ -9,12 +9,44 @@
 //! estimator is plenty.
 
 use std::hint::black_box;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Target wall-clock spent measuring each benchmark.
 const MEASURE_WINDOW: Duration = Duration::from_millis(60);
 /// Wall-clock spent warming up each benchmark.
 const WARMUP_WINDOW: Duration = Duration::from_millis(15);
+/// Quick-mode (CI smoke) windows: numbers are noisier but every bench
+/// still executes end to end.
+const QUICK_MEASURE_WINDOW: Duration = Duration::from_millis(8);
+const QUICK_WARMUP_WINDOW: Duration = Duration::from_millis(2);
+
+/// True when `BENCH_QUICK` is set (to anything but `0`/empty): CI runs
+/// the benches as smoke tests, not for publishable numbers.
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| {
+        std::env::var("BENCH_QUICK")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+fn measure_window() -> Duration {
+    if quick_mode() {
+        QUICK_MEASURE_WINDOW
+    } else {
+        MEASURE_WINDOW
+    }
+}
+
+fn warmup_window() -> Duration {
+    if quick_mode() {
+        QUICK_WARMUP_WINDOW
+    } else {
+        WARMUP_WINDOW
+    }
+}
 
 /// One benchmark group; prints rows as `group/label ... ns/iter`.
 pub struct BenchGroup {
@@ -40,18 +72,20 @@ impl BenchGroup {
 fn time_ns<T>(f: &mut impl FnMut() -> T) -> f64 {
     // Warm up and size the batch so one batch takes ~1/20 of the
     // measurement window.
+    let warmup = warmup_window();
+    let measure = measure_window();
     let warm_start = Instant::now();
     let mut warm_iters: u64 = 0;
-    while warm_start.elapsed() < WARMUP_WINDOW || warm_iters == 0 {
+    while warm_start.elapsed() < warmup || warm_iters == 0 {
         black_box(f());
         warm_iters += 1;
     }
-    let per_iter = WARMUP_WINDOW.as_nanos() as f64 / warm_iters as f64;
-    let batch = ((MEASURE_WINDOW.as_nanos() as f64 / 20.0 / per_iter.max(1.0)) as u64).max(1);
+    let per_iter = warmup.as_nanos() as f64 / warm_iters as f64;
+    let batch = ((measure.as_nanos() as f64 / 20.0 / per_iter.max(1.0)) as u64).max(1);
 
     let mut samples = Vec::new();
     let start = Instant::now();
-    while start.elapsed() < MEASURE_WINDOW || samples.is_empty() {
+    while start.elapsed() < measure || samples.is_empty() {
         let t0 = Instant::now();
         for _ in 0..batch {
             black_box(f());

@@ -1,0 +1,432 @@
+//! Experiment SC — multi-node cluster scaling.
+//!
+//! Not a paper figure: the paper ran one 25 MHz board. This experiment
+//! measures the *reproduction's* scale-out executive
+//! ([`emeralds_fieldbus::Cluster`]) on an avionics-style workload at
+//! 8/16/32/64 nodes, comparing wall-clock at 1 worker thread vs 4, and
+//! reporting simulated bus utilization. Every run is bit-for-bit
+//! deterministic in virtual time; only `wall_ms` depends on the host.
+//!
+//! Emits `BENCH_scale.json` (one `runs[]` entry per node×worker
+//! config) and can gate CI against a committed baseline: a run is a
+//! regression when its wall-clock exceeds `factor ×` the baseline
+//! entry with the same `(nodes, workers)`.
+
+use std::time::Instant;
+
+use emeralds_core::kernel::{KernelBuilder, KernelConfig};
+use emeralds_core::script::{Action, Script};
+use emeralds_core::{Kernel, SchedPolicy};
+use emeralds_fieldbus::{addressed_tag, Cluster};
+use emeralds_sim::{Duration, IrqLine, MboxId, NodeId, SimRng, Time};
+
+const NIC_IRQ: IrqLine = IrqLine(2);
+
+/// Experiment shape.
+#[derive(Clone, Debug)]
+pub struct ScaleParams {
+    /// Cluster sizes to sweep.
+    pub nodes: Vec<usize>,
+    /// Worker-thread counts to compare (first entry is the serial
+    /// reference for speedup).
+    pub workers: Vec<usize>,
+    /// Simulated horizon per run.
+    pub horizon: Time,
+    /// Workload seed (task periods/compute are jittered per node).
+    pub seed: u64,
+}
+
+impl ScaleParams {
+    /// The committed-baseline sweep: 8–64 nodes, 300 ms horizon.
+    pub fn full() -> ScaleParams {
+        ScaleParams {
+            nodes: vec![8, 16, 32, 64],
+            workers: vec![1, 4],
+            horizon: Time::from_ms(300),
+            seed: 0x5CA1E,
+        }
+    }
+
+    /// CI smoke shape: one small cluster, short horizon.
+    pub fn quick() -> ScaleParams {
+        ScaleParams {
+            nodes: vec![8],
+            workers: vec![1, 4],
+            horizon: Time::from_ms(60),
+            seed: 0x5CA1E,
+        }
+    }
+}
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct ScaleRun {
+    pub nodes: usize,
+    pub workers: usize,
+    /// Host wall-clock of `Cluster::run_until` (the only
+    /// non-deterministic field).
+    pub wall_ms: f64,
+    pub sim_ms: f64,
+    pub frames_sent: u64,
+    pub frames_delivered: u64,
+    pub frames_dropped: u64,
+    pub bus_utilization: f64,
+    pub mean_latency_us: f64,
+    pub deadline_misses: u64,
+    pub context_switches: u64,
+    pub jobs_completed: u64,
+}
+
+/// A sensor board: samples on a jittered period and sends an addressed
+/// frame to its paired consumer, plus filler control tasks that give
+/// the host threads real kernel work per epoch.
+fn sensor_node(i: usize, dst: NodeId, rng: &mut SimRng) -> (Kernel, MboxId, MboxId) {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::Csd {
+            boundaries: vec![2],
+        },
+        record_trace: false,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process(format!("sensor{i}"));
+    let tx = b.add_mailbox(8);
+    let rx = b.add_mailbox(8);
+    b.board_mut().add_nic("can", NIC_IRQ);
+    let period = Duration::from_us(rng.int_in(8_000, 12_000));
+    b.add_periodic_task(
+        p,
+        "sample",
+        period,
+        Script::periodic(vec![
+            Action::Compute(Duration::from_us(rng.int_in(80, 200))),
+            Action::SendMbox {
+                mbox: tx,
+                bytes: 8,
+                tag: addressed_tag(Some(dst), (i as u32) & 0x00FF_FFFF),
+            },
+        ]),
+    );
+    for f in 0..8 {
+        let period = Duration::from_us(rng.int_in(500, 1_000));
+        b.add_periodic_task(
+            p,
+            format!("ctl{f}"),
+            period,
+            Script::compute_only(Duration::from_us(rng.int_in(18, 40))),
+        );
+    }
+    b.add_driver_task(
+        p,
+        "nicdrv",
+        Duration::from_ms(2),
+        Script::looping(vec![
+            Action::RecvMbox(rx),
+            Action::Compute(Duration::from_us(20)),
+        ]),
+    );
+    (b.build(), tx, rx)
+}
+
+/// A consumer board: IRQ-driven NIC driver feeding a control law, plus
+/// filler tasks.
+fn consumer_node(i: usize, rng: &mut SimRng) -> (Kernel, MboxId, MboxId) {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::Csd {
+            boundaries: vec![2],
+        },
+        record_trace: false,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process(format!("consumer{i}"));
+    let tx = b.add_mailbox(8);
+    let rx = b.add_mailbox(16);
+    b.board_mut().add_nic("can", NIC_IRQ);
+    b.add_driver_task(
+        p,
+        "nicdrv",
+        Duration::from_ms(2),
+        Script::looping(vec![
+            Action::RecvMbox(rx),
+            Action::Compute(Duration::from_us(rng.int_in(60, 140))),
+        ]),
+    );
+    b.add_periodic_task(
+        p,
+        "law",
+        Duration::from_ms(10),
+        Script::compute_only(Duration::from_us(rng.int_in(600, 1_100))),
+    );
+    for f in 0..8 {
+        let period = Duration::from_us(rng.int_in(500, 1_000));
+        b.add_periodic_task(
+            p,
+            format!("ctl{f}"),
+            period,
+            Script::compute_only(Duration::from_us(rng.int_in(18, 40))),
+        );
+    }
+    (b.build(), tx, rx)
+}
+
+/// Builds the n-node workload: the first half are sensors, each paired
+/// with a consumer in the second half (sensor *i* → consumer *n/2+i*).
+///
+/// # Panics
+///
+/// Panics when `n < 2` or `n` is odd.
+pub fn build_cluster(n: usize, seed: u64, workers: usize) -> Cluster {
+    assert!(n >= 2 && n % 2 == 0, "node count must be even and >= 2");
+    let mut rng = SimRng::seeded(seed);
+    let mut c = Cluster::new(1_000_000).with_workers(workers);
+    let half = n / 2;
+    for i in 0..half {
+        let mut node_rng = rng.derive(i as u64);
+        let dst = NodeId((half + i) as u32);
+        let (k, tx, rx) = sensor_node(i, dst, &mut node_rng);
+        c.add_node(format!("sensor{i}"), k, tx, rx, NIC_IRQ, (i + 1) as u32);
+    }
+    for i in 0..half {
+        let mut node_rng = rng.derive((half + i) as u64);
+        let (k, tx, rx) = consumer_node(i, &mut node_rng);
+        c.add_node(
+            format!("consumer{i}"),
+            k,
+            tx,
+            rx,
+            NIC_IRQ,
+            (half + i + 1) as u32,
+        );
+    }
+    c
+}
+
+/// Runs the sweep, measuring wall-clock per configuration.
+pub fn run(params: &ScaleParams) -> Vec<ScaleRun> {
+    let mut out = Vec::new();
+    for &n in &params.nodes {
+        for &w in &params.workers {
+            let mut c = build_cluster(n, params.seed, w);
+            let t0 = Instant::now();
+            c.run_until(params.horizon);
+            let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+            let m = c.metrics();
+            let s = c.stats();
+            out.push(ScaleRun {
+                nodes: n,
+                workers: w,
+                wall_ms,
+                sim_ms: params.horizon.as_ms_f64(),
+                frames_sent: s.frames_sent,
+                frames_delivered: s.frames_delivered,
+                frames_dropped: s.frames_dropped,
+                bus_utilization: c.bus_utilization(),
+                mean_latency_us: s.mean_latency().map(|d| d.as_us_f64()).unwrap_or(0.0),
+                deadline_misses: m.deadline_misses,
+                context_switches: m.context_switches,
+                jobs_completed: m.jobs_completed,
+            });
+        }
+    }
+    out
+}
+
+/// Speedup of the `workers`-thread run over the 1-thread run at the
+/// same node count, if both exist.
+pub fn speedup(runs: &[ScaleRun], nodes: usize, workers: usize) -> Option<f64> {
+    let base = runs
+        .iter()
+        .find(|r| r.nodes == nodes && r.workers == 1)?
+        .wall_ms;
+    let par = runs
+        .iter()
+        .find(|r| r.nodes == nodes && r.workers == workers)?
+        .wall_ms;
+    (par > 0.0).then_some(base / par)
+}
+
+/// Renders the sweep as a table with per-node-count speedups.
+pub fn render(runs: &[ScaleRun]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "nodes  workers  wall ms   speedup  sim ms  frames(s/d/x)        bus%   misses  ctxsw\n",
+    );
+    for r in runs {
+        let sp = if r.workers == 1 {
+            "1.00".to_string()
+        } else {
+            speedup(runs, r.nodes, r.workers)
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".into())
+        };
+        s.push_str(&format!(
+            "{:>5}  {:>7}  {:>8.2}  {:>7}  {:>6.0}  {:>6}/{:<6}/{:<5} {:>5.1}  {:>6}  {:>6}\n",
+            r.nodes,
+            r.workers,
+            r.wall_ms,
+            sp,
+            r.sim_ms,
+            r.frames_sent,
+            r.frames_delivered,
+            r.frames_dropped,
+            100.0 * r.bus_utilization,
+            r.deadline_misses,
+            r.context_switches,
+        ));
+    }
+    s
+}
+
+/// Serializes the sweep as `BENCH_scale.json` (hand-rolled JSON; one
+/// `runs[]` entry per line so the baseline check can parse it with
+/// plain string scanning).
+pub fn to_json(params: &ScaleParams, runs: &[ScaleRun]) -> String {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("\"experiment\": \"scale\",\n");
+    s.push_str(&format!(
+        "\"horizon_ms\": {},\n",
+        params.horizon.as_ms_f64()
+    ));
+    s.push_str(&format!("\"seed\": {},\n", params.seed));
+    s.push_str(&format!("\"host_parallelism\": {host},\n"));
+    s.push_str("\"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        s.push_str(&format!(
+            "{{\"nodes\": {}, \"workers\": {}, \"wall_ms\": {:.3}, \"sim_ms\": {:.1}, \"frames_sent\": {}, \"frames_delivered\": {}, \"frames_dropped\": {}, \"bus_utilization\": {:.4}, \"mean_latency_us\": {:.1}, \"deadline_misses\": {}, \"context_switches\": {}, \"jobs_completed\": {}}}{}\n",
+            r.nodes,
+            r.workers,
+            r.wall_ms,
+            r.sim_ms,
+            r.frames_sent,
+            r.frames_delivered,
+            r.frames_dropped,
+            r.bus_utilization,
+            r.mean_latency_us,
+            r.deadline_misses,
+            r.context_switches,
+            r.jobs_completed,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("],\n\"speedups\": {");
+    let mut first = true;
+    for &n in &params.nodes {
+        for &w in &params.workers {
+            if w == 1 {
+                continue;
+            }
+            if let Some(v) = speedup(runs, n, w) {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str(&format!("\n\"n{n}_w{w}\": {v:.3}"));
+            }
+        }
+    }
+    s.push_str("\n}\n}\n");
+    s
+}
+
+/// Pulls a numeric field out of one `runs[]` line of the JSON above.
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares fresh runs against a committed baseline file. Wall-clock
+/// is normalized per simulated millisecond, so a `--quick` run (short
+/// horizon) can be gated against the committed full-horizon baseline.
+/// A run regresses when its normalized wall-clock exceeds `factor ×`
+/// the baseline entry with the same `(nodes, workers)`; configs absent
+/// from the baseline are skipped. Returns the per-config verdict lines
+/// and whether any run regressed.
+pub fn check_baseline(runs: &[ScaleRun], baseline_json: &str, factor: f64) -> (Vec<String>, bool) {
+    let mut lines = Vec::new();
+    let mut regressed = false;
+    for r in runs {
+        let base = baseline_json.lines().find_map(|l| {
+            let n = field_f64(l, "nodes")?;
+            let w = field_f64(l, "workers")?;
+            if n as usize != r.nodes || w as usize != r.workers {
+                return None;
+            }
+            Some((field_f64(l, "wall_ms")?, field_f64(l, "sim_ms")?))
+        });
+        match base {
+            Some((base_ms, base_sim)) if base_ms > 0.0 && base_sim > 0.0 && r.sim_ms > 0.0 => {
+                let ratio = (r.wall_ms / r.sim_ms) / (base_ms / base_sim);
+                let bad = ratio > factor;
+                regressed |= bad;
+                lines.push(format!(
+                    "scale n{} w{}: {:.3} wall-ms/sim-ms vs baseline {:.3} ({}{:.2}x, limit {:.1}x)",
+                    r.nodes,
+                    r.workers,
+                    r.wall_ms / r.sim_ms,
+                    base_ms / base_sim,
+                    if bad { "REGRESSION " } else { "" },
+                    ratio,
+                    factor
+                ));
+            }
+            _ => lines.push(format!(
+                "scale n{} w{}: no baseline entry, skipped",
+                r.nodes, r.workers
+            )),
+        }
+    }
+    (lines, regressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_clean_and_deterministic() {
+        let horizon = Time::from_ms(40);
+        let mut a = build_cluster(8, 7, 1);
+        a.run_until(horizon);
+        let mut b = build_cluster(8, 7, 4);
+        b.run_until(horizon);
+        assert_eq!(a.metrics(), b.metrics());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.metrics().deadline_misses, 0);
+        assert_eq!(a.stats().frames_dropped, 0);
+        assert!(a.stats().frames_delivered > 0);
+    }
+
+    #[test]
+    fn json_round_trips_through_baseline_check() {
+        let params = ScaleParams {
+            nodes: vec![4],
+            workers: vec![1, 2],
+            horizon: Time::from_ms(10),
+            seed: 3,
+        };
+        let runs = run(&params);
+        let json = to_json(&params, &runs);
+        let (lines, regressed) = check_baseline(&runs, &json, 2.0);
+        assert_eq!(lines.len(), runs.len());
+        assert!(!regressed, "{lines:?}");
+        // An impossible factor flags every config.
+        let (_, regressed) = check_baseline(&runs, &json, 0.0);
+        assert!(regressed);
+    }
+
+    #[test]
+    fn field_extraction_parses_run_lines() {
+        let line = "{\"nodes\": 8, \"workers\": 4, \"wall_ms\": 12.345, \"sim_ms\": 60.0}";
+        assert_eq!(field_f64(line, "nodes"), Some(8.0));
+        assert_eq!(field_f64(line, "wall_ms"), Some(12.345));
+        assert_eq!(field_f64(line, "absent"), None);
+    }
+}

@@ -19,6 +19,21 @@ impl Kernel {
         while self.step(horizon) {}
     }
 
+    /// Cluster-executive entry point: advances this kernel to the
+    /// epoch boundary `horizon` exactly as [`Kernel::run_until`]
+    /// would, landing the clock at the boundary (idle time is
+    /// accounted) so independent nodes stay clock-aligned at barriers.
+    ///
+    /// Splitting a run into epochs is observably identical to one
+    /// `run_until` over the whole span: occurrences due *exactly at* a
+    /// boundary are processed at the top of the next epoch, at the
+    /// same virtual instant — which is also when a single long run
+    /// would process them. The N=1 parity test in
+    /// `tests/cluster_determinism.rs` pins this equivalence.
+    pub fn advance_to(&mut self, horizon: Time) {
+        self.run_until(horizon);
+    }
+
     /// Runs until `horizon` or the first deadline miss; returns true
     /// if a miss occurred.
     pub fn run_until_miss(&mut self, horizon: Time) -> bool {

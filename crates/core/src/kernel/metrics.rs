@@ -297,6 +297,128 @@ impl KernelMetrics {
     }
 }
 
+/// One node's slice of a [`ClusterMetrics`] rollup.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeMetrics {
+    pub name: String,
+    pub metrics: KernelMetrics,
+}
+
+/// Aggregate metrics across every kernel of a multi-node cluster: the
+/// per-node [`KernelMetrics`] snapshots plus system-wide totals. Built
+/// by the cluster executive in `emeralds-fieldbus`; kept here so the
+/// rollup math lives next to the per-kernel accounting it sums.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterMetrics {
+    /// Latest per-node clock (nodes may overshoot a shared horizon by
+    /// at most one kernel operation).
+    pub now: Time,
+    pub nodes: Vec<NodeMetrics>,
+    pub context_switches: u64,
+    pub deadline_misses: u64,
+    pub syscalls: u64,
+    pub jobs_completed: u64,
+    /// Summed across nodes (node-seconds of virtual time).
+    pub app_time: Duration,
+    pub idle_time: Duration,
+    pub total_overhead: Duration,
+}
+
+impl ClusterMetrics {
+    /// Rolls up named per-kernel snapshots.
+    pub fn from_nodes(nodes: Vec<NodeMetrics>) -> ClusterMetrics {
+        let mut c = ClusterMetrics {
+            now: Time::ZERO,
+            nodes: Vec::new(),
+            context_switches: 0,
+            deadline_misses: 0,
+            syscalls: 0,
+            jobs_completed: 0,
+            app_time: Duration::ZERO,
+            idle_time: Duration::ZERO,
+            total_overhead: Duration::ZERO,
+        };
+        for n in &nodes {
+            let m = &n.metrics;
+            c.now = c.now.max(m.now);
+            c.context_switches += m.context_switches;
+            c.deadline_misses += m.deadline_misses;
+            c.syscalls += m.counters.syscall_total();
+            c.jobs_completed += m.tasks.iter().map(|t| t.jobs_completed).sum::<u64>();
+            c.app_time += m.app_time;
+            c.idle_time += m.idle_time;
+            c.total_overhead += m.total_overhead;
+        }
+        c.nodes = nodes;
+        c
+    }
+
+    /// Number of nodes in the rollup.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Renders the rollup: one header plus one line per node.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "cluster metrics @ {} | nodes {} | ctxsw {} | misses {} | syscalls {} | jobs {} | app {} | overhead {} | idle {}\n",
+            self.now,
+            self.nodes.len(),
+            self.context_switches,
+            self.deadline_misses,
+            self.syscalls,
+            self.jobs_completed,
+            self.app_time,
+            self.total_overhead,
+            self.idle_time
+        );
+        for n in &self.nodes {
+            let m = &n.metrics;
+            s.push_str(&format!(
+                "  {:<10} ctxsw {:<7} misses {:<4} app {:<12} overhead {:<12} idle {}\n",
+                n.name,
+                m.context_switches,
+                m.deadline_misses,
+                m.app_time.to_string(),
+                m.total_overhead.to_string(),
+                m.idle_time
+            ));
+        }
+        s
+    }
+
+    /// Serializes the rollup as one JSON object (hand-rolled, like
+    /// [`KernelMetrics::to_json`]). Per-node entries carry the full
+    /// kernel snapshot.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{{\n\"now_ns\": {},\n\"node_count\": {},\n\"context_switches\": {},\n\"deadline_misses\": {},\n\"syscalls\": {},\n\"jobs_completed\": {},\n\"app_ns\": {},\n\"idle_ns\": {},\n\"overhead_ns\": {},\n\"nodes\": [",
+            self.now.as_ns(),
+            self.nodes.len(),
+            self.context_switches,
+            self.deadline_misses,
+            self.syscalls,
+            self.jobs_completed,
+            self.app_time.as_ns(),
+            self.idle_time.as_ns(),
+            self.total_overhead.as_ns()
+        ));
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n{{\"name\": \"{}\", \"metrics\": {}}}",
+                n.name,
+                n.metrics.to_json()
+            ));
+        }
+        s.push_str("\n]\n}\n");
+        s
+    }
+}
+
 /// One task's state at the instant of a deadline miss.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TaskSnapshot {

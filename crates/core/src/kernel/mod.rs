@@ -17,7 +17,8 @@ mod sem_ops;
 mod tests;
 
 pub use metrics::{
-    KernelMetrics, MissReport, ServiceCounters, TaskMetrics, TaskSnapshot, MAX_MISS_REPORTS,
+    ClusterMetrics, KernelMetrics, MissReport, NodeMetrics, ServiceCounters, TaskMetrics,
+    TaskSnapshot, MAX_MISS_REPORTS,
 };
 
 use emeralds_hal::{Board, BoardConfig, Clock, CostModel, Perms};

@@ -1,0 +1,541 @@
+//! The multi-node cluster executive: N kernels over one bus, advanced
+//! in parallel across host threads.
+//!
+//! [`crate::Network`] co-simulates nodes serially — correct, but one
+//! host core drives every board, so a 64-node system runs 64× slower
+//! than one board. [`Cluster`] instead runs each [`Kernel`] on the
+//! deterministic conservative-lookahead engine of
+//! [`emeralds_sim::run_epochs`]:
+//!
+//! - **Epoch**: every node independently advances its local virtual
+//!   clock by one lookahead window *L* (default: one max-size
+//!   bus-frame time — no frame can cross the bus faster, so no node
+//!   can miss an input by running ahead).
+//! - **Barrier exchange** (serial, node order): deliver in-flight
+//!   frames whose wire time completed, harvest each node's TX mailbox
+//!   onto the arbitration queue, then grant the bus CAN-style (lowest
+//!   arbitration id first, FIFO within an id) for every transmission
+//!   that *starts* inside the next window.
+//!
+//! Timing model vs [`crate::Network`]: frames are timestamped at the
+//! harvesting barrier and delivered at the first barrier after their
+//! wire time completes, so end-to-end latency is quantized to at most
+//! one lookahead window (±*L* ≈ one frame time) instead of the serial
+//! executive's per-step resolution. *Intra-node* accounting — the
+//! paper's per-op cost model — is untouched: each kernel runs the
+//! exact same step loop either way. Results are bit-for-bit identical
+//! for any worker count; `tests/cluster_determinism.rs` pins this.
+
+use std::collections::VecDeque;
+
+use emeralds_core::kernel::{ClusterMetrics, NodeMetrics};
+use emeralds_core::Kernel;
+use emeralds_sim::{run_epochs, Duration, EpochConfig, EpochNode, IrqLine, MboxId, NodeId, Time};
+
+use crate::{frame_of, BusStats, Frame};
+
+/// One simulated board in a [`Cluster`]: a kernel plus its NIC wiring.
+#[derive(Debug)]
+pub struct ClusterNode {
+    pub id: NodeId,
+    pub name: String,
+    pub kernel: Kernel,
+    /// Application → NIC mailbox.
+    pub tx_mbox: MboxId,
+    /// NIC → application mailbox.
+    pub rx_mbox: MboxId,
+    /// Interrupt raised on frame reception.
+    pub nic_irq: IrqLine,
+    /// Arbitration id for this node's transmissions.
+    pub tx_prio: u32,
+}
+
+impl EpochNode for ClusterNode {
+    fn advance_to(&mut self, horizon: Time) {
+        self.kernel.advance_to(horizon);
+    }
+}
+
+/// The shared-bus state mutated only at epoch barriers.
+#[derive(Debug)]
+struct BusState {
+    bitrate_bps: u64,
+    framing_bits: u64,
+    /// The instant the bus becomes idle.
+    bus_free_at: Time,
+    /// Harvest order within an arbitration id (CAN FIFO tie-break).
+    seq: u64,
+    /// Frames queued but not yet granted the bus: `(prio, seq, frame)`.
+    pending: Vec<(u32, u64, Frame)>,
+    /// Granted transmissions awaiting delivery, in completion order.
+    in_flight: VecDeque<(Time, Frame)>,
+    stats: BusStats,
+    lookahead: Duration,
+}
+
+impl BusState {
+    /// Wire time of one frame.
+    fn frame_time(&self, bytes: usize) -> Duration {
+        let bits = bytes as u64 * 8 + self.framing_bits;
+        Duration::from_ns(bits * 1_000_000_000 / self.bitrate_bps)
+    }
+
+    /// The serial barrier step: deliver, harvest, arbitrate.
+    fn exchange(&mut self, nodes: &mut [&mut ClusterNode], now: Time) {
+        // 1. Deliver frames whose wire time has completed. `in_flight`
+        //    is in completion order (the bus is serial).
+        while let Some(&(done, frame)) = self.in_flight.front() {
+            if done > now {
+                break;
+            }
+            self.in_flight.pop_front();
+            self.deliver(nodes, frame, done);
+        }
+
+        // 2. Harvest TX mailboxes in node order. Frames posted during
+        //    the elapsed epoch are stamped at this barrier — the
+        //    conservative end of the window.
+        for node in nodes.iter_mut() {
+            let tx = node.tx_mbox;
+            while let Some(msg) = node.kernel.external_mbox_pop(tx) {
+                let frame = frame_of(node.id, node.tx_prio, msg, now);
+                self.pending.push((frame.prio, self.seq, frame));
+                self.seq += 1;
+                self.stats.frames_sent += 1;
+            }
+        }
+
+        // 3. Arbitrate every transmission that starts before the next
+        //    barrier: new frames cannot appear until then, so the
+        //    grant order is fully decided by the current queue.
+        let window_end = now + self.lookahead;
+        while self.bus_free_at < window_end && !self.pending.is_empty() {
+            let best = self
+                .pending
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &(prio, seq, _))| (prio, seq))
+                .map(|(i, _)| i)
+                .expect("nonempty pending");
+            let (_, _, frame) = self.pending.swap_remove(best);
+            let start = self.bus_free_at.max(now);
+            let done = start + self.frame_time(frame.bytes);
+            self.stats.busy += done.since(start);
+            self.bus_free_at = done;
+            self.in_flight.push_back((done, frame));
+        }
+    }
+
+    fn deliver(&mut self, nodes: &mut [&mut ClusterNode], frame: Frame, done: Time) {
+        let targets: Vec<usize> = match frame.dst {
+            Some(d) => vec![d.index()],
+            None => (0..nodes.len())
+                .filter(|&i| i != frame.src.index())
+                .collect(),
+        };
+        for t in targets {
+            let node = &mut nodes[t];
+            let rx = node.rx_mbox;
+            let ok = node.kernel.external_mbox_push(
+                rx,
+                emeralds_core::ipc::Message {
+                    bytes: frame.bytes,
+                    tag: frame.tag,
+                    sender: emeralds_sim::ThreadId(u32::MAX - frame.src.0),
+                },
+            );
+            if ok {
+                node.kernel.raise_external_irq(node.nic_irq);
+                self.stats.frames_delivered += 1;
+                self.stats.total_latency += done.since(frame.queued_at.min(done));
+            } else {
+                self.stats.frames_dropped += 1;
+            }
+        }
+    }
+}
+
+/// N independent kernels over one priority-arbitrated bus, advanced in
+/// parallel. See the module docs for the epoch/lookahead model.
+#[derive(Debug)]
+pub struct Cluster {
+    nodes: Vec<ClusterNode>,
+    bus: BusState,
+    /// Host worker threads (clamped to `1..=nodes` at run time).
+    pub workers: usize,
+    /// How far the executive has driven the cluster.
+    cursor: Time,
+}
+
+impl Cluster {
+    /// Creates an empty cluster at the given bus bit rate, with the
+    /// lookahead window defaulting to one max-size frame time and one
+    /// worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero bit rate.
+    pub fn new(bitrate_bps: u64) -> Cluster {
+        assert!(bitrate_bps > 0, "zero bit rate");
+        let mut bus = BusState {
+            bitrate_bps,
+            framing_bits: 47,
+            bus_free_at: Time::ZERO,
+            seq: 0,
+            pending: Vec::new(),
+            in_flight: VecDeque::new(),
+            stats: BusStats::default(),
+            lookahead: Duration::ZERO,
+        };
+        bus.lookahead = bus.frame_time(8);
+        Cluster {
+            nodes: Vec::new(),
+            bus,
+            workers: 1,
+            cursor: Time::ZERO,
+        }
+    }
+
+    /// Sets the worker-thread count (builder style).
+    pub fn with_workers(mut self, workers: usize) -> Cluster {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The lookahead window (epoch length).
+    pub fn lookahead(&self) -> Duration {
+        self.bus.lookahead
+    }
+
+    /// Overrides the lookahead window. Larger windows cut barrier
+    /// overhead but coarsen frame-delivery timing; windows below one
+    /// frame time buy nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero window.
+    pub fn set_lookahead(&mut self, window: Duration) {
+        assert!(!window.is_zero(), "zero lookahead");
+        self.bus.lookahead = window;
+    }
+
+    /// Attaches a node. The kernel must already own the two mailboxes
+    /// and have its NIC wired to `nic_irq`.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        kernel: Kernel,
+        tx_mbox: MboxId,
+        rx_mbox: MboxId,
+        nic_irq: IrqLine,
+        tx_prio: u32,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(ClusterNode {
+            id,
+            name: name.into(),
+            kernel,
+            tx_mbox,
+            rx_mbox,
+            nic_irq,
+            tx_prio,
+        });
+        id
+    }
+
+    /// Node access.
+    pub fn node(&self, id: NodeId) -> &ClusterNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut ClusterNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// All nodes, in id order.
+    pub fn nodes(&self) -> &[ClusterNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are attached.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Bus-level statistics.
+    pub fn stats(&self) -> &BusStats {
+        &self.bus.stats
+    }
+
+    /// Wire time of one frame.
+    pub fn frame_time(&self, bytes: usize) -> Duration {
+        self.bus.frame_time(bytes)
+    }
+
+    /// How far the executive has driven the cluster.
+    pub fn now(&self) -> Time {
+        self.cursor
+    }
+
+    /// Fraction of driven time the bus carried bits.
+    pub fn bus_utilization(&self) -> f64 {
+        if self.cursor == Time::ZERO {
+            0.0
+        } else {
+            self.bus.stats.busy.as_ns() as f64 / self.cursor.as_ns() as f64
+        }
+    }
+
+    /// Advances every node to `horizon` in parallel epochs. Callable
+    /// repeatedly; each call resumes from the previous horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cluster has no nodes.
+    pub fn run_until(&mut self, horizon: Time) {
+        assert!(!self.nodes.is_empty(), "cluster has no nodes");
+        if horizon <= self.cursor {
+            return;
+        }
+        let cfg = EpochConfig {
+            lookahead: self.bus.lookahead,
+            workers: self.workers,
+        };
+        let bus = &mut self.bus;
+        run_epochs(
+            &mut self.nodes,
+            self.cursor,
+            horizon,
+            &cfg,
+            &mut |nodes, at| bus.exchange(nodes, at),
+        );
+        self.cursor = horizon;
+    }
+
+    /// Rolls every node's kernel metrics into a [`ClusterMetrics`].
+    pub fn metrics(&self) -> ClusterMetrics {
+        ClusterMetrics::from_nodes(
+            self.nodes
+                .iter()
+                .map(|n| NodeMetrics {
+                    name: n.name.clone(),
+                    metrics: n.kernel.metrics(),
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addressed_tag;
+    use emeralds_core::kernel::{KernelBuilder, KernelConfig};
+    use emeralds_core::script::{Action, Script};
+    use emeralds_core::SchedPolicy;
+
+    const NIC_IRQ: IrqLine = IrqLine(2);
+
+    /// A node that periodically sends one frame to `dst` and drains
+    /// everything received.
+    fn make_node(
+        send_period_ms: u64,
+        payload: u32,
+        dst: Option<NodeId>,
+    ) -> (Kernel, MboxId, MboxId) {
+        let cfg = KernelConfig {
+            policy: SchedPolicy::RmQueue,
+            ..KernelConfig::default()
+        };
+        let mut b = KernelBuilder::new(cfg);
+        let p = b.add_process("node");
+        let tx = b.add_mailbox(8);
+        let rx = b.add_mailbox(8);
+        b.board_mut().add_nic("can", NIC_IRQ);
+        b.add_periodic_task(
+            p,
+            "sender",
+            Duration::from_ms(send_period_ms),
+            Script::periodic(vec![
+                Action::Compute(Duration::from_us(100)),
+                Action::SendMbox {
+                    mbox: tx,
+                    bytes: 8,
+                    tag: addressed_tag(dst, payload),
+                },
+            ]),
+        );
+        b.add_driver_task(
+            p,
+            "rx-driver",
+            Duration::from_ms(1),
+            Script::looping(vec![
+                Action::RecvMbox(rx),
+                Action::Compute(Duration::from_us(50)),
+            ]),
+        );
+        (b.build(), tx, rx)
+    }
+
+    fn two_node_cluster(workers: usize) -> Cluster {
+        let mut c = Cluster::new(1_000_000).with_workers(workers);
+        let (k0, tx0, rx0) = make_node(10, 7, Some(NodeId(1)));
+        let (k1, tx1, rx1) = make_node(10, 9, Some(NodeId(0)));
+        c.add_node("alpha", k0, tx0, rx0, NIC_IRQ, 10);
+        c.add_node("beta", k1, tx1, rx1, NIC_IRQ, 20);
+        c
+    }
+
+    #[test]
+    fn two_nodes_exchange_frames() {
+        let mut c = two_node_cluster(1);
+        c.run_until(Time::from_ms(55));
+        let s = c.stats();
+        assert!(s.frames_sent >= 10, "stats {s:?}");
+        assert_eq!(s.frames_dropped, 0);
+        assert!(s.frames_delivered >= 8);
+        let rx_task = emeralds_sim::ThreadId(1);
+        assert_eq!(c.node(NodeId(0)).kernel.tcb(rx_task).last_read, 9);
+        assert_eq!(c.node(NodeId(1)).kernel.tcb(rx_task).last_read, 7);
+        // Delivery is barrier-quantized: latency at least one frame
+        // time, at most frame time + one lookahead window per hop on
+        // an idle bus.
+        assert!(s.mean_latency().unwrap() >= c.frame_time(8));
+    }
+
+    #[test]
+    fn worker_count_is_invisible() {
+        let horizon = Time::from_ms(40);
+        let mut base = two_node_cluster(1);
+        base.run_until(horizon);
+        for workers in [2, 4] {
+            let mut c = two_node_cluster(workers);
+            c.run_until(horizon);
+            assert_eq!(c.stats(), base.stats(), "workers={workers}");
+            assert_eq!(c.metrics(), base.metrics(), "workers={workers}");
+            for (a, b) in base.nodes().iter().zip(c.nodes()) {
+                assert_eq!(
+                    a.kernel.trace().to_jsonl(),
+                    b.kernel.trace().to_jsonl(),
+                    "workers={workers} node={}",
+                    a.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all_other_nodes() {
+        let mut c = Cluster::new(2_000_000).with_workers(2);
+        let (k0, tx0, rx0) = make_node(10, 42, None);
+        let (k1, tx1, rx1) = make_node(1000, 1, Some(NodeId(0)));
+        let (k2, tx2, rx2) = make_node(1000, 2, Some(NodeId(0)));
+        c.add_node("src", k0, tx0, rx0, NIC_IRQ, 5);
+        let b = c.add_node("b", k1, tx1, rx1, NIC_IRQ, 6);
+        let d = c.add_node("c", k2, tx2, rx2, NIC_IRQ, 7);
+        c.run_until(Time::from_ms(30));
+        let rx_task = emeralds_sim::ThreadId(1);
+        assert_eq!(c.node(b).kernel.tcb(rx_task).last_read, 42);
+        assert_eq!(c.node(d).kernel.tcb(rx_task).last_read, 42);
+    }
+
+    #[test]
+    fn priority_arbitration_orders_backlog() {
+        // Two nodes post at the same barrier; the lower arbitration id
+        // must win the bus, so its frame completes (and delivers)
+        // first.
+        let mut c = Cluster::new(1_000_000);
+        let (k0, tx0, rx0) = make_node(10, 1, Some(NodeId(2)));
+        let (k1, tx1, rx1) = make_node(10, 2, Some(NodeId(2)));
+        let (k2, tx2, rx2) = make_node(1000, 0, Some(NodeId(0)));
+        c.add_node("low-id", k0, tx0, rx0, NIC_IRQ, 1);
+        c.add_node("high-id", k1, tx1, rx1, NIC_IRQ, 9);
+        let sink = c.add_node("sink", k2, tx2, rx2, NIC_IRQ, 50);
+        c.run_until(Time::from_ms(25));
+        // Both frames of each round arrive; the last frame of each
+        // back-to-back pair is the high-id one.
+        let rx_task = emeralds_sim::ThreadId(1);
+        assert_eq!(c.node(sink).kernel.tcb(rx_task).last_read, 2);
+        assert_eq!(c.stats().frames_dropped, 0);
+        assert!(c.stats().frames_delivered >= 4);
+    }
+
+    #[test]
+    fn bus_busy_time_accounts_every_sent_frame() {
+        let mut c = two_node_cluster(2);
+        c.run_until(Time::from_ms(50));
+        let expected = c.frame_time(8) * c.stats().frames_sent;
+        assert_eq!(c.stats().busy, expected);
+    }
+
+    #[test]
+    fn overflowing_rx_mailbox_drops_frames() {
+        // The sink has no consumer task, so its 2-slot RX mailbox
+        // overflows under a 2 ms send period.
+        let cfg = KernelConfig {
+            policy: SchedPolicy::RmQueue,
+            ..KernelConfig::default()
+        };
+        let mut b = KernelBuilder::new(cfg);
+        let p = b.add_process("sink");
+        let tx = b.add_mailbox(8);
+        let rx = b.add_mailbox(2);
+        b.board_mut().add_nic("can", NIC_IRQ);
+        b.add_periodic_task(
+            p,
+            "idle",
+            Duration::from_ms(5),
+            Script::compute_only(Duration::from_us(10)),
+        );
+        let sink = b.build();
+
+        let (k0, tx0, rx0) = make_node(2, 3, Some(NodeId(1)));
+        let mut c = Cluster::new(1_000_000);
+        c.add_node("src", k0, tx0, rx0, NIC_IRQ, 1);
+        c.add_node("sink", sink, tx, rx, NIC_IRQ, 2);
+        c.run_until(Time::from_ms(40));
+        let s = c.stats();
+        assert!(s.frames_dropped > 0);
+        assert_eq!(s.frames_delivered + s.frames_dropped, s.frames_sent);
+    }
+
+    #[test]
+    fn metrics_roll_up_across_nodes() {
+        let mut c = two_node_cluster(1);
+        c.run_until(Time::from_ms(30));
+        let m = c.metrics();
+        assert_eq!(m.node_count(), 2);
+        assert_eq!(
+            m.context_switches,
+            m.nodes.iter().map(|n| n.metrics.context_switches).sum()
+        );
+        assert!(m.jobs_completed > 0);
+        assert!(m.syscalls > 0);
+        let json = m.to_json();
+        assert!(json.contains("\"node_count\": 2"));
+        assert!(json.contains("\"name\": \"alpha\""));
+        assert!(m.render().contains("alpha"));
+    }
+
+    #[test]
+    fn run_until_resumes_from_previous_horizon() {
+        // Epoch boundaries are relative to the run start, so a split
+        // run matches a whole run when the split lands on a boundary:
+        // pin the lookahead to a divisor of the split horizon.
+        let mut split = two_node_cluster(1);
+        split.set_lookahead(Duration::from_ms(1));
+        split.run_until(Time::from_ms(20));
+        split.run_until(Time::from_ms(40));
+        let mut whole = two_node_cluster(1);
+        whole.set_lookahead(Duration::from_ms(1));
+        whole.run_until(Time::from_ms(40));
+        assert_eq!(split.stats(), whole.stats());
+        assert_eq!(split.metrics(), whole.metrics());
+    }
+}

@@ -19,6 +19,16 @@
 //! Inter-node protocol design is out of scope here, exactly as it is
 //! in the paper ("inter-node networking issues ... are not covered in
 //! this paper").
+//!
+//! Two executives share this substrate: [`Network`] co-simulates the
+//! nodes serially on one thread with fine-grained (per-step) frame
+//! delivery, and [`Cluster`] advances the nodes **in parallel across
+//! host threads** under conservative lookahead, exchanging frames only
+//! at epoch barriers — the scale-out path for large fan-outs.
+
+pub mod cluster;
+
+pub use cluster::{Cluster, ClusterNode};
 
 use std::collections::VecDeque;
 
@@ -361,7 +371,7 @@ impl Network {
 /// Builds a frame from an application message. The message tag's high
 /// byte selects a destination node (0xFF = broadcast); the low 24 bits
 /// travel as payload.
-fn frame_of(src: NodeId, prio: u32, msg: Message, now: Time) -> Frame {
+pub(crate) fn frame_of(src: NodeId, prio: u32, msg: Message, now: Time) -> Frame {
     let dst_byte = (msg.tag >> 24) as u8;
     Frame {
         prio,

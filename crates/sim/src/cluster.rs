@@ -1,0 +1,316 @@
+//! Conservative-lookahead parallel cluster execution.
+//!
+//! EMERALDS targets 5–10 node distributed systems over a 1–2 Mbit/s
+//! fieldbus (§2); growing the reproduction past one board means
+//! advancing many independent kernel instances at once. This module is
+//! the *generic* half of that executive: a deterministic epoch engine
+//! that advances a set of [`EpochNode`]s in parallel across host
+//! threads under **conservative lookahead** synchronization.
+//!
+//! The model is the classic conservative PDES argument specialized to
+//! a shared bus: nodes interact *only* through frames exchanged at
+//! epoch barriers, and no frame can traverse the bus in less than one
+//! frame time. Therefore every node may safely run ahead by one
+//! bus-frame latency (the *lookahead window*) without observing any
+//! input it has not yet been handed. The engine repeats:
+//!
+//! 1. **advance** — every node independently steps its local virtual
+//!    clock to the epoch boundary (parallel, no shared state);
+//! 2. **barrier** — all nodes have reached the boundary;
+//! 3. **exchange** — a caller-supplied closure runs *serially* with
+//!    exclusive access to all nodes (harvest TX queues, arbitrate the
+//!    bus, deliver due frames).
+//!
+//! Determinism: a node's advance depends only on its own pre-epoch
+//! state (nodes share nothing until the barrier), and the exchange is
+//! serial in node order. Hence the result is **bit-for-bit identical
+//! for any worker count** — the thread pool only decides which host
+//! core runs which node, never the order of observable effects.
+//!
+//! The bus-aware half (kernels, frames, arbitration) lives in
+//! `emeralds-fieldbus`, which implements [`EpochNode`] for its cluster
+//! node type; this crate stays free of kernel types.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::time::{Duration, Time};
+
+/// A sense-reversing barrier that spins briefly before yielding.
+///
+/// Epochs are short (one bus-frame time of virtual work, typically a
+/// few microseconds of host work per node), so the engine crosses a
+/// barrier every few microseconds. `std::sync::Barrier` parks threads
+/// through a futex — wakeup latency alone can exceed an entire epoch's
+/// work. Spinning keeps hot workers hot; the yield fallback keeps the
+/// engine livable on oversubscribed or single-core hosts.
+struct SpinBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(parties: usize) -> SpinBarrier {
+        SpinBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            self.arrived.store(0, Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == gen {
+            spins += 1;
+            if spins < 512 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// A simulated board that can advance its own virtual clock to a
+/// horizon without external input. Implementations must be
+/// deterministic: the post-state may depend only on the pre-state and
+/// the horizon.
+pub trait EpochNode: Send {
+    /// Advances local virtual time to (at least) `horizon`.
+    fn advance_to(&mut self, horizon: Time);
+}
+
+/// Epoch-engine tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochConfig {
+    /// Length of one epoch — the conservative lookahead window. For a
+    /// fieldbus cluster this is one bus-frame latency.
+    pub lookahead: Duration,
+    /// Host worker threads (clamped to `1..=nodes`). `1` runs fully
+    /// serial on the calling thread.
+    pub workers: usize,
+}
+
+/// Advances `nodes` from `from` to `horizon` in lookahead-sized
+/// epochs, invoking `exchange` at every barrier with exclusive,
+/// in-order access to all nodes and the barrier instant.
+///
+/// The final epoch is truncated at `horizon`, and `exchange` runs one
+/// last time at the horizon itself, so callers can flush in-flight
+/// state.
+///
+/// # Panics
+///
+/// Panics on a zero lookahead (the engine would not make progress).
+pub fn run_epochs<N, X>(
+    nodes: &mut Vec<N>,
+    from: Time,
+    horizon: Time,
+    cfg: &EpochConfig,
+    exchange: &mut X,
+) where
+    N: EpochNode,
+    X: FnMut(&mut [&mut N], Time),
+{
+    assert!(!cfg.lookahead.is_zero(), "zero lookahead");
+    if nodes.is_empty() || from >= horizon {
+        return;
+    }
+    let workers = cfg.workers.clamp(1, nodes.len());
+    if workers == 1 {
+        let mut cur = from;
+        while cur < horizon {
+            let end = horizon.min(cur + cfg.lookahead);
+            for n in nodes.iter_mut() {
+                n.advance_to(end);
+            }
+            let mut refs: Vec<&mut N> = nodes.iter_mut().collect();
+            exchange(&mut refs, end);
+            cur = end;
+        }
+        return;
+    }
+
+    // Parallel path: nodes live in per-node mutexes for the duration.
+    // Workers own disjoint strided subsets during an epoch, and the
+    // exchange takes every lock between barriers, so locks are never
+    // contended — they only launder the aliasing for the borrow
+    // checker. The calling thread doubles as worker 0 (and runs the
+    // exchange), so exactly `workers` threads exist: on a host with as
+    // many free cores as workers, nobody is oversubscribed. Two
+    // barrier crossings per epoch:
+    //
+    //   publish end → [A] → advance strides → [B] → exchange (worker 0
+    //   only; the rest spin toward the next A)
+    let cells: Vec<Mutex<N>> = nodes.drain(..).map(Mutex::new).collect();
+    let epoch_end_ns = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let barrier = SpinBarrier::new(workers);
+    let advance_stride = |w: usize, end: Time| {
+        let mut i = w;
+        while i < cells.len() {
+            cells[i].lock().expect("node poisoned").advance_to(end);
+            i += workers;
+        }
+    };
+    std::thread::scope(|s| {
+        for w in 1..workers {
+            let barrier = &barrier;
+            let epoch_end_ns = &epoch_end_ns;
+            let done = &done;
+            let advance_stride = &advance_stride;
+            s.spawn(move || loop {
+                barrier.wait(); // A: epoch published
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                let end = Time::from_ns(epoch_end_ns.load(Ordering::Acquire));
+                advance_stride(w, end);
+                barrier.wait(); // B: every node advanced
+            });
+        }
+        let mut cur = from;
+        while cur < horizon {
+            let end = horizon.min(cur + cfg.lookahead);
+            epoch_end_ns.store(end.as_ns(), Ordering::Release);
+            barrier.wait(); // A
+            advance_stride(0, end);
+            barrier.wait(); // B
+            let mut guards: Vec<_> = cells
+                .iter()
+                .map(|c| c.lock().expect("node poisoned"))
+                .collect();
+            let mut refs: Vec<&mut N> = guards.iter_mut().map(|g| &mut **g).collect();
+            exchange(&mut refs, end);
+            cur = end;
+        }
+        done.store(true, Ordering::Release);
+        barrier.wait(); // final A: release workers into shutdown
+    });
+    nodes.extend(
+        cells
+            .into_iter()
+            .map(|c| c.into_inner().expect("node poisoned")),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy node: logs every horizon it is advanced to and sums
+    /// values it is handed at exchanges.
+    struct Probe {
+        horizons: Vec<Time>,
+        inbox: u64,
+    }
+
+    impl EpochNode for Probe {
+        fn advance_to(&mut self, horizon: Time) {
+            self.horizons.push(horizon);
+        }
+    }
+
+    fn run(workers: usize, n: usize) -> Vec<(Vec<Time>, u64)> {
+        let mut nodes: Vec<Probe> = (0..n)
+            .map(|_| Probe {
+                horizons: Vec::new(),
+                inbox: 0,
+            })
+            .collect();
+        let cfg = EpochConfig {
+            lookahead: Duration::from_us(100),
+            workers,
+        };
+        let mut round = 0u64;
+        run_epochs(
+            &mut nodes,
+            Time::ZERO,
+            Time::from_us(450),
+            &cfg,
+            &mut |nodes, at| {
+                round += 1;
+                // Every node learns the barrier instant and the round.
+                for n in nodes.iter_mut() {
+                    n.inbox += at.as_ns() + round;
+                }
+            },
+        );
+        nodes.into_iter().map(|n| (n.horizons, n.inbox)).collect()
+    }
+
+    #[test]
+    fn epochs_truncate_at_horizon() {
+        let out = run(1, 2);
+        let expect: Vec<Time> = [100u64, 200, 300, 400, 450]
+            .iter()
+            .map(|&us| Time::from_us(us))
+            .collect();
+        assert_eq!(out[0].0, expect);
+        assert_eq!(out[1].0, expect);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let base = run(1, 7);
+        for workers in [2, 4, 16] {
+            assert_eq!(run(workers, 7), base, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_ranges_are_noops() {
+        let mut nodes: Vec<Probe> = Vec::new();
+        let cfg = EpochConfig {
+            lookahead: Duration::from_us(1),
+            workers: 4,
+        };
+        run_epochs(
+            &mut nodes,
+            Time::ZERO,
+            Time::from_ms(1),
+            &cfg,
+            &mut |_, _| {},
+        );
+        let mut one = vec![Probe {
+            horizons: Vec::new(),
+            inbox: 0,
+        }];
+        run_epochs(
+            &mut one,
+            Time::from_ms(2),
+            Time::from_ms(1),
+            &cfg,
+            &mut |_, _| {},
+        );
+        assert!(one[0].horizons.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero lookahead")]
+    fn zero_lookahead_panics() {
+        let mut nodes = vec![Probe {
+            horizons: Vec::new(),
+            inbox: 0,
+        }];
+        let cfg = EpochConfig {
+            lookahead: Duration::ZERO,
+            workers: 1,
+        };
+        run_epochs(
+            &mut nodes,
+            Time::ZERO,
+            Time::from_ms(1),
+            &cfg,
+            &mut |_, _| {},
+        );
+    }
+}

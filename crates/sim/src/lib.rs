@@ -16,11 +16,16 @@
 //!   and 11.
 //! - Shared id vocabulary ([`ThreadId`], [`SemId`], …) used by the rest
 //!   of the workspace.
+//! - [`run_epochs`]: a deterministic conservative-lookahead engine that
+//!   advances many independent nodes in parallel across host threads,
+//!   exchanging state only at epoch barriers (the cluster executive's
+//!   generic half).
 //!
 //! Everything here is deterministic: no wall-clock reads, no global
 //! state, and the RNG helpers require explicit seeds.
 
 pub mod account;
+pub mod cluster;
 pub mod event;
 pub mod histogram;
 pub mod ids;
@@ -29,6 +34,7 @@ pub mod time;
 pub mod trace;
 
 pub use account::{Accounting, OverheadKind};
+pub use cluster::{run_epochs, EpochConfig, EpochNode};
 pub use event::EventQueue;
 pub use histogram::DurationHistogram;
 pub use ids::{

@@ -1,29 +1,41 @@
 //! Distributed avionics over a 1 Mbit/s fieldbus — the paper's
 //! distributed configuration (§2: "5–10 nodes interconnected by a
 //! low-speed (1–2 Mbit/s) fieldbus network (such as automotive and
-//! avionics control systems)").
+//! avionics control systems)") scaled out to a 64-board airframe on
+//! the parallel cluster executive.
 //!
-//! Five nodes, each an EMERALDS kernel:
+//! Five core avionics nodes, each an EMERALDS kernel:
 //!
 //! - `adc`  (air data computer): broadcasts airspeed every 20 ms at
-//!   the highest bus priority;
-//! - `ahrs` (attitude/heading): broadcasts attitude every 10 ms;
+//!   high bus priority;
+//! - `ahrs` (attitude/heading): broadcasts attitude every 10 ms at the
+//!   highest bus priority;
 //! - `fcc`  (flight control computer): consumes both streams with an
 //!   IRQ-driven NIC driver and runs a 10 ms control law;
 //! - `disp` (cockpit display): consumes the streams at low priority;
-//! - `dfdr` (flight data recorder): logs everything.
+//! - `dfdr` (flight data recorder): logs everything;
+//!
+//! plus 59 remote terminals (smart actuators / sensor concentrators)
+//! that each run a local control loop and pass an addressed status
+//! frame around a ring every ~25 ms. All 64 kernels advance in
+//! parallel host threads under the conservative-lookahead epoch model
+//! of [`emeralds::fieldbus::Cluster`]; the run is bit-for-bit
+//! deterministic for any worker count.
 //!
 //! ```sh
-//! cargo run --example avionics_bus
+//! cargo run --release --example avionics_bus
 //! ```
 
 use emeralds::core::kernel::{Kernel, KernelBuilder, KernelConfig};
 use emeralds::core::script::{Action, Script};
 use emeralds::core::SchedPolicy;
-use emeralds::fieldbus::{addressed_tag, Network};
-use emeralds::sim::{Duration, IrqLine, MboxId, Time};
+use emeralds::fieldbus::{addressed_tag, Cluster};
+use emeralds::sim::{Duration, IrqLine, MboxId, NodeId, SimRng, Time};
 
 const NIC_IRQ: IrqLine = IrqLine(2);
+const CORE_NODES: usize = 5;
+const TERMINALS: usize = 59;
+const HORIZON_MS: u64 = 500;
 
 fn ms(v: u64) -> Duration {
     Duration::from_ms(v)
@@ -33,18 +45,24 @@ fn us(v: u64) -> Duration {
     Duration::from_us(v)
 }
 
-/// A sensor node: samples and broadcasts on a period.
-fn sensor_node(name: &'static str, period: Duration, payload: u32) -> (Kernel, MboxId, MboxId) {
+fn builder(name: &str) -> (KernelBuilder, emeralds::sim::ProcId, MboxId, MboxId) {
     let mut b = KernelBuilder::new(KernelConfig {
         policy: SchedPolicy::Csd {
             boundaries: vec![1],
         },
+        record_trace: false,
         ..KernelConfig::default()
     });
-    let p = b.add_process(name);
+    let p = b.add_process(name.to_string());
     let tx = b.add_mailbox(8);
-    let rx = b.add_mailbox(8);
+    let rx = b.add_mailbox(16);
     b.board_mut().add_nic("arinc-lite", NIC_IRQ);
+    (b, p, tx, rx)
+}
+
+/// A sensor node: samples and broadcasts on a period.
+fn sensor_node(name: &'static str, period: Duration, payload: u32) -> (Kernel, MboxId, MboxId) {
+    let (mut b, p, tx, rx) = builder(name);
     b.add_periodic_task(
         p,
         format!("{name}-sample"),
@@ -63,7 +81,7 @@ fn sensor_node(name: &'static str, period: Duration, payload: u32) -> (Kernel, M
     b.add_driver_task(
         p,
         format!("{name}-nicdrv"),
-        Duration::from_ms(5),
+        ms(5),
         Script::looping(vec![Action::RecvMbox(rx), Action::Compute(us(30))]),
     );
     (b.build(), tx, rx)
@@ -72,16 +90,7 @@ fn sensor_node(name: &'static str, period: Duration, payload: u32) -> (Kernel, M
 /// A consumer node: an IRQ-driven NIC driver feeds a control/display
 /// task.
 fn consumer_node(name: &'static str, work: Duration) -> (Kernel, MboxId, MboxId) {
-    let mut b = KernelBuilder::new(KernelConfig {
-        policy: SchedPolicy::Csd {
-            boundaries: vec![1],
-        },
-        ..KernelConfig::default()
-    });
-    let p = b.add_process(name);
-    let tx = b.add_mailbox(8);
-    let rx = b.add_mailbox(16);
-    b.board_mut().add_nic("arinc-lite", NIC_IRQ);
+    let (mut b, p, tx, rx) = builder(name);
     // NIC driver: drain the RX mailbox as frames arrive.
     b.add_driver_task(
         p,
@@ -99,42 +108,91 @@ fn consumer_node(name: &'static str, work: Duration) -> (Kernel, MboxId, MboxId)
     (b.build(), tx, rx)
 }
 
-fn main() {
-    let mut net = Network::new(1_000_000); // 1 Mbit/s
+/// A remote terminal: local control loop plus a ring status frame
+/// addressed to the next terminal. Periods are jittered per terminal
+/// from a seeded RNG, so the run stays deterministic.
+fn terminal_node(i: usize, ring_dst: NodeId, rng: &mut SimRng) -> (Kernel, MboxId, MboxId) {
+    let (mut b, p, tx, rx) = builder(&format!("rt{i:02}"));
+    b.add_periodic_task(
+        p,
+        "status",
+        Duration::from_us(rng.int_in(24_000, 27_000)),
+        Script::periodic(vec![
+            Action::Compute(Duration::from_us(rng.int_in(200, 400))),
+            Action::SendMbox {
+                mbox: tx,
+                bytes: 8,
+                tag: addressed_tag(Some(ring_dst), 0x1000 + i as u32),
+            },
+        ]),
+    );
+    b.add_periodic_task(
+        p,
+        "ctl",
+        Duration::from_us(rng.int_in(4_000, 6_000)),
+        Script::compute_only(Duration::from_us(rng.int_in(80, 160))),
+    );
+    b.add_driver_task(
+        p,
+        "nicdrv",
+        ms(5),
+        Script::looping(vec![Action::RecvMbox(rx), Action::Compute(us(30))]),
+    );
+    (b.build(), tx, rx)
+}
 
-    let (adc, adc_tx, adc_rx) = sensor_node("adc", ms(20), 320); // airspeed (kt)
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    let mut cluster = Cluster::new(1_000_000).with_workers(workers); // 1 Mbit/s
+
     let (ahrs, ahrs_tx, ahrs_rx) = sensor_node("ahrs", ms(10), 45); // pitch
+    let (adc, adc_tx, adc_rx) = sensor_node("adc", ms(20), 320); // airspeed (kt)
     let (fcc, fcc_tx, fcc_rx) = consumer_node("fcc", ms(3));
     let (disp, disp_tx, disp_rx) = consumer_node("disp", ms(4));
     let (dfdr, dfdr_tx, dfdr_rx) = consumer_node("dfdr", ms(1));
 
     // Bus arbitration ids: AHRS (attitude) outranks ADC, which
-    // outranks everything else.
-    let n_ahrs = net.add_node("ahrs", ahrs, ahrs_tx, ahrs_rx, NIC_IRQ, 1);
-    let n_adc = net.add_node("adc", adc, adc_tx, adc_rx, NIC_IRQ, 2);
-    let n_fcc = net.add_node("fcc", fcc, fcc_tx, fcc_rx, NIC_IRQ, 10);
-    let n_disp = net.add_node("disp", disp, disp_tx, disp_rx, NIC_IRQ, 11);
-    let n_dfdr = net.add_node("dfdr", dfdr, dfdr_tx, dfdr_rx, NIC_IRQ, 12);
+    // outranks everything else; terminals fill the low-priority tail.
+    let n_ahrs = cluster.add_node("ahrs", ahrs, ahrs_tx, ahrs_rx, NIC_IRQ, 1);
+    let n_adc = cluster.add_node("adc", adc, adc_tx, adc_rx, NIC_IRQ, 2);
+    let n_fcc = cluster.add_node("fcc", fcc, fcc_tx, fcc_rx, NIC_IRQ, 10);
+    let n_disp = cluster.add_node("disp", disp, disp_tx, disp_rx, NIC_IRQ, 11);
+    let n_dfdr = cluster.add_node("dfdr", dfdr, dfdr_tx, dfdr_rx, NIC_IRQ, 12);
 
-    net.run_until(Time::from_ms(500));
+    let mut rng = SimRng::seeded(0xA710);
+    for i in 0..TERMINALS {
+        let ring_dst = NodeId((CORE_NODES + (i + 1) % TERMINALS) as u32);
+        let mut trng = rng.derive(i as u64);
+        let (k, tx, rx) = terminal_node(i, ring_dst, &mut trng);
+        cluster.add_node(format!("rt{i:02}"), k, tx, rx, NIC_IRQ, 20 + i as u32);
+    }
+    assert_eq!(cluster.len(), CORE_NODES + TERMINALS);
 
-    println!("=== avionics bus, 500 ms at 1 Mbit/s ===\n");
+    cluster.run_until(Time::from_ms(HORIZON_MS));
+
+    let s = *cluster.stats();
+    println!(
+        "=== avionics bus, {} nodes, {HORIZON_MS} ms at 1 Mbit/s, {workers} worker(s) ===\n",
+        cluster.len()
+    );
     println!(
         "frames: sent {}, delivered {}, dropped {}",
-        net.stats.frames_sent, net.stats.frames_delivered, net.stats.frames_dropped
+        s.frames_sent, s.frames_delivered, s.frames_dropped
     );
     println!(
         "bus busy {:.2} ms ({:.2}% utilization), mean frame latency {}",
-        net.stats.busy.as_ms_f64(),
-        100.0 * net.stats.busy.as_ms_f64() / 500.0,
-        net.stats
-            .mean_latency()
+        s.busy.as_ms_f64(),
+        100.0 * cluster.bus_utilization(),
+        s.mean_latency()
             .map(|d| d.to_string())
             .unwrap_or_else(|| "-".into())
     );
     println!();
     for id in [n_ahrs, n_adc, n_fcc, n_disp, n_dfdr] {
-        let node = net.node(id);
+        let node = cluster.node(id);
         let k = &node.kernel;
         let misses = k.total_deadline_misses();
         println!(
@@ -146,13 +204,21 @@ fn main() {
         );
         assert_eq!(misses, 0, "{}: deadline miss", node.name);
     }
-    // Both sensor streams flowed: 500 ms → 50 AHRS + 25 ADC frames to
-    // each of the three consumers.
-    assert!(
-        net.stats.frames_sent >= 74,
-        "sent {}",
-        net.stats.frames_sent
+    let m = cluster.metrics();
+    println!(
+        "\ncluster: {} nodes, {} jobs completed, {} context switches, {} deadline misses",
+        m.node_count(),
+        m.jobs_completed,
+        m.context_switches,
+        m.deadline_misses
     );
-    assert_eq!(net.stats.frames_dropped, 0);
-    println!("\nall five nodes met every deadline; no frames dropped");
+    // Both sensor streams flowed (500 ms → 50 AHRS + 25 ADC broadcast
+    // frames), and every terminal pushed ~20 ring frames.
+    assert!(s.frames_sent >= 1_000, "sent {}", s.frames_sent);
+    assert_eq!(s.frames_dropped, 0);
+    assert_eq!(m.deadline_misses, 0);
+    println!(
+        "all {} nodes met every deadline; no frames dropped",
+        m.node_count()
+    );
 }

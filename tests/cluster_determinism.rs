@@ -1,0 +1,213 @@
+//! Determinism pins for the parallel cluster executive.
+//!
+//! The conservative-lookahead engine promises that host threading is
+//! *invisible*: the same cluster advanced with 1, 4, or
+//! `available_parallelism` workers produces bit-for-bit identical
+//! per-node event traces and identical rolled-up metrics. These tests
+//! pin that promise, plus the degenerate end of it: a single-node
+//! cluster (epoch-split execution) must match a plain
+//! `Kernel::run_until` over the same horizon.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use emeralds::core::kernel::{Kernel, KernelBuilder, KernelConfig};
+use emeralds::core::script::{Action, Script};
+use emeralds::core::SchedPolicy;
+use emeralds::fieldbus::{addressed_tag, Cluster};
+use emeralds::sim::{Duration, IrqLine, MboxId, NodeId, SimRng, Time};
+
+const NIC_IRQ: IrqLine = IrqLine(2);
+
+fn hash_of(s: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
+/// A traced node that sends an addressed frame on a jittered period,
+/// drains its RX mailbox, and runs filler compute.
+fn traced_node(i: usize, dst: NodeId, rng: &mut SimRng) -> (Kernel, MboxId, MboxId) {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::Csd {
+            boundaries: vec![1],
+        },
+        record_trace: true,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process(format!("node{i}"));
+    let tx = b.add_mailbox(8);
+    let rx = b.add_mailbox(16);
+    b.board_mut().add_nic("can", NIC_IRQ);
+    b.add_periodic_task(
+        p,
+        "tx",
+        Duration::from_us(rng.int_in(4_000, 7_000)),
+        Script::periodic(vec![
+            Action::Compute(Duration::from_us(rng.int_in(100, 300))),
+            Action::SendMbox {
+                mbox: tx,
+                bytes: 8,
+                tag: addressed_tag(Some(dst), i as u32),
+            },
+        ]),
+    );
+    b.add_periodic_task(
+        p,
+        "filler",
+        Duration::from_us(rng.int_in(900, 1_500)),
+        Script::compute_only(Duration::from_us(rng.int_in(30, 80))),
+    );
+    b.add_driver_task(
+        p,
+        "nicdrv",
+        Duration::from_ms(2),
+        Script::looping(vec![
+            Action::RecvMbox(rx),
+            Action::Compute(Duration::from_us(40)),
+        ]),
+    );
+    (b.build(), tx, rx)
+}
+
+/// A 6-node ring cluster with tracing on.
+fn ring_cluster(workers: usize) -> Cluster {
+    const N: usize = 6;
+    let mut rng = SimRng::seeded(0xD37);
+    let mut c = Cluster::new(1_000_000).with_workers(workers);
+    for i in 0..N {
+        let mut nrng = rng.derive(i as u64);
+        let dst = NodeId(((i + 1) % N) as u32);
+        let (k, tx, rx) = traced_node(i, dst, &mut nrng);
+        c.add_node(format!("node{i}"), k, tx, rx, NIC_IRQ, (i + 1) as u32);
+    }
+    c
+}
+
+#[test]
+fn traces_and_metrics_identical_across_worker_counts() {
+    let horizon = Time::from_ms(80);
+    let mut base = ring_cluster(1);
+    base.run_until(horizon);
+    let base_hashes: Vec<u64> = base
+        .nodes()
+        .iter()
+        .map(|n| hash_of(&n.kernel.trace().to_jsonl()))
+        .collect();
+    // Real traffic flowed, so the hashes pin something nontrivial.
+    assert!(base.stats().frames_delivered > 20, "{:?}", base.stats());
+    assert!(base.metrics().jobs_completed > 100);
+
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for workers in [4, host] {
+        let mut c = ring_cluster(workers);
+        c.run_until(horizon);
+        let hashes: Vec<u64> = c
+            .nodes()
+            .iter()
+            .map(|n| hash_of(&n.kernel.trace().to_jsonl()))
+            .collect();
+        assert_eq!(
+            hashes, base_hashes,
+            "trace hashes diverged at workers={workers}"
+        );
+        assert_eq!(
+            c.metrics(),
+            base.metrics(),
+            "metrics diverged at workers={workers}"
+        );
+        assert_eq!(
+            c.stats(),
+            base.stats(),
+            "bus stats diverged at workers={workers}"
+        );
+    }
+}
+
+/// A kernel with no bus traffic, traced, for the N=1 parity check. Bus
+/// traffic is excluded on purpose: the cluster's NIC harvest drains
+/// the TX mailbox, which a plain kernel run has no analogue for. The
+/// mailboxes and NIC exist (the cluster wiring needs them) but no task
+/// touches them.
+fn local_only_kernel() -> (Kernel, MboxId, MboxId) {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::Csd {
+            boundaries: vec![1],
+        },
+        record_trace: true,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process("solo");
+    let tx = b.add_mailbox(4);
+    let rx = b.add_mailbox(4);
+    b.board_mut().add_nic("can", NIC_IRQ);
+    b.add_periodic_task(
+        p,
+        "fast",
+        Duration::from_us(1_100),
+        Script::compute_only(Duration::from_us(90)),
+    );
+    b.add_periodic_task(
+        p,
+        "law",
+        Duration::from_ms(5),
+        Script::compute_only(Duration::from_us(700)),
+    );
+    b.add_periodic_task(
+        p,
+        "slow",
+        Duration::from_ms(20),
+        Script::compute_only(Duration::from_ms(2)),
+    );
+    (b.build(), tx, rx)
+}
+
+#[test]
+fn single_node_cluster_matches_plain_kernel() {
+    let horizon = Time::from_ms(60);
+    let (mut plain, _, _) = local_only_kernel();
+    plain.run_until(horizon);
+
+    let mut c = Cluster::new(1_000_000);
+    let (k, tx, rx) = local_only_kernel();
+    c.add_node("solo", k, tx, rx, NIC_IRQ, 1);
+    c.run_until(horizon);
+
+    // Epoch-split execution of the same kernel: schedule, metrics, and
+    // trace must agree exactly with the single uninterrupted run.
+    let node = c.node(NodeId(0));
+    assert_eq!(node.kernel.metrics(), plain.metrics());
+    assert_eq!(
+        hash_of(&node.kernel.trace().to_jsonl()),
+        hash_of(&plain.trace().to_jsonl())
+    );
+    assert_eq!(c.metrics().deadline_misses, plain.metrics().deadline_misses);
+    assert_eq!(c.stats().frames_sent, 0);
+}
+
+#[test]
+fn epoch_split_run_matches_single_call() {
+    // Same cluster, horizon reached in one call vs many small calls
+    // whose boundaries land on the (1 ms) lookahead grid.
+    let mut whole = ring_cluster(2);
+    whole.set_lookahead(Duration::from_ms(1));
+    whole.run_until(Time::from_ms(48));
+
+    let mut split = ring_cluster(2);
+    split.set_lookahead(Duration::from_ms(1));
+    for step in 1..=4 {
+        split.run_until(Time::from_ms(step * 12));
+    }
+    assert_eq!(whole.metrics(), split.metrics());
+    assert_eq!(whole.stats(), split.stats());
+    for (a, b) in whole.nodes().iter().zip(split.nodes()) {
+        assert_eq!(
+            hash_of(&a.kernel.trace().to_jsonl()),
+            hash_of(&b.kernel.trace().to_jsonl()),
+            "node {}",
+            a.name
+        );
+    }
+}
