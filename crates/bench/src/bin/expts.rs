@@ -16,12 +16,14 @@
 //! expts csdx [--workloads N]   # CSD queue-count sweep (§5.6)
 //! expts scale [--quick] [--nodes 8,16,...] [--out FILE] [--baseline FILE]
 //!                              # multi-node cluster scaling → BENCH_scale.json
+//! expts faults [--quick] [--nodes 8,16,...] [--out FILE] [--gate]
+//!                              # fault injection + recovery → BENCH_faults.json
 //! expts all [--workloads N]    # everything above
 //! ```
 
 use emeralds_bench::{
-    breakdown_figs, csdx_expt, cyclic_expt, fig2, scale_expt, searchcost, semfig, statemsg_expt,
-    syscall_expt, table1, table3,
+    breakdown_figs, csdx_expt, cyclic_expt, faults_expt, fig2, scale_expt, searchcost, semfig,
+    statemsg_expt, syscall_expt, table1, table3,
 };
 use emeralds_core::footprint;
 
@@ -133,6 +135,41 @@ fn main() {
                 }
             }
         }
+        "faults" => {
+            let mut params = if flag("--quick") {
+                faults_expt::FaultParams::quick()
+            } else {
+                faults_expt::FaultParams::full()
+            };
+            if let Some(list) = svalue("--nodes") {
+                params.nodes = list
+                    .split(',')
+                    .filter_map(|v| v.trim().parse().ok())
+                    .collect();
+                assert!(!params.nodes.is_empty(), "--nodes parsed to nothing");
+            }
+            let runs = faults_expt::run(&params);
+            print!("{}", faults_expt::render(&runs));
+            let out = svalue("--out").unwrap_or_else(|| "BENCH_faults.json".into());
+            let json = faults_expt::to_json(&params, &runs);
+            match std::fs::write(&out, &json) {
+                Ok(()) => println!("wrote {out}"),
+                Err(e) => {
+                    eprintln!("cannot write {out}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if flag("--gate") {
+                let (lines, failed) = faults_expt::gate(&params, &runs);
+                for l in &lines {
+                    println!("{l}");
+                }
+                if failed {
+                    eprintln!("fault experiment gate failed");
+                    std::process::exit(1);
+                }
+            }
+        }
         "all" => {
             banner("T1  Table 1: scheduler run-time overheads");
             print!("{}", table1::report(&[5, 10, 15, 20, 30, 40, 50]));
@@ -172,7 +209,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: table1 fig2 fig3 fig4 fig5 table3 fig11 fig12 statemsg footprint searchcost cyclic syscalls csdx scale all");
+            eprintln!("known: table1 fig2 fig3 fig4 fig5 table3 fig11 fig12 statemsg footprint searchcost cyclic syscalls csdx scale faults all");
             std::process::exit(2);
         }
     }

@@ -20,6 +20,34 @@ use crate::tcb::{ThreadState, Timing};
 /// unbounded log on a pathological workload.
 pub const MAX_MISS_REPORTS: usize = 8;
 
+/// Why a deadline was missed, as far as the kernel can tell. Fault
+/// injection (fail-stop outages, bus-off windows) is tagged by the
+/// executive via [`Kernel::set_miss_cause_hint`]; absent a hint the
+/// kernel classifies from its own state at detection time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MissCause {
+    /// An injected or external fault (node outage, lost bus) — the
+    /// executive vouched for this via the hint window.
+    Fault,
+    /// The CPU was busy running work at detection: a scheduling
+    /// overrun, not a fault.
+    Overload,
+    /// The CPU was idle at detection (the task was blocked on
+    /// something that never arrived) and no fault was hinted.
+    Unknown,
+}
+
+impl MissCause {
+    /// Stable lowercase label for reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            MissCause::Fault => "fault",
+            MissCause::Overload => "overload",
+            MissCause::Unknown => "unknown",
+        }
+    }
+}
+
 /// Live event counters, one per kernel service. Updated by
 /// [`Kernel::record`] on every event, independent of whether the trace
 /// stores it, so they are exact for arbitrarily long runs.
@@ -75,6 +103,14 @@ pub struct ServiceCounters {
     pub irq_raised: u64,
     pub irq_dispatched: u64,
     pub protection_faults: u64,
+
+    // --- Deadline misses by cause ---
+    /// Misses inside an executive-hinted fault window.
+    pub misses_fault: u64,
+    /// Misses with the CPU busy at detection (scheduling overrun).
+    pub misses_overload: u64,
+    /// Misses with no hint and an idle CPU.
+    pub misses_unknown: u64,
 }
 
 impl ServiceCounters {
@@ -173,6 +209,9 @@ impl ServiceCounters {
             ("irq_raised", self.irq_raised),
             ("irq_dispatched", self.irq_dispatched),
             ("protection_faults", self.protection_faults),
+            ("misses_fault", self.misses_fault),
+            ("misses_overload", self.misses_overload),
+            ("misses_unknown", self.misses_unknown),
         ]
     }
 }
@@ -297,11 +336,47 @@ impl KernelMetrics {
     }
 }
 
+/// Per-node bus fault/error forensics, summarized from the fieldbus
+/// layer's CAN-style error counters. Lives here (not in the fieldbus
+/// crate) so [`ClusterMetrics`] can roll it up without a dependency
+/// cycle; the fieldbus executive fills it in.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeFaultSummary {
+    /// Error frames this node signalled (tx errors it suffered).
+    pub error_frames: u64,
+    /// Automatic retransmissions after a corrupted grant.
+    pub retransmissions: u64,
+    /// Garbage frames this node babbled onto the bus.
+    pub babble_frames: u64,
+    /// Times the node entered bus-off.
+    pub bus_off_events: u64,
+    /// Times the node completed bus-off recovery.
+    pub bus_off_recoveries: u64,
+    /// Transmit / receive error counters at snapshot time.
+    pub tec: u32,
+    pub rec: u32,
+    /// True iff the node was still bus-off at snapshot time.
+    pub bus_off: bool,
+    /// Worst and mean bus-off recovery latency (entry → error-active).
+    pub max_recovery: Duration,
+    pub mean_recovery: Duration,
+}
+
+impl NodeFaultSummary {
+    /// True when nothing fault-related ever happened on this node.
+    pub fn is_clean(&self) -> bool {
+        *self == NodeFaultSummary::default()
+    }
+}
+
 /// One node's slice of a [`ClusterMetrics`] rollup.
 #[derive(Clone, Debug, PartialEq)]
 pub struct NodeMetrics {
     pub name: String,
     pub metrics: KernelMetrics,
+    /// Bus error/fault forensics for this node (default when the
+    /// executive injects no faults).
+    pub faults: NodeFaultSummary,
 }
 
 /// Aggregate metrics across every kernel of a multi-node cluster: the
@@ -322,6 +397,18 @@ pub struct ClusterMetrics {
     pub app_time: Duration,
     pub idle_time: Duration,
     pub total_overhead: Duration,
+    // --- Fault / error rollup (all zero on a clean run) ---
+    pub error_frames: u64,
+    pub retransmissions: u64,
+    pub babble_frames: u64,
+    pub bus_off_events: u64,
+    pub bus_off_recoveries: u64,
+    /// Nodes still bus-off at snapshot time — the CI fault gate
+    /// requires this to be zero.
+    pub unrecovered_bus_off: u64,
+    pub misses_fault: u64,
+    pub misses_overload: u64,
+    pub misses_unknown: u64,
 }
 
 impl ClusterMetrics {
@@ -337,6 +424,15 @@ impl ClusterMetrics {
             app_time: Duration::ZERO,
             idle_time: Duration::ZERO,
             total_overhead: Duration::ZERO,
+            error_frames: 0,
+            retransmissions: 0,
+            babble_frames: 0,
+            bus_off_events: 0,
+            bus_off_recoveries: 0,
+            unrecovered_bus_off: 0,
+            misses_fault: 0,
+            misses_overload: 0,
+            misses_unknown: 0,
         };
         for n in &nodes {
             let m = &n.metrics;
@@ -348,6 +444,15 @@ impl ClusterMetrics {
             c.app_time += m.app_time;
             c.idle_time += m.idle_time;
             c.total_overhead += m.total_overhead;
+            c.error_frames += n.faults.error_frames;
+            c.retransmissions += n.faults.retransmissions;
+            c.babble_frames += n.faults.babble_frames;
+            c.bus_off_events += n.faults.bus_off_events;
+            c.bus_off_recoveries += n.faults.bus_off_recoveries;
+            c.unrecovered_bus_off += u64::from(n.faults.bus_off);
+            c.misses_fault += m.counters.misses_fault;
+            c.misses_overload += m.counters.misses_overload;
+            c.misses_unknown += m.counters.misses_unknown;
         }
         c.nodes = nodes;
         c
@@ -372,6 +477,20 @@ impl ClusterMetrics {
             self.total_overhead,
             self.idle_time
         );
+        if self.error_frames + self.bus_off_events + self.babble_frames != 0 {
+            s.push_str(&format!(
+                "  faults: errors {} | retransmits {} | babble {} | bus-off {} (recovered {}, stuck {}) | miss causes fault {} / overload {} / unknown {}\n",
+                self.error_frames,
+                self.retransmissions,
+                self.babble_frames,
+                self.bus_off_events,
+                self.bus_off_recoveries,
+                self.unrecovered_bus_off,
+                self.misses_fault,
+                self.misses_overload,
+                self.misses_unknown
+            ));
+        }
         for n in &self.nodes {
             let m = &n.metrics;
             s.push_str(&format!(
@@ -383,6 +502,20 @@ impl ClusterMetrics {
                 m.total_overhead.to_string(),
                 m.idle_time
             ));
+            if !n.faults.is_clean() {
+                s.push_str(&format!(
+                    "    faults: errors {} retransmits {} babble {} bus-off {}/{} tec {} rec {}{} max-recovery {}\n",
+                    n.faults.error_frames,
+                    n.faults.retransmissions,
+                    n.faults.babble_frames,
+                    n.faults.bus_off_recoveries,
+                    n.faults.bus_off_events,
+                    n.faults.tec,
+                    n.faults.rec,
+                    if n.faults.bus_off { " STUCK-BUS-OFF" } else { "" },
+                    n.faults.max_recovery
+                ));
+            }
         }
         s
     }
@@ -393,7 +526,7 @@ impl ClusterMetrics {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "{{\n\"now_ns\": {},\n\"node_count\": {},\n\"context_switches\": {},\n\"deadline_misses\": {},\n\"syscalls\": {},\n\"jobs_completed\": {},\n\"app_ns\": {},\n\"idle_ns\": {},\n\"overhead_ns\": {},\n\"nodes\": [",
+            "{{\n\"now_ns\": {},\n\"node_count\": {},\n\"context_switches\": {},\n\"deadline_misses\": {},\n\"syscalls\": {},\n\"jobs_completed\": {},\n\"app_ns\": {},\n\"idle_ns\": {},\n\"overhead_ns\": {},\n\"error_frames\": {},\n\"retransmissions\": {},\n\"babble_frames\": {},\n\"bus_off_events\": {},\n\"bus_off_recoveries\": {},\n\"unrecovered_bus_off\": {},\n\"misses_fault\": {},\n\"misses_overload\": {},\n\"misses_unknown\": {},\n\"nodes\": [",
             self.now.as_ns(),
             self.nodes.len(),
             self.context_switches,
@@ -402,15 +535,34 @@ impl ClusterMetrics {
             self.jobs_completed,
             self.app_time.as_ns(),
             self.idle_time.as_ns(),
-            self.total_overhead.as_ns()
+            self.total_overhead.as_ns(),
+            self.error_frames,
+            self.retransmissions,
+            self.babble_frames,
+            self.bus_off_events,
+            self.bus_off_recoveries,
+            self.unrecovered_bus_off,
+            self.misses_fault,
+            self.misses_overload,
+            self.misses_unknown
         ));
         for (i, n) in self.nodes.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
             s.push_str(&format!(
-                "\n{{\"name\": \"{}\", \"metrics\": {}}}",
+                "\n{{\"name\": \"{}\", \"faults\": {{\"error_frames\": {}, \"retransmissions\": {}, \"babble_frames\": {}, \"bus_off_events\": {}, \"bus_off_recoveries\": {}, \"tec\": {}, \"rec\": {}, \"bus_off\": {}, \"max_recovery_ns\": {}, \"mean_recovery_ns\": {}}}, \"metrics\": {}}}",
                 n.name,
+                n.faults.error_frames,
+                n.faults.retransmissions,
+                n.faults.babble_frames,
+                n.faults.bus_off_events,
+                n.faults.bus_off_recoveries,
+                n.faults.tec,
+                n.faults.rec,
+                n.faults.bus_off,
+                n.faults.max_recovery.as_ns(),
+                n.faults.mean_recovery.as_ns(),
                 n.metrics.to_json()
             ));
         }
@@ -442,6 +594,8 @@ pub struct MissReport {
     pub deadline: Time,
     pub release: Time,
     pub running: Option<ThreadId>,
+    /// Best-effort miss classification (see [`MissCause`]).
+    pub cause: MissCause,
     pub tasks: Vec<TaskSnapshot>,
     /// The last-K events (K = `KernelConfig::miss_window`), miss
     /// included; empty when the trace stores nothing.
@@ -455,8 +609,14 @@ impl MissReport {
     pub fn render(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "DEADLINE MISS: {} \"{}\" job {} missed deadline {} (released {}, detected {})\n",
-            self.tid, self.name, self.job, self.deadline, self.release, self.at
+            "DEADLINE MISS: {} \"{}\" job {} missed deadline {} (released {}, detected {}, cause {})\n",
+            self.tid,
+            self.name,
+            self.job,
+            self.deadline,
+            self.release,
+            self.at,
+            self.cause.label()
         ));
         match self.running {
             Some(r) if r == self.tid => s.push_str("  the missing task itself was running\n"),
@@ -545,6 +705,18 @@ impl Kernel {
     /// deadline check and the overrun-at-release check).
     pub(crate) fn note_deadline_miss(&mut self, tid: ThreadId, job: u64, deadline: Time) {
         self.record(TraceEvent::DeadlineMiss { tid, job, deadline });
+        // Classify, and count per cause *before* the report cap below:
+        // the counters stay exact even when forensics stop being kept.
+        let cause = match self.miss_cause_hint {
+            Some((c, until)) if self.clock.now() <= until => c,
+            _ if self.current.is_some() => MissCause::Overload,
+            _ => MissCause::Unknown,
+        };
+        match cause {
+            MissCause::Fault => self.counters.misses_fault += 1,
+            MissCause::Overload => self.counters.misses_overload += 1,
+            MissCause::Unknown => self.counters.misses_unknown += 1,
+        }
         if self.miss_reports.len() >= MAX_MISS_REPORTS {
             return;
         }
@@ -573,6 +745,7 @@ impl Kernel {
             deadline,
             release,
             running: self.current,
+            cause,
             tasks,
             window,
             dropped_before_window: self.trace.dropped(),

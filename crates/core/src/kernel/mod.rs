@@ -17,8 +17,8 @@ mod sem_ops;
 mod tests;
 
 pub use metrics::{
-    ClusterMetrics, KernelMetrics, MissReport, NodeMetrics, ServiceCounters, TaskMetrics,
-    TaskSnapshot, MAX_MISS_REPORTS,
+    ClusterMetrics, KernelMetrics, MissCause, MissReport, NodeFaultSummary, NodeMetrics,
+    ServiceCounters, TaskMetrics, TaskSnapshot, MAX_MISS_REPORTS,
 };
 
 use emeralds_hal::{Board, BoardConfig, Clock, CostModel, Perms};
@@ -130,6 +130,10 @@ pub struct Kernel {
     pub(crate) miss_reports: Vec<MissReport>,
     /// Pending message of a sender blocked on a full mailbox.
     pub(crate) pending_send: Vec<Option<crate::ipc::Message>>,
+    /// While set and `now <= until`, deadline misses are classified as
+    /// `(cause, until)` instead of by CPU state. Installed by fault
+    /// executives around outages.
+    pub(crate) miss_cause_hint: Option<(MissCause, Time)>,
 }
 
 impl Kernel {
@@ -206,6 +210,38 @@ impl Kernel {
     /// Total deadline misses across all tasks.
     pub fn total_deadline_misses(&self) -> u64 {
         self.trace.deadline_miss_count()
+    }
+
+    /// Classifies deadline misses detected at or before `until` as
+    /// `cause`. Fault executives install this around injected outages
+    /// so the post-recovery miss storm is attributed to the fault, not
+    /// to scheduling.
+    pub fn set_miss_cause_hint(&mut self, cause: MissCause, until: Time) {
+        self.miss_cause_hint = Some((cause, until));
+    }
+
+    /// Removes any active miss-cause hint.
+    pub fn clear_miss_cause_hint(&mut self) {
+        self.miss_cause_hint = None;
+    }
+
+    /// Fail-stop outage: the node executes nothing until `until`. The
+    /// lost interval is charged to idle and the clock jumps forward;
+    /// the timer backlog then fires late on the next normal step, so
+    /// every deadline the outage broke is detected (and tagged
+    /// [`MissCause::Fault`] for twice the outage length — long enough
+    /// to cover the catch-up storm).
+    ///
+    /// No-op if `until` is not in the future.
+    pub fn stall_for_fault(&mut self, until: Time) {
+        let now = self.clock.now();
+        if until <= now {
+            return;
+        }
+        let outage = until.since(now);
+        self.acct.idle += outage;
+        self.clock.advance_to(until);
+        self.set_miss_cause_hint(MissCause::Fault, until + outage * 2);
     }
 
     /// Charges `d` of overhead to `kind`, advancing virtual time.
@@ -601,6 +637,7 @@ impl KernelBuilder {
             counters: ServiceCounters::default(),
             miss_reports: Vec::new(),
             pending_send,
+            miss_cause_hint: None,
         };
         // Event-driven tasks are ready at boot: dispatch one.
         kernel.reschedule();

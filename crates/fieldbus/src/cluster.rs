@@ -30,9 +30,11 @@ use std::collections::VecDeque;
 
 use emeralds_core::kernel::{ClusterMetrics, NodeMetrics};
 use emeralds_core::Kernel;
+use emeralds_faults::{FaultClock, FaultPlan};
 use emeralds_sim::{run_epochs, Duration, EpochConfig, EpochNode, IrqLine, MboxId, NodeId, Time};
 
-use crate::{frame_of, BusStats, Frame};
+use crate::errors::{ErrorConfig, FailStopGate, NodeStats};
+use crate::{frame_of, garbage_frame, BusStats, Frame};
 
 /// One simulated board in a [`Cluster`]: a kernel plus its NIC wiring.
 #[derive(Debug)]
@@ -48,11 +50,20 @@ pub struct ClusterNode {
     pub nic_irq: IrqLine,
     /// Arbitration id for this node's transmissions.
     pub tx_prio: u32,
+    /// NIC statistics and CAN error-confinement state.
+    pub stats: NodeStats,
+    gate: Option<FailStopGate>,
 }
 
 impl EpochNode for ClusterNode {
     fn advance_to(&mut self, horizon: Time) {
-        self.kernel.advance_to(horizon);
+        // The gate consults only this node's own clock and its static
+        // outage windows, so running it inside the parallel per-node
+        // advance cannot perturb determinism.
+        match self.gate.as_mut() {
+            Some(gate) => gate.drive(&mut self.kernel, horizon),
+            None => self.kernel.advance_to(horizon),
+        }
     }
 }
 
@@ -71,6 +82,10 @@ struct BusState {
     in_flight: VecDeque<(Time, Frame)>,
     stats: BusStats,
     lookahead: Duration,
+    /// Error-signalling parameters.
+    error_cfg: ErrorConfig,
+    /// Compiled fault schedule, when one is installed.
+    faults: Option<FaultClock>,
 }
 
 impl BusState {
@@ -80,8 +95,42 @@ impl BusState {
         Duration::from_ns(bits * 1_000_000_000 / self.bitrate_bps)
     }
 
-    /// The serial barrier step: deliver, harvest, arbitrate.
+    /// Is `node` off the bus at `at` (fail-stop outage or bus-off)?
+    fn node_offline(&self, nodes: &[&mut ClusterNode], node: usize, at: Time) -> bool {
+        nodes[node].stats.is_bus_off() || self.faults.as_ref().is_some_and(|f| f.is_down(node, at))
+    }
+
+    /// Drops every pending frame from `src` (its NIC left the bus).
+    /// Garbage frames were never counted as sent, so they don't count
+    /// as dropped.
+    fn purge_pending(&mut self, nodes: &mut [&mut ClusterNode], src: usize) {
+        let mut purged = 0;
+        self.pending.retain(|&(_, _, f)| {
+            if f.src.index() == src {
+                purged += u64::from(!f.garbage);
+                false
+            } else {
+                true
+            }
+        });
+        nodes[src].stats.tx_dropped += purged;
+        self.stats.frames_dropped += purged;
+        self.stats.frames_lost_offline += purged;
+    }
+
+    /// The serial barrier step: recover, deliver, harvest, babble,
+    /// arbitrate. Runs in node order on one thread, so every fault
+    /// decision here is deterministic for any worker count.
     fn exchange(&mut self, nodes: &mut [&mut ClusterNode], now: Time) {
+        // 0. Complete due bus-off recoveries before anything else this
+        //    barrier: a recovered node sends and receives again.
+        let recovery = self.error_cfg.recovery_time(self.bitrate_bps);
+        for node in nodes.iter_mut() {
+            if node.stats.try_recover(now, recovery) {
+                self.stats.bus_off_recoveries += 1;
+            }
+        }
+
         // 1. Deliver frames whose wire time has completed. `in_flight`
         //    is in completion order (the bus is serial).
         while let Some(&(done, frame)) = self.in_flight.front() {
@@ -94,20 +143,52 @@ impl BusState {
 
         // 2. Harvest TX mailboxes in node order. Frames posted during
         //    the elapsed epoch are stamped at this barrier — the
-        //    conservative end of the window.
-        for node in nodes.iter_mut() {
+        //    conservative end of the window. An offline node's posts
+        //    (and its already-pending frames) are lost.
+        for i in 0..nodes.len() {
+            let offline = self.node_offline(nodes, i, now);
+            let node = &mut nodes[i];
             let tx = node.tx_mbox;
             while let Some(msg) = node.kernel.external_mbox_pop(tx) {
+                self.stats.frames_sent += 1;
+                if offline {
+                    node.stats.tx_dropped += 1;
+                    self.stats.frames_dropped += 1;
+                    self.stats.frames_lost_offline += 1;
+                    continue;
+                }
                 let frame = frame_of(node.id, node.tx_prio, msg, now);
                 self.pending.push((frame.prio, self.seq, frame));
                 self.seq += 1;
-                self.stats.frames_sent += 1;
+            }
+            if offline {
+                self.purge_pending(nodes, i);
+            }
+            // The babble cursor advances every barrier even while the
+            // babbler is offline, so a silenced babbler never saves up
+            // a burst for its recovery.
+            if let Some(f) = self.faults.as_mut() {
+                let due = f.babble_due(i, now);
+                if due > 0 && !offline {
+                    let node = &mut nodes[i];
+                    node.stats.babble_frames += due;
+                    self.stats.babble_frames += due;
+                    for _ in 0..due {
+                        let frame = garbage_frame(node.id, now);
+                        self.pending.push((frame.prio, self.seq, frame));
+                        self.seq += 1;
+                    }
+                }
             }
         }
 
         // 3. Arbitrate every transmission that starts before the next
         //    barrier: new frames cannot appear until then, so the
-        //    grant order is fully decided by the current queue.
+        //    grant order is fully decided by the current queue. A
+        //    corrupted grant consumes the frame time plus an error
+        //    frame, bumps the CAN error counters, and requeues the
+        //    frame under its *original* sequence number (automatic
+        //    retransmission preserves FIFO order within a priority).
         let window_end = now + self.lookahead;
         while self.bus_free_at < window_end && !self.pending.is_empty() {
             let best = self
@@ -117,12 +198,45 @@ impl BusState {
                 .min_by_key(|&(_, &(prio, seq, _))| (prio, seq))
                 .map(|(i, _)| i)
                 .expect("nonempty pending");
-            let (_, _, frame) = self.pending.swap_remove(best);
+            let (prio, seq, frame) = self.pending.swap_remove(best);
             let start = self.bus_free_at.max(now);
             let done = start + self.frame_time(frame.bytes);
-            self.stats.busy += done.since(start);
-            self.bus_free_at = done;
-            self.in_flight.push_back((done, frame));
+            let corrupted =
+                frame.garbage || self.faults.as_mut().is_some_and(|f| f.corrupt_next_grant());
+            if !corrupted {
+                self.stats.busy += done.since(start);
+                self.bus_free_at = done;
+                nodes[frame.src.index()].stats.on_tx_success();
+                self.in_flight.push_back((done, frame));
+                continue;
+            }
+            // Error frame on the wire: everyone observes it.
+            let err_done = done + self.error_cfg.error_time(self.bitrate_bps);
+            self.stats.busy += err_done.since(start);
+            self.bus_free_at = err_done;
+            self.stats.error_frames += 1;
+            let src = frame.src.index();
+            let entered_busoff = nodes[src].stats.on_tx_error(err_done);
+            for i in 0..nodes.len() {
+                if i != src && !self.node_offline(nodes, i, now) {
+                    nodes[i].stats.on_rx_error();
+                }
+            }
+            if entered_busoff {
+                self.stats.bus_off_events += 1;
+                // Bus-off kills the controller: the failed frame and
+                // everything it still had queued are lost.
+                if !frame.garbage {
+                    nodes[src].stats.tx_dropped += 1;
+                    self.stats.frames_dropped += 1;
+                    self.stats.frames_lost_offline += 1;
+                }
+                self.purge_pending(nodes, src);
+            } else if !frame.garbage {
+                nodes[src].stats.retransmissions += 1;
+                self.stats.retransmissions += 1;
+                self.pending.push((prio, seq, frame));
+            }
         }
     }
 
@@ -134,6 +248,13 @@ impl BusState {
                 .collect(),
         };
         for t in targets {
+            if self.node_offline(nodes, t, done) {
+                // A dead receiver hears nothing.
+                nodes[t].stats.rx_dropped += 1;
+                self.stats.frames_dropped += 1;
+                self.stats.frames_lost_offline += 1;
+                continue;
+            }
             let node = &mut nodes[t];
             let rx = node.rx_mbox;
             let ok = node.kernel.external_mbox_push(
@@ -146,9 +267,11 @@ impl BusState {
             );
             if ok {
                 node.kernel.raise_external_irq(node.nic_irq);
+                node.stats.on_rx_success();
                 self.stats.frames_delivered += 1;
                 self.stats.total_latency += done.since(frame.queued_at.min(done));
             } else {
+                node.stats.rx_dropped += 1;
                 self.stats.frames_dropped += 1;
             }
         }
@@ -186,6 +309,8 @@ impl Cluster {
             in_flight: VecDeque::new(),
             stats: BusStats::default(),
             lookahead: Duration::ZERO,
+            error_cfg: ErrorConfig::default(),
+            faults: None,
         };
         bus.lookahead = bus.frame_time(8);
         Cluster {
@@ -239,8 +364,31 @@ impl Cluster {
             rx_mbox,
             nic_irq,
             tx_prio,
+            stats: NodeStats::default(),
+            gate: None,
         });
         id
+    }
+
+    /// Installs a fault plan: fail-stop gates on the affected nodes
+    /// plus the corruption/babble schedule on the bus. Call before
+    /// [`Cluster::run_until`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan references a node index out of range.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        let fc = FaultClock::new(plan, self.nodes.len());
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let windows = fc.down_windows(i);
+            node.gate = (!windows.is_empty()).then(|| FailStopGate::new(windows));
+        }
+        self.bus.faults = Some(fc);
+    }
+
+    /// Per-node NIC statistics and error-confinement state.
+    pub fn node_stats(&self, id: NodeId) -> &NodeStats {
+        &self.nodes[id.index()].stats
     }
 
     /// Node access.
@@ -326,6 +474,7 @@ impl Cluster {
                 .map(|n| NodeMetrics {
                     name: n.name.clone(),
                     metrics: n.kernel.metrics(),
+                    faults: n.stats.fault_summary(),
                 })
                 .collect(),
         )

@@ -27,13 +27,16 @@
 //! at epoch barriers — the scale-out path for large fan-outs.
 
 pub mod cluster;
+pub mod errors;
 
 pub use cluster::{Cluster, ClusterNode};
+pub use errors::{CanErrorState, ErrorConfig, FailStopGate, NodeStats};
 
 use std::collections::VecDeque;
 
 use emeralds_core::ipc::Message;
 use emeralds_core::Kernel;
+use emeralds_faults::{FaultClock, FaultPlan};
 use emeralds_sim::{Duration, IrqLine, MboxId, NodeId, Time};
 
 /// A frame on the bus.
@@ -50,6 +53,9 @@ pub struct Frame {
     pub tag: u32,
     /// Bus time at which the frame was queued (for latency stats).
     pub queued_at: Time,
+    /// A babbling-idiot injection: always corrupts on grant, never
+    /// retransmitted, never delivered.
+    pub garbage: bool,
 }
 
 /// One node: a kernel plus its NIC wiring.
@@ -66,7 +72,10 @@ pub struct Node {
     pub nic_irq: IrqLine,
     /// Arbitration id for this node's transmissions.
     pub tx_prio: u32,
+    /// NIC statistics and CAN error-confinement state.
+    pub stats: NodeStats,
     tx_queue: VecDeque<Frame>,
+    gate: Option<FailStopGate>,
 }
 
 /// Bus-level statistics.
@@ -79,6 +88,20 @@ pub struct BusStats {
     pub busy: Duration,
     /// Sum of queue→delivery latencies (divide by `frames_delivered`).
     pub total_latency: Duration,
+    // --- Fault signalling (all zero on a clean run) ---
+    /// Corrupted grants that consumed an error frame on the wire.
+    pub error_frames: u64,
+    /// Frames automatically requeued after a flagged transmission.
+    pub retransmissions: u64,
+    /// Babbling-idiot garbage frames injected (not in `frames_sent`).
+    pub babble_frames: u64,
+    /// Times any node entered bus-off.
+    pub bus_off_events: u64,
+    /// Times any node completed bus-off recovery.
+    pub bus_off_recoveries: u64,
+    /// Of `frames_dropped`: losses because a node was offline
+    /// (fail-stop outage or bus-off) at either end.
+    pub frames_lost_offline: u64,
 }
 
 impl BusStats {
@@ -119,6 +142,10 @@ pub struct Network {
     /// Frames currently in transmission: `(delivery time, frame)`.
     in_flight: Vec<(Time, Frame)>,
     pub stats: BusStats,
+    /// Error-signalling parameters.
+    pub error_cfg: ErrorConfig,
+    /// Compiled fault schedule, when one is installed.
+    faults: Option<FaultClock>,
 }
 
 impl Network {
@@ -137,6 +164,8 @@ impl Network {
             bus_free_at: Time::ZERO,
             in_flight: Vec::new(),
             stats: BusStats::default(),
+            error_cfg: ErrorConfig::default(),
+            faults: None,
         }
     }
 
@@ -172,9 +201,40 @@ impl Network {
             rx_mbox,
             nic_irq,
             tx_prio,
+            stats: NodeStats::default(),
             tx_queue: VecDeque::new(),
+            gate: None,
         });
         id
+    }
+
+    /// Installs a fault plan: fail-stop gates on the affected nodes
+    /// plus the corruption/babble schedule on the bus. Call before
+    /// [`Network::run_until`]. Corruption and babble apply to the
+    /// [`Arbitration::Priority`] discipline; TDMA slots stay fault-free
+    /// by design (the time-triggered bus is the containment mechanism).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan references a node index out of range.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        let fc = FaultClock::new(plan, self.nodes.len());
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let windows = fc.down_windows(i);
+            node.gate = (!windows.is_empty()).then(|| FailStopGate::new(windows));
+        }
+        self.faults = Some(fc);
+    }
+
+    /// Per-node NIC statistics and error-confinement state.
+    pub fn node_stats(&self, id: NodeId) -> &NodeStats {
+        &self.nodes[id.index()].stats
+    }
+
+    /// Is `node` off the bus at `at` (fail-stop outage or bus-off)?
+    fn node_offline(&self, node: usize, at: Time) -> bool {
+        self.nodes[node].stats.is_bus_off()
+            || self.faults.as_ref().is_some_and(|f| f.is_down(node, at))
     }
 
     /// Node access.
@@ -227,18 +287,33 @@ impl Network {
             self.deliver_due(now);
             // Step the laggard; bound the step so deliveries stay
             // timely.
-            let next_bus_event = self
+            let mut next_bus_event = self
                 .in_flight
                 .iter()
                 .map(|&(t, _)| t)
                 .min()
                 .unwrap_or(Time::MAX);
+            // With frames still queued but nothing in flight (an error
+            // frame consumed the grant, or a TDMA frame awaits its
+            // slot), the bus itself is the next event: re-arbitrate as
+            // soon as it frees, not a whole kernel slice later.
+            if self.nodes.iter().any(|n| !n.tx_queue.is_empty()) {
+                next_bus_event = next_bus_event.min(self.bus_free_at);
+            }
             let limit = horizon.min(next_bus_event.max(now + Duration::from_us(1)));
             // Bound each node advance to a 1 ms slice so TX mailboxes
             // are harvested often enough that senders never stall on a
             // full mailbox between network iterations.
             let slice = limit.min(now + Duration::from_ms(1));
             let node = &mut self.nodes[idx];
+            if let Some(gate) = node.gate.as_mut() {
+                // A fail-stop outage due within this slice stalls the
+                // node's kernel through the outage (clock jumps ahead;
+                // the loop re-evaluates the new laggard).
+                if gate.stall_pending(&mut node.kernel, slice) {
+                    continue;
+                }
+            }
             if !node.kernel.step(slice) && node.kernel.now() <= now {
                 // Fully idle node: jump it forward so others can run.
                 node.kernel
@@ -252,19 +327,61 @@ impl Network {
     }
 
     /// Moves application messages from TX mailboxes onto the bus
-    /// queues (the NIC "DMA").
+    /// queues (the NIC "DMA"). Also the per-iteration fault hook:
+    /// completes due bus-off recoveries, drops the TX traffic of
+    /// offline nodes, and injects due babble frames.
     fn harvest_tx(&mut self, now: Time) {
+        let recovery = self.error_cfg.recovery_time(self.bitrate_bps);
         let mut sent = 0;
-        for node in &mut self.nodes {
+        let mut lost = 0;
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].stats.try_recover(now, recovery) {
+                self.stats.bus_off_recoveries += 1;
+            }
+            let offline = self.node_offline(i, now);
+            let node = &mut self.nodes[i];
             let tx = node.tx_mbox;
             while let Some(msg) = node.kernel.external_mbox_pop(tx) {
+                sent += 1;
+                if offline {
+                    // The NIC is off the bus: the frame is lost, but
+                    // it still counts as sent so `sent == delivered +
+                    // dropped` stays an invariant.
+                    lost += 1;
+                    node.stats.tx_dropped += 1;
+                    continue;
+                }
                 let at = node.kernel.now().max(now);
                 node.tx_queue
                     .push_back(frame_of(node.id, node.tx_prio, msg, at));
-                sent += 1;
+            }
+            if offline {
+                // A dead NIC's buffered frames are gone too (garbage
+                // frames were never counted as sent, so they don't
+                // count as dropped).
+                let purged = node.tx_queue.iter().filter(|f| !f.garbage).count() as u64;
+                lost += purged;
+                node.stats.tx_dropped += purged;
+                node.tx_queue.clear();
+            }
+            // The babble cursor advances every iteration even while
+            // the babbler is offline, so a silenced babbler never
+            // saves up a burst for its recovery.
+            if let Some(f) = self.faults.as_mut() {
+                let due = f.babble_due(i, now);
+                if due > 0 && !offline {
+                    let node = &mut self.nodes[i];
+                    node.stats.babble_frames += due;
+                    self.stats.babble_frames += due;
+                    for _ in 0..due {
+                        node.tx_queue.push_front(garbage_frame(node.id, now));
+                    }
+                }
             }
         }
         self.stats.frames_sent += sent;
+        self.stats.frames_dropped += lost;
+        self.stats.frames_lost_offline += lost;
     }
 
     /// Grants the bus according to the configured discipline.
@@ -276,7 +393,10 @@ impl Network {
     }
 
     /// CAN-style arbitration: when the bus is idle, the lowest
-    /// arbitration id among all queue heads wins.
+    /// arbitration id among all queue heads wins. A corrupted grant
+    /// consumes the frame time plus an error frame, bumps the CAN
+    /// error counters, and requeues the frame at the head of its
+    /// node's queue (automatic retransmission preserves FIFO order).
     fn arbitrate_priority(&mut self, now: Time) {
         while self.bus_free_at <= now {
             let winner = self
@@ -289,9 +409,46 @@ impl Network {
             let frame = self.nodes[idx].tx_queue.pop_front().expect("head exists");
             let start = self.bus_free_at.max(now);
             let done = start + self.frame_time(frame.bytes);
-            self.stats.busy += done.since(start);
-            self.bus_free_at = done;
-            self.in_flight.push((done, frame));
+            let corrupted =
+                frame.garbage || self.faults.as_mut().is_some_and(|f| f.corrupt_next_grant());
+            if !corrupted {
+                self.stats.busy += done.since(start);
+                self.bus_free_at = done;
+                self.nodes[idx].stats.on_tx_success();
+                self.in_flight.push((done, frame));
+                continue;
+            }
+            // Error frame on the wire: everyone observes it.
+            let err_done = done + self.error_cfg.error_time(self.bitrate_bps);
+            self.stats.busy += err_done.since(start);
+            self.bus_free_at = err_done;
+            self.stats.error_frames += 1;
+            let entered_busoff = self.nodes[idx].stats.on_tx_error(err_done);
+            for i in 0..self.nodes.len() {
+                if i != idx && !self.node_offline(i, now) {
+                    self.nodes[i].stats.on_rx_error();
+                }
+            }
+            if entered_busoff {
+                self.stats.bus_off_events += 1;
+                // Bus-off kills the controller: the failed frame and
+                // everything behind it are lost.
+                let node = &mut self.nodes[idx];
+                // Garbage frames never counted as sent, so they don't
+                // count as dropped either.
+                let purged = node.tx_queue.iter().filter(|f| !f.garbage).count() as u64
+                    + u64::from(!frame.garbage);
+                node.tx_queue.clear();
+                node.stats.tx_dropped += purged;
+                self.stats.frames_dropped += purged;
+                self.stats.frames_lost_offline += purged;
+            } else if !frame.garbage {
+                // Automatic retransmission: back to the queue head, so
+                // same-priority frames from one node never reorder.
+                self.nodes[idx].stats.retransmissions += 1;
+                self.stats.retransmissions += 1;
+                self.nodes[idx].tx_queue.push_front(frame);
+            }
         }
     }
 
@@ -347,6 +504,13 @@ impl Network {
                 .collect(),
         };
         for t in targets {
+            if self.node_offline(t, done) {
+                // A dead receiver hears nothing.
+                self.nodes[t].stats.rx_dropped += 1;
+                self.stats.frames_dropped += 1;
+                self.stats.frames_lost_offline += 1;
+                continue;
+            }
             let node = &mut self.nodes[t];
             let rx = node.rx_mbox;
             let ok = node.kernel.external_mbox_push(
@@ -359,9 +523,11 @@ impl Network {
             );
             if ok {
                 node.kernel.raise_external_irq(node.nic_irq);
+                node.stats.on_rx_success();
                 self.stats.frames_delivered += 1;
                 self.stats.total_latency += done.since(frame.queued_at.min(done));
             } else {
+                node.stats.rx_dropped += 1;
                 self.stats.frames_dropped += 1;
             }
         }
@@ -384,6 +550,21 @@ pub(crate) fn frame_of(src: NodeId, prio: u32, msg: Message, now: Time) -> Frame
         bytes: msg.bytes.clamp(1, 8),
         tag: msg.tag & 0x00FF_FFFF,
         queued_at: now,
+        garbage: false,
+    }
+}
+
+/// A babbling-idiot injection: top arbitration priority (0 beats every
+/// legitimate id), max size, always corrupts on grant.
+pub(crate) fn garbage_frame(src: NodeId, now: Time) -> Frame {
+    Frame {
+        prio: 0,
+        src,
+        dst: None,
+        bytes: 8,
+        tag: 0,
+        queued_at: now,
+        garbage: true,
     }
 }
 

@@ -60,6 +60,15 @@ impl SimRng {
         SimRng::seeded(s ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
+    /// A *stateless* per-index stream: the generator for `(seed,
+    /// index)` is a pure function of both, independent of how many
+    /// draws any other stream made. The fault clock uses this so the
+    /// corruption decision for bus grant *k* never shifts when an
+    /// unrelated subsystem adds or removes random draws.
+    pub fn stream(seed: u64, index: u64) -> SimRng {
+        SimRng::seeded(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
     /// Uniform integer in `[lo, hi]` (inclusive).
     ///
     /// # Panics

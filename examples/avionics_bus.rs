@@ -29,6 +29,7 @@
 use emeralds::core::kernel::{Kernel, KernelBuilder, KernelConfig};
 use emeralds::core::script::{Action, Script};
 use emeralds::core::SchedPolicy;
+use emeralds::faults::FaultPlan;
 use emeralds::fieldbus::{addressed_tag, Cluster};
 use emeralds::sim::{Duration, IrqLine, MboxId, NodeId, SimRng, Time};
 
@@ -141,11 +142,9 @@ fn terminal_node(i: usize, ring_dst: NodeId, rng: &mut SimRng) -> (Kernel, MboxI
     (b.build(), tx, rx)
 }
 
-fn main() {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(4);
+/// Builds the 64-board airframe; node ids 0–4 are the core avionics
+/// nodes in declaration order, 5.. are the remote terminals.
+fn build_cluster(workers: usize) -> Cluster {
     let mut cluster = Cluster::new(1_000_000).with_workers(workers); // 1 Mbit/s
 
     let (ahrs, ahrs_tx, ahrs_rx) = sensor_node("ahrs", ms(10), 45); // pitch
@@ -156,11 +155,11 @@ fn main() {
 
     // Bus arbitration ids: AHRS (attitude) outranks ADC, which
     // outranks everything else; terminals fill the low-priority tail.
-    let n_ahrs = cluster.add_node("ahrs", ahrs, ahrs_tx, ahrs_rx, NIC_IRQ, 1);
-    let n_adc = cluster.add_node("adc", adc, adc_tx, adc_rx, NIC_IRQ, 2);
-    let n_fcc = cluster.add_node("fcc", fcc, fcc_tx, fcc_rx, NIC_IRQ, 10);
-    let n_disp = cluster.add_node("disp", disp, disp_tx, disp_rx, NIC_IRQ, 11);
-    let n_dfdr = cluster.add_node("dfdr", dfdr, dfdr_tx, dfdr_rx, NIC_IRQ, 12);
+    cluster.add_node("ahrs", ahrs, ahrs_tx, ahrs_rx, NIC_IRQ, 1);
+    cluster.add_node("adc", adc, adc_tx, adc_rx, NIC_IRQ, 2);
+    cluster.add_node("fcc", fcc, fcc_tx, fcc_rx, NIC_IRQ, 10);
+    cluster.add_node("disp", disp, disp_tx, disp_rx, NIC_IRQ, 11);
+    cluster.add_node("dfdr", dfdr, dfdr_tx, dfdr_rx, NIC_IRQ, 12);
 
     let mut rng = SimRng::seeded(0xA710);
     for i in 0..TERMINALS {
@@ -170,6 +169,16 @@ fn main() {
         cluster.add_node(format!("rt{i:02}"), k, tx, rx, NIC_IRQ, 20 + i as u32);
     }
     assert_eq!(cluster.len(), CORE_NODES + TERMINALS);
+    cluster
+}
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    let mut cluster = build_cluster(workers);
+    let [n_ahrs, n_adc, n_fcc, n_disp, n_dfdr] = [0u32, 1, 2, 3, 4].map(NodeId);
 
     cluster.run_until(Time::from_ms(HORIZON_MS));
 
@@ -221,4 +230,75 @@ fn main() {
         "all {} nodes met every deadline; no frames dropped",
         m.node_count()
     );
+
+    // --- Phase 2: the same airframe under injected faults ---
+    //
+    // rt07's transmitter babbles for 60 ms (the CAN error machinery
+    // must drive it to bus-off and silence it), rt20 fail-stops for
+    // 40 ms mid-flight (its backlogged control jobs come back tagged
+    // as fault-caused misses), and 1% of grants corrupt on the wire
+    // (flagged frames retransmit in order). The core avionics nodes
+    // must ride it all out with zero deadline misses.
+    let babbler = NodeId((CORE_NODES + 7) as u32);
+    let halted = NodeId((CORE_NODES + 20) as u32);
+    let plan = FaultPlan::new(0xBAD5EED)
+        .with_corruption(0.01)
+        .babble(babbler, Time::from_ms(100), ms(60), us(80))
+        .fail_stop(halted, Time::from_ms(200), ms(40));
+
+    let mut faulted = build_cluster(workers);
+    faulted.set_fault_plan(&plan);
+    faulted.run_until(Time::from_ms(HORIZON_MS));
+
+    let s2 = *faulted.stats();
+    let m2 = faulted.metrics();
+    println!("\n=== same airframe, faulted run ===\n");
+    println!(
+        "frames: sent {}, delivered {}, dropped {} ({} lost to offline nodes)",
+        s2.frames_sent, s2.frames_delivered, s2.frames_dropped, s2.frames_lost_offline
+    );
+    println!(
+        "error frames {}, retransmissions {}, babble frames {}",
+        s2.error_frames, s2.retransmissions, s2.babble_frames
+    );
+    println!(
+        "bus-off events {}, recoveries {}, unrecovered at horizon {}",
+        s2.bus_off_events, s2.bus_off_recoveries, m2.unrecovered_bus_off
+    );
+    println!(
+        "deadline misses {} (fault {}, overload {}, unknown {})",
+        m2.deadline_misses, m2.misses_fault, m2.misses_overload, m2.misses_unknown
+    );
+    let bstats = faulted.node_stats(babbler);
+    println!(
+        "babbler rt07: {} garbage frames, {} bus-off entries, {} recoveries, max recovery {}",
+        bstats.babble_frames,
+        bstats.bus_off_events,
+        bstats.bus_off_recoveries,
+        bstats.recovery_hist.max(),
+    );
+    println!(
+        "halted rt20: {} TX frames lost while down, {} fault-tagged misses",
+        faulted.node_stats(halted).tx_dropped,
+        faulted.node(halted).kernel.metrics().counters.misses_fault,
+    );
+
+    // The fault machinery engaged and contained everything.
+    assert!(s2.error_frames > 0 && s2.retransmissions > 0);
+    assert!(s2.babble_frames > 0);
+    assert!(s2.bus_off_events >= 1, "babbler never reached bus-off");
+    assert_eq!(m2.unrecovered_bus_off, 0, "a node stayed bus-off");
+    assert!(s2.frames_lost_offline > 0);
+    assert!(m2.misses_fault > 0, "the outage left no fault-tagged miss");
+    // The flight-critical nodes never missed a beat.
+    for id in [n_ahrs, n_adc, n_fcc, n_disp, n_dfdr] {
+        let node = faulted.node(id);
+        assert_eq!(
+            node.kernel.total_deadline_misses(),
+            0,
+            "{}: deadline miss under faults",
+            node.name
+        );
+    }
+    println!("\ncore avionics nodes met every deadline through the fault storm");
 }

@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the EMERALDS reproduction workspace.
 pub use emeralds_core as core;
+pub use emeralds_faults as faults;
 pub use emeralds_fieldbus as fieldbus;
 pub use emeralds_hal as hal;
 pub use emeralds_sched as sched;

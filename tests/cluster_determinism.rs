@@ -14,6 +14,7 @@ use std::hash::{Hash, Hasher};
 use emeralds::core::kernel::{Kernel, KernelBuilder, KernelConfig};
 use emeralds::core::script::{Action, Script};
 use emeralds::core::SchedPolicy;
+use emeralds::faults::FaultPlan;
 use emeralds::fieldbus::{addressed_tag, Cluster};
 use emeralds::sim::{Duration, IrqLine, MboxId, NodeId, SimRng, Time};
 
@@ -123,6 +124,62 @@ fn traces_and_metrics_identical_across_worker_counts() {
             base.stats(),
             "bus stats diverged at workers={workers}"
         );
+    }
+}
+
+/// Fault injection must not weaken the invisibility promise: the same
+/// fault seed drives the same corrupted grants, outages, and babble
+/// bursts at every worker count, so traces, metrics, bus stats, and
+/// per-node NIC stats stay bit-for-bit identical.
+#[test]
+fn faulted_runs_identical_across_worker_counts() {
+    let horizon = Time::from_ms(80);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for fault_seed in [0xFA11u64, 0x0DDB] {
+        let plan = FaultPlan::random(fault_seed, 6, horizon, 0.05, 0.5, 0.5);
+        assert!(!plan.is_empty(), "seed {fault_seed:#x} injected nothing");
+
+        let run = |workers: usize| {
+            let mut c = ring_cluster(workers);
+            c.set_fault_plan(&plan);
+            c.run_until(horizon);
+            let hashes: Vec<u64> = c
+                .nodes()
+                .iter()
+                .map(|n| hash_of(&n.kernel.trace().to_jsonl()))
+                .collect();
+            let node_stats: Vec<_> = c.nodes().iter().map(|n| n.stats.clone()).collect();
+            (hashes, c.metrics(), *c.stats(), node_stats)
+        };
+
+        let base = run(1);
+        // The plan actually bit: the error machinery left evidence.
+        assert!(
+            base.2.error_frames > 0 || base.2.frames_lost_offline > 0,
+            "seed {fault_seed:#x} left no fault signal: {:?}",
+            base.2
+        );
+        for workers in [4, host] {
+            let other = run(workers);
+            assert_eq!(
+                other.0, base.0,
+                "trace hashes diverged at workers={workers}, seed {fault_seed:#x}"
+            );
+            assert_eq!(
+                other.1, base.1,
+                "metrics diverged at workers={workers}, seed {fault_seed:#x}"
+            );
+            assert_eq!(
+                other.2, base.2,
+                "bus stats diverged at workers={workers}, seed {fault_seed:#x}"
+            );
+            assert_eq!(
+                other.3, base.3,
+                "node stats diverged at workers={workers}, seed {fault_seed:#x}"
+            );
+        }
     }
 }
 

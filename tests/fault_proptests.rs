@@ -1,0 +1,222 @@
+//! Property-style invariants of the fault-injection path.
+//!
+//! Like `proptest_invariants.rs`, case generation is a deterministic
+//! seeded [`SimRng`] loop (the container builds offline, so the
+//! proptest crate itself is unavailable). Two properties the CAN
+//! error machinery must uphold for any fault schedule:
+//!
+//! 1. **Retransmission never reorders**: same-priority frames from
+//!    one node arrive in FIFO order and none are lost, no matter how
+//!    many grants the corruption schedule flags.
+//! 2. **Bus-off contains the babbler**: a node driven to bus-off
+//!    stops appearing on the bus — frames it posts while off are
+//!    dropped at its dead NIC — while other nodes keep transmitting,
+//!    and after recovery it rejoins.
+
+use emeralds::core::ipc::Message;
+use emeralds::core::kernel::{Kernel, KernelBuilder, KernelConfig};
+use emeralds::core::script::Script;
+use emeralds::core::SchedPolicy;
+use emeralds::faults::FaultPlan;
+use emeralds::fieldbus::{addressed_tag, Network};
+use emeralds::sim::{Duration, IrqLine, MboxId, SimRng, ThreadId, Time};
+
+/// Randomized cases per property.
+const CASES: u64 = 16;
+
+/// A minimal node: one idle periodic task keeps the kernel alive;
+/// frames are injected and observed externally through the mailboxes.
+fn shell_node(tx_cap: usize, rx_cap: usize) -> (Kernel, MboxId, MboxId, IrqLine) {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::RmQueue,
+        record_trace: false,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process("shell");
+    let tx = b.add_mailbox(tx_cap);
+    let rx = b.add_mailbox(rx_cap);
+    let line = IrqLine(2);
+    b.board_mut().add_nic("can", line);
+    b.add_periodic_task(
+        p,
+        "idle",
+        Duration::from_ms(5),
+        Script::compute_only(Duration::from_us(10)),
+    );
+    (b.build(), tx, rx, line)
+}
+
+/// Queues `n_frames` same-priority frames on one node under a
+/// corruption schedule and checks every frame arrives, in order.
+/// Returns (retransmissions, error_frames) for aggregate assertions.
+fn check_fifo_preserved(seed: u64, n_frames: u32, corruption: f64) -> (u64, u64) {
+    let mut net = Network::new(1_000_000);
+    let (k0, tx0, rx0, irq0) = shell_node(64, 8);
+    let (k1, tx1, rx1, irq1) = shell_node(8, 64);
+    let src = net.add_node("src", k0, tx0, rx0, irq0, 10);
+    let sink = net.add_node("sink", k1, tx1, rx1, irq1, 20);
+    net.set_fault_plan(&FaultPlan::new(seed).with_corruption(corruption));
+    for i in 0..n_frames {
+        let ok = net.node_mut(src).kernel.external_mbox_push(
+            tx0,
+            Message {
+                bytes: 8,
+                tag: addressed_tag(Some(sink), i),
+                sender: ThreadId(0),
+            },
+        );
+        assert!(ok, "TX mailbox overflow at frame {i}");
+    }
+    net.run_until(Time::from_ms(60));
+    // The corruption rates used here cannot push TEC past 255, so no
+    // frame may be lost; a loss here is itself a reordering bug.
+    assert_eq!(
+        net.stats.bus_off_events, 0,
+        "unexpected bus-off at corruption {corruption}"
+    );
+    for i in 0..n_frames {
+        let msg = net
+            .node_mut(sink)
+            .kernel
+            .external_mbox_pop(rx1)
+            .unwrap_or_else(|| panic!("frame {i} missing (seed {seed:#x}, p {corruption})"));
+        assert_eq!(
+            msg.tag, i,
+            "frames reordered (seed {seed:#x}, p {corruption})"
+        );
+        assert_eq!(msg.sender, ThreadId(u32::MAX - src.0));
+    }
+    assert!(
+        net.node_mut(sink).kernel.external_mbox_pop(rx1).is_none(),
+        "phantom extra frame delivered"
+    );
+    (net.stats.retransmissions, net.stats.error_frames)
+}
+
+#[test]
+fn retransmission_preserves_same_priority_fifo() {
+    // Pinned high-corruption case: this seed provably retransmits.
+    let (retrans, errors) = check_fifo_preserved(0xF1F0, 20, 0.35);
+    assert!(retrans > 0, "pinned case must exercise retransmission");
+    assert_eq!(retrans, errors, "every flagged frame was requeued");
+
+    let mut rng = SimRng::seeded(0xCA5E);
+    let mut total_retrans = 0;
+    for _ in 0..CASES {
+        let n = rng.int_in(5, 30) as u32;
+        let p = rng.int_in(5, 35) as f64 / 100.0;
+        let seed = rng.int_in(1, u64::MAX - 1);
+        let (r, _) = check_fifo_preserved(seed, n, p);
+        total_retrans += r;
+    }
+    assert!(total_retrans > 0, "no case exercised the error path");
+}
+
+/// Drives one node to bus-off by babbling, then checks containment:
+/// while off, its frames vanish at the NIC and a clean peer still
+/// gets through; once the window ends, it recovers and rejoins.
+fn check_busoff_contains(babble_period_us: u64, babble_start_us: u64) {
+    let mut net = Network::new(1_000_000);
+    let (k0, tx0, rx0, irq0) = shell_node(8, 8);
+    let (k1, tx1, rx1, irq1) = shell_node(8, 8);
+    let (k2, tx2, rx2, irq2) = shell_node(8, 64);
+    let babbler = net.add_node("babbler", k0, tx0, rx0, irq0, 10);
+    let clean = net.add_node("clean", k1, tx1, rx1, irq1, 11);
+    let sink = net.add_node("sink", k2, tx2, rx2, irq2, 12);
+    net.set_fault_plan(&FaultPlan::new(1).babble(
+        babbler,
+        Time::from_us(babble_start_us),
+        Duration::from_ms(40),
+        Duration::from_us(babble_period_us),
+    ));
+
+    // Phase 1: poll in 0.5 ms steps until the controller goes
+    // bus-off (expected ~32 flagged grants after the window opens).
+    let mut t = Time::ZERO;
+    while !net.node_stats(babbler).is_bus_off() {
+        t += Duration::from_us(500);
+        assert!(
+            t <= Time::from_ms(15),
+            "babbler never reached bus-off (period {babble_period_us} us)"
+        );
+        net.run_until(t);
+    }
+    assert!(net.stats.bus_off_events >= 1);
+    assert!(net.stats.babble_frames > 0);
+    let dropped_before = net.node_stats(babbler).tx_dropped;
+
+    // Phase 2: both nodes post frames while the babbler is off the
+    // bus. Recovery needs 1408 us of bus silence and the poll lags
+    // entry by at most ~500 us, so 800 us stays inside the outage.
+    let k = 3u32;
+    for i in 0..k {
+        let m = |tag| Message {
+            bytes: 8,
+            tag,
+            sender: ThreadId(0),
+        };
+        assert!(net
+            .node_mut(babbler)
+            .kernel
+            .external_mbox_push(tx0, m(addressed_tag(Some(sink), 100 + i))));
+        assert!(net
+            .node_mut(clean)
+            .kernel
+            .external_mbox_push(tx1, m(addressed_tag(Some(sink), 200 + i))));
+    }
+    net.run_until(t + Duration::from_us(800));
+    assert!(
+        net.node_stats(babbler).is_bus_off(),
+        "recovered inside the outage window"
+    );
+    let mut from_clean = 0;
+    while let Some(msg) = net.node_mut(sink).kernel.external_mbox_pop(rx2) {
+        assert_eq!(
+            msg.sender,
+            ThreadId(u32::MAX - clean.0),
+            "bus-off node's frame appeared on the bus (tag {:#x})",
+            msg.tag
+        );
+        from_clean += 1;
+    }
+    assert_eq!(from_clean, k, "clean node was starved");
+    assert_eq!(
+        net.node_stats(babbler).tx_dropped - dropped_before,
+        u64::from(k),
+        "offline TX must be dropped at the NIC"
+    );
+
+    // Phase 3: after the babble window closes, the node recovers and
+    // transmits again.
+    net.run_until(Time::from_ms(60));
+    assert!(!net.node_stats(babbler).is_bus_off(), "never recovered");
+    assert!(net.stats.bus_off_recoveries >= 1);
+    assert!(net.node_mut(babbler).kernel.external_mbox_push(
+        tx0,
+        Message {
+            bytes: 8,
+            tag: addressed_tag(Some(sink), 777),
+            sender: ThreadId(0),
+        }
+    ));
+    net.run_until(Time::from_ms(62));
+    let msg = net
+        .node_mut(sink)
+        .kernel
+        .external_mbox_pop(rx2)
+        .expect("recovered node transmits again");
+    assert_eq!(msg.tag, 777);
+    assert_eq!(msg.sender, ThreadId(u32::MAX - babbler.0));
+}
+
+#[test]
+fn busoff_silences_babbler_until_recovery() {
+    // Pinned case plus a seeded sweep over babble timing.
+    check_busoff_contains(60, 500);
+    let mut rng = SimRng::seeded(0xB0FF);
+    for _ in 0..8 {
+        let period = rng.int_in(40, 120);
+        let start = rng.int_in(200, 1500);
+        check_busoff_contains(period, start);
+    }
+}
