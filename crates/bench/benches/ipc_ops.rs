@@ -4,7 +4,7 @@
 use emeralds_bench::microbench::BenchGroup;
 use emeralds_core::ipc::statemsg::protocol::{Buffer, Reader, Writer};
 use emeralds_core::ipc::{Mailbox, Message, StateMsgVar};
-use emeralds_sim::{MboxId, RegionId, StateId, ThreadId};
+use emeralds_sim::{MboxId, RegionId, StateId, ThreadId, Time};
 use std::hint::black_box;
 
 fn bench_statemsg_protocol() {
@@ -35,7 +35,7 @@ fn bench_statemsg_var() {
     let mut g = BenchGroup::new("statemsg_var");
     let mut v = StateMsgVar::new(StateId(0), ThreadId(0), RegionId(0), 16, 3);
     g.bench("write_read", || {
-        v.write(ThreadId(0), 7);
+        v.write(ThreadId(0), 7, Time::ZERO);
         black_box(v.read())
     });
 }

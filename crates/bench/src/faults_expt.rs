@@ -14,12 +14,26 @@
 //! committed `BENCH_faults.json` is bit-for-bit reproducible on any
 //! host, and CI gates on absolute values: every bus-off node must
 //! recover by the horizon, the faulted miss rate must stay under a
-//! threshold, and the clean level must stay perfectly clean.
+//! threshold, frame accounting must balance
+//! (`sent == delivered + dropped + in_flight`), end-to-end state-message
+//! data age must stay bounded under noise, and the clean level must
+//! stay perfectly clean.
+//!
+//! The workload is the experiment-SC topology with one addition: each
+//! sensor publishes its sample into a §7 state-message variable that a
+//! `link_state` channel replicates to the paired consumer, whose 10 ms
+//! control law reads the replica. Each read records *data age* (read
+//! instant minus the original writer stamp), so the sweep maps fault
+//! intensity directly to control-loop staleness.
 
+use emeralds_core::kernel::{KernelBuilder, KernelConfig};
+use emeralds_core::script::{Action, Operand, Script};
+use emeralds_core::{Kernel, SchedPolicy};
 use emeralds_faults::FaultPlan;
-use emeralds_sim::{DurationHistogram, Time};
+use emeralds_fieldbus::{addressed_tag, Cluster};
+use emeralds_sim::{Duration, DurationHistogram, IrqLine, MboxId, NodeId, SimRng, StateId, Time};
 
-use crate::scale_expt::build_cluster;
+const NIC_IRQ: IrqLine = IrqLine(2);
 
 /// One fault intensity in the sweep.
 #[derive(Clone, Copy, Debug)]
@@ -96,6 +110,158 @@ impl FaultParams {
     }
 }
 
+/// A sensor board: like `scale_expt::sensor_node`, but the sampling
+/// task also publishes its reading into a state-message variable whose
+/// versions the NIC replicates to the paired consumer (overwrite, not
+/// queue — §7 semantics on the wire).
+fn state_sensor_node(i: usize, dst: NodeId, rng: &mut SimRng) -> (Kernel, MboxId, MboxId, StateId) {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::Csd {
+            boundaries: vec![2],
+        },
+        record_trace: false,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process(format!("sensor{i}"));
+    let tx = b.add_mailbox(8);
+    let rx = b.add_mailbox(8);
+    b.board_mut().add_nic("can", NIC_IRQ);
+    let period = Duration::from_us(rng.int_in(8_000, 12_000));
+    let sample = b.add_periodic_task(
+        p,
+        "sample",
+        period,
+        Script::periodic(vec![
+            Action::Compute(Duration::from_us(rng.int_in(80, 200))),
+            Action::StateWrite {
+                var: StateId(0),
+                value: Operand::Const(i as u32),
+            },
+            Action::SendMbox {
+                mbox: tx,
+                bytes: 8,
+                tag: addressed_tag(Some(dst), (i as u32) & 0x00FF_FFFF),
+            },
+        ]),
+    );
+    let var = b.add_state_msg(sample, 8, 3, &[]);
+    assert_eq!(var, StateId(0), "first state message gets id 0");
+    for f in 0..8 {
+        let period = Duration::from_us(rng.int_in(500, 1_000));
+        b.add_periodic_task(
+            p,
+            format!("ctl{f}"),
+            period,
+            Script::compute_only(Duration::from_us(rng.int_in(18, 40))),
+        );
+    }
+    b.add_driver_task(
+        p,
+        "nicdrv",
+        Duration::from_ms(2),
+        Script::looping(vec![
+            Action::RecvMbox(rx),
+            Action::Compute(Duration::from_us(20)),
+        ]),
+    );
+    (b.build(), tx, rx, var)
+}
+
+/// A consumer board: like `scale_expt::consumer_node`, but its 10 ms
+/// control law reads the NIC-fed state-message replica, recording the
+/// end-to-end data age of every sample it consumes.
+fn state_consumer_node(i: usize, rng: &mut SimRng) -> (Kernel, MboxId, MboxId, StateId) {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::Csd {
+            boundaries: vec![2],
+        },
+        record_trace: false,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process(format!("consumer{i}"));
+    let tx = b.add_mailbox(8);
+    let rx = b.add_mailbox(16);
+    b.board_mut().add_nic("can", NIC_IRQ);
+    let var = b.add_state_replica(p, 8, 3, &[]);
+    b.add_driver_task(
+        p,
+        "nicdrv",
+        Duration::from_ms(2),
+        Script::looping(vec![
+            Action::RecvMbox(rx),
+            Action::Compute(Duration::from_us(rng.int_in(60, 140))),
+        ]),
+    );
+    b.add_periodic_task(
+        p,
+        "law",
+        Duration::from_ms(10),
+        Script::periodic(vec![
+            Action::StateRead(var),
+            Action::Compute(Duration::from_us(rng.int_in(600, 1_100))),
+        ]),
+    );
+    for f in 0..8 {
+        let period = Duration::from_us(rng.int_in(500, 1_000));
+        b.add_periodic_task(
+            p,
+            format!("ctl{f}"),
+            period,
+            Script::compute_only(Duration::from_us(rng.int_in(18, 40))),
+        );
+    }
+    (b.build(), tx, rx, var)
+}
+
+/// Builds the n-node state-linked workload: the experiment-SC pairing
+/// (sensor *i* → consumer *n/2+i*), plus one `link_state` channel per
+/// pair carrying the sensor's state-message versions. State frames
+/// arbitrate below all mailbox traffic (ids `n+1..`), so fault-induced
+/// bus congestion shows up directly as data age.
+///
+/// # Panics
+///
+/// Panics when `n < 2` or `n` is odd.
+pub fn build_state_cluster(n: usize, seed: u64, workers: usize) -> Cluster {
+    assert!(n >= 2 && n % 2 == 0, "node count must be even and >= 2");
+    let mut rng = SimRng::seeded(seed);
+    let mut c = Cluster::new(1_000_000).with_workers(workers);
+    let half = n / 2;
+    let mut sensor_vars = Vec::with_capacity(half);
+    for i in 0..half {
+        let mut node_rng = rng.derive(i as u64);
+        let dst = NodeId((half + i) as u32);
+        let (k, tx, rx, var) = state_sensor_node(i, dst, &mut node_rng);
+        c.add_node(format!("sensor{i}"), k, tx, rx, NIC_IRQ, (i + 1) as u32);
+        sensor_vars.push(var);
+    }
+    let mut consumer_vars = Vec::with_capacity(half);
+    for i in 0..half {
+        let mut node_rng = rng.derive((half + i) as u64);
+        let (k, tx, rx, var) = state_consumer_node(i, &mut node_rng);
+        c.add_node(
+            format!("consumer{i}"),
+            k,
+            tx,
+            rx,
+            NIC_IRQ,
+            (half + i + 1) as u32,
+        );
+        consumer_vars.push(var);
+    }
+    for i in 0..half {
+        c.link_state(
+            NodeId(i as u32),
+            sensor_vars[i],
+            NodeId((half + i) as u32),
+            consumer_vars[i],
+            (n + i + 1) as u32,
+            8,
+        );
+    }
+    c
+}
+
 /// One measured configuration. Every field is simulated/deterministic.
 #[derive(Clone, Debug)]
 pub struct FaultRun {
@@ -110,6 +276,12 @@ pub struct FaultRun {
     pub frames_sent: u64,
     pub frames_delivered: u64,
     pub frames_dropped: u64,
+    /// Frames still queued or on the wire at the horizon; closes the
+    /// conservation invariant `sent == delivered + dropped + in_flight`.
+    pub frames_in_flight: u64,
+    /// Pending state frames replaced in place by a newer sample before
+    /// winning arbitration (§7 overwrite-not-queue at the NIC).
+    pub state_overwrites: u64,
     pub frames_lost_offline: u64,
     pub error_frames: u64,
     pub retransmissions: u64,
@@ -124,6 +296,12 @@ pub struct FaultRun {
     pub recovery_count: u64,
     pub mean_recovery_us: f64,
     pub max_recovery_us: f64,
+    /// End-to-end state-message data age at the control laws: reads
+    /// recorded, then mean / p99 upper bound / max in microseconds.
+    pub state_age_count: u64,
+    pub state_age_mean_us: f64,
+    pub state_age_p99_us: f64,
+    pub state_age_max_us: f64,
 }
 
 impl FaultRun {
@@ -158,7 +336,7 @@ pub fn run(params: &FaultParams) -> Vec<FaultRun> {
     let mut out = Vec::new();
     for &n in &params.nodes {
         for level in &params.levels {
-            let mut c = build_cluster(n, params.seed, 1);
+            let mut c = build_state_cluster(n, params.seed, 1);
             c.set_fault_plan(&plan_for(params, n, level));
             c.run_until(params.horizon);
             let m = c.metrics();
@@ -179,6 +357,8 @@ pub fn run(params: &FaultParams) -> Vec<FaultRun> {
                 frames_sent: s.frames_sent,
                 frames_delivered: s.frames_delivered,
                 frames_dropped: s.frames_dropped,
+                frames_in_flight: s.frames_in_flight,
+                state_overwrites: s.state_overwrites,
                 frames_lost_offline: s.frames_lost_offline,
                 error_frames: s.error_frames,
                 retransmissions: s.retransmissions,
@@ -190,6 +370,10 @@ pub fn run(params: &FaultParams) -> Vec<FaultRun> {
                 recovery_count: recovery.count(),
                 mean_recovery_us: recovery.mean().as_us_f64(),
                 max_recovery_us: recovery.max().as_us_f64(),
+                state_age_count: m.state_age.count(),
+                state_age_mean_us: m.state_age.mean().as_us_f64(),
+                state_age_p99_us: m.state_age.quantile_bound(0.99).as_us_f64(),
+                state_age_max_us: m.state_age.max().as_us_f64(),
             });
         }
     }
@@ -200,11 +384,11 @@ pub fn run(params: &FaultParams) -> Vec<FaultRun> {
 pub fn render(runs: &[FaultRun]) -> String {
     let mut s = String::new();
     s.push_str(
-        "nodes  level  misses(F/O/U)      rate%   errfr  retx   babble  busoff(rec)  lost  lat us  recov us(max)\n",
+        "nodes  level  misses(F/O/U)      rate%   errfr  retx   babble  busoff(rec)  lost  lat us  recov us(max)  age us mean/p99/max\n",
     );
     for r in runs {
         s.push_str(&format!(
-            "{:>5}  {:<5}  {:>5} ({}/{}/{})  {:>5.2}  {:>5}  {:>5}  {:>6}  {:>4} ({:<4})  {:>4}  {:>6.0}  {:>6.0} ({:.0})\n",
+            "{:>5}  {:<5}  {:>5} ({}/{}/{})  {:>5.2}  {:>5}  {:>5}  {:>6}  {:>4} ({:<4})  {:>4}  {:>6.0}  {:>6.0} ({:.0})  {:>6.0}/{:.0}/{:.0}\n",
             r.nodes,
             r.level,
             r.deadline_misses,
@@ -221,6 +405,9 @@ pub fn render(runs: &[FaultRun]) -> String {
             r.mean_latency_us,
             r.mean_recovery_us,
             r.max_recovery_us,
+            r.state_age_mean_us,
+            r.state_age_p99_us,
+            r.state_age_max_us,
         ));
     }
     s
@@ -242,7 +429,7 @@ pub fn to_json(params: &FaultParams, runs: &[FaultRun]) -> String {
     s.push_str("\"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         s.push_str(&format!(
-            "{{\"nodes\": {}, \"level\": \"{}\", \"corruption\": {}, \"jobs_completed\": {}, \"deadline_misses\": {}, \"misses_fault\": {}, \"misses_overload\": {}, \"misses_unknown\": {}, \"frames_sent\": {}, \"frames_delivered\": {}, \"frames_dropped\": {}, \"frames_lost_offline\": {}, \"error_frames\": {}, \"retransmissions\": {}, \"babble_frames\": {}, \"bus_off_events\": {}, \"bus_off_recoveries\": {}, \"unrecovered_bus_off\": {}, \"mean_latency_us\": {:.1}, \"recovery_count\": {}, \"mean_recovery_us\": {:.1}, \"max_recovery_us\": {:.1}}}{}\n",
+            "{{\"nodes\": {}, \"level\": \"{}\", \"corruption\": {}, \"jobs_completed\": {}, \"deadline_misses\": {}, \"misses_fault\": {}, \"misses_overload\": {}, \"misses_unknown\": {}, \"frames_sent\": {}, \"frames_delivered\": {}, \"frames_dropped\": {}, \"frames_in_flight\": {}, \"state_overwrites\": {}, \"frames_lost_offline\": {}, \"error_frames\": {}, \"retransmissions\": {}, \"babble_frames\": {}, \"bus_off_events\": {}, \"bus_off_recoveries\": {}, \"unrecovered_bus_off\": {}, \"mean_latency_us\": {:.1}, \"recovery_count\": {}, \"mean_recovery_us\": {:.1}, \"max_recovery_us\": {:.1}, \"state_age_count\": {}, \"state_age_mean_us\": {:.1}, \"state_age_p99_us\": {:.1}, \"state_age_max_us\": {:.1}}}{}\n",
             r.nodes,
             r.level,
             r.corruption,
@@ -254,6 +441,8 @@ pub fn to_json(params: &FaultParams, runs: &[FaultRun]) -> String {
             r.frames_sent,
             r.frames_delivered,
             r.frames_dropped,
+            r.frames_in_flight,
+            r.state_overwrites,
             r.frames_lost_offline,
             r.error_frames,
             r.retransmissions,
@@ -265,6 +454,10 @@ pub fn to_json(params: &FaultParams, runs: &[FaultRun]) -> String {
             r.recovery_count,
             r.mean_recovery_us,
             r.max_recovery_us,
+            r.state_age_count,
+            r.state_age_mean_us,
+            r.state_age_p99_us,
+            r.state_age_max_us,
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }
@@ -276,6 +469,12 @@ pub fn to_json(params: &FaultParams, runs: &[FaultRun]) -> String {
 ///
 /// - every bus-off node must have recovered by the horizon;
 /// - the miss rate of every run must stay under `params.max_miss_rate`;
+/// - frame accounting must balance at every level:
+///   `sent == delivered + dropped + in_flight`;
+/// - every run must actually observe state-message reads (the
+///   staleness instrumentation cannot silently disappear);
+/// - per cluster size, the p99 data age under `noise` must stay within
+///   2× the `none` baseline;
 /// - the `none` level must be perfectly clean (no misses, no drops,
 ///   no error signalling).
 ///
@@ -294,6 +493,28 @@ pub fn gate(params: &FaultParams, runs: &[FaultRun]) -> (Vec<String>, bool) {
                 r.miss_rate(),
                 params.max_miss_rate
             ));
+        }
+        if r.frames_sent != r.frames_delivered + r.frames_dropped + r.frames_in_flight {
+            bad.push(format!(
+                "frame accounting leak: sent {} != delivered {} + dropped {} + in-flight {}",
+                r.frames_sent, r.frames_delivered, r.frames_dropped, r.frames_in_flight
+            ));
+        }
+        if r.state_age_count == 0 {
+            bad.push("no state-message reads observed".into());
+        }
+        if r.level == "noise" {
+            if let Some(base) = runs
+                .iter()
+                .find(|b| b.nodes == r.nodes && b.level == "none")
+            {
+                if base.state_age_p99_us > 0.0 && r.state_age_p99_us > 2.0 * base.state_age_p99_us {
+                    bad.push(format!(
+                        "p99 data age {:.0} us over 2x clean baseline {:.0} us",
+                        r.state_age_p99_us, base.state_age_p99_us
+                    ));
+                }
+            }
         }
         if r.level == "none"
             && (r.deadline_misses > 0 || r.frames_dropped > 0 || r.error_frames > 0)
@@ -346,6 +567,47 @@ mod tests {
         );
         let (lines, failed) = gate(&params, &runs);
         assert!(!failed, "{lines:?}");
+    }
+
+    #[test]
+    fn every_level_conserves_frames_and_records_data_age() {
+        let (_, runs) = quick_runs();
+        for r in &runs {
+            assert_eq!(
+                r.frames_sent,
+                r.frames_delivered + r.frames_dropped + r.frames_in_flight,
+                "frame accounting leak at n{} {}: {r:?}",
+                r.nodes,
+                r.level
+            );
+            assert!(
+                r.state_age_count > 0,
+                "control laws must consume state messages at n{} {}",
+                r.nodes,
+                r.level
+            );
+            assert!(
+                r.state_age_mean_us > 0.0 && r.state_age_max_us >= r.state_age_mean_us,
+                "data age stats must be coherent: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_flags_frame_accounting_leak() {
+        let (params, mut runs) = quick_runs();
+        runs[0].frames_in_flight += 1;
+        let (lines, failed) = gate(&params, &runs);
+        assert!(failed, "{lines:?}");
+    }
+
+    #[test]
+    fn gate_flags_staleness_blowup_under_noise() {
+        let (params, mut runs) = quick_runs();
+        let idx = runs.iter().position(|r| r.level == "noise").unwrap();
+        runs[idx].state_age_p99_us *= 100.0;
+        let (lines, failed) = gate(&params, &runs);
+        assert!(failed, "{lines:?}");
     }
 
     #[test]

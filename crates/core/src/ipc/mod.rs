@@ -13,4 +13,4 @@ pub mod statemsg;
 
 pub use mailbox::{Mailbox, Message};
 pub use shm::SharedRegion;
-pub use statemsg::{required_depth, StateMsgVar};
+pub use statemsg::{required_depth, StateMsgVar, EXTERNAL_WRITER, MIN_DEPTH};

@@ -26,7 +26,16 @@
 
 use std::cell::Cell;
 
-use emeralds_sim::{Duration, RegionId, StateId, ThreadId};
+use emeralds_sim::{Duration, DurationHistogram, RegionId, StateId, ThreadId, Time};
+
+/// The §7 minimum buffer depth: one slot being read, one being
+/// written, and one complete spare, so the writer can never overwrite
+/// the slot under an un-preempted reader.
+pub const MIN_DEPTH: usize = 3;
+
+/// Sentinel writer id for variables fed by a device (NIC DMA) rather
+/// than a local task — the replica end of a networked state message.
+pub const EXTERNAL_WRITER: ThreadId = ThreadId(u32::MAX);
 
 /// A state-message variable.
 #[derive(Clone, Debug)]
@@ -36,7 +45,8 @@ pub struct StateMsgVar {
     pub size: usize,
     /// Buffer depth N.
     pub depth: usize,
-    /// The only thread allowed to write.
+    /// The only thread allowed to write ([`EXTERNAL_WRITER`] for a
+    /// replica fed over the fieldbus).
     pub writer: ThreadId,
     /// Shared-memory region backing the buffer.
     pub region: RegionId,
@@ -45,6 +55,14 @@ pub struct StateMsgVar {
     pub seq: u64,
     /// The slot values (abstract payload words).
     slots: Vec<u32>,
+    /// Per-slot virtual-time stamps: when the version in the slot was
+    /// produced *at its original writer* (stamps travel with networked
+    /// replicas, so a consumer's data age is end-to-end).
+    stamps: Vec<Time>,
+    /// Data age observed at each consistent read: read instant minus
+    /// the stamp of the version returned. Empty until the first read
+    /// of a written variable.
+    age_hist: DurationHistogram,
     /// Lifetime statistics. Kept in `Cell`s so the wait-free read path
     /// can take `&self`, matching the single-writer/multi-reader
     /// semantics of §7 (a read mutates nothing an observer can race
@@ -81,23 +99,46 @@ impl StateMsgVar {
             region,
             seq: 0,
             slots: vec![0; depth],
+            stamps: vec![Time::ZERO; depth],
+            age_hist: DurationHistogram::new(),
             writes: Cell::new(0),
             reads: Cell::new(0),
             retries: Cell::new(0),
         }
     }
 
-    /// Writer-side update (single writer enforced).
+    /// Writer-side update (single writer enforced). `at` is the
+    /// production instant stamped onto the new version.
     ///
     /// # Panics
     ///
     /// Panics if called by a thread other than the registered writer.
-    pub fn write(&mut self, tid: ThreadId, value: u32) {
+    pub fn write(&mut self, tid: ThreadId, value: u32, at: Time) {
         assert_eq!(tid, self.writer, "{}: write by non-writer {tid}", self.id);
+        self.publish(value, at);
+    }
+
+    /// Device-side update: the NIC DMAs a networked state-message
+    /// frame into the replica buffer, carrying the *original* writer's
+    /// stamp so data age stays end-to-end.
+    pub fn write_external(&mut self, value: u32, stamp: Time) {
+        self.publish(value, stamp);
+    }
+
+    fn publish(&mut self, value: u32, at: Time) {
         let next = self.seq + 1;
-        self.slots[(next % self.depth as u64) as usize] = value;
+        let slot = (next % self.depth as u64) as usize;
+        self.slots[slot] = value;
+        self.stamps[slot] = at;
         self.seq = next;
         self.writes.set(self.writes.get() + 1);
+    }
+
+    /// Has the writer wrapped the whole buffer since `start_seq` was
+    /// snapshotted? (The §7 re-check; on a 1-deep buffer *any* advance
+    /// may have overwritten the slot mid-copy.)
+    fn wrapped_since(&self, start_seq: u64) -> bool {
+        self.seq.saturating_sub(start_seq) >= (self.depth as u64 - 1).max(1)
     }
 
     /// Reader-side access: the freshest complete value (0 before the
@@ -106,18 +147,79 @@ impl StateMsgVar {
     /// perturbs the variable (§7); only the lifetime `reads` counter
     /// advances, through a `Cell`.
     pub fn read(&self) -> u32 {
+        self.read_stamped().0
+    }
+
+    /// Like [`StateMsgVar::read`], also returning the stamp of the
+    /// version read. The §7 reader protocol: snapshot `seq`, copy the
+    /// slot, re-check `seq`; a wrapped buffer means the copy may be
+    /// torn, so the loop re-snapshots and re-copies until consistent.
+    /// A kernel-sim read is atomic in virtual time, so in-kernel the
+    /// loop exits first pass; the retry path is exercised by the
+    /// preemption instrument below and the protocol tests.
+    pub fn read_stamped(&self) -> (u32, Time) {
         self.reads.set(self.reads.get() + 1);
-        // The sequence re-check of the §7 reader protocol. A kernel-sim
-        // read is atomic in virtual time, so the writer cannot have
-        // advanced between the snapshot and the copy; the check (and
-        // the retry counter it would bump) exists so the metrics layer
-        // reports the wait-free guarantee rather than assuming it.
-        let start_seq = self.seq;
-        let value = self.slots[(start_seq % self.depth as u64) as usize];
-        if self.seq.saturating_sub(start_seq) >= self.depth as u64 - 1 && self.depth > 1 {
-            self.retries.set(self.retries.get() + 1);
+        loop {
+            let start_seq = self.seq;
+            let slot = (start_seq % self.depth as u64) as usize;
+            let value = self.slots[slot];
+            let stamp = self.stamps[slot];
+            if self.wrapped_since(start_seq) {
+                self.retries.set(self.retries.get() + 1);
+                continue;
+            }
+            return (value, stamp);
         }
-        value
+    }
+
+    /// Non-counting peek at `(value, stamp, seq)` of the freshest
+    /// version — for the fieldbus NIC sampling the writer's variable
+    /// at harvest time without perturbing the consumer-facing read
+    /// statistics.
+    pub fn peek(&self) -> (u32, Time, u64) {
+        let slot = (self.seq % self.depth as u64) as usize;
+        (self.slots[slot], self.stamps[slot], self.seq)
+    }
+
+    /// Read instrument modeling a preempting writer: `preemption` runs
+    /// between the sequence snapshot and the slot copy of the first
+    /// pass, exactly where a real reader can be descheduled. If the
+    /// preemption wraps the buffer, the re-check catches it and the
+    /// retry loop returns the *fresh* value, never the overwritten
+    /// slot.
+    pub fn read_preempted_by(&mut self, preemption: impl FnOnce(&mut StateMsgVar)) -> (u32, Time) {
+        self.reads.set(self.reads.get() + 1);
+        let start_seq = self.seq;
+        preemption(self);
+        let slot = (start_seq % self.depth as u64) as usize;
+        let value = self.slots[slot];
+        let stamp = self.stamps[slot];
+        if !self.wrapped_since(start_seq) {
+            return (value, stamp);
+        }
+        self.retries.set(self.retries.get() + 1);
+        loop {
+            let start_seq = self.seq;
+            let slot = (start_seq % self.depth as u64) as usize;
+            let value = self.slots[slot];
+            let stamp = self.stamps[slot];
+            if self.wrapped_since(start_seq) {
+                self.retries.set(self.retries.get() + 1);
+                continue;
+            }
+            return (value, stamp);
+        }
+    }
+
+    /// Records one observed data age (read instant minus version
+    /// stamp). Called by the kernel's read path for written variables.
+    pub fn record_age(&mut self, age: Duration) {
+        self.age_hist.record(age);
+    }
+
+    /// Data-age distribution observed at this variable's reads.
+    pub fn age_hist(&self) -> &DurationHistogram {
+        &self.age_hist
     }
 
     /// Lifetime write count.
@@ -151,13 +253,15 @@ impl StateMsgVar {
 /// that span the writer produces at most
 /// `ceil(max_read_span / writer_period)` new versions; the buffer
 /// needs room for those plus the slot being read and the slot being
-/// written.
+/// written. The result never goes below [`MIN_DEPTH`]: a 1- or 2-deep
+/// buffer is exactly the tear-prone configuration §7 exists to rule
+/// out.
 pub fn required_depth(writer_period: Duration, max_read_span: Duration) -> usize {
     assert!(!writer_period.is_zero(), "writer period must be positive");
     let span = max_read_span.as_ns();
     let period = writer_period.as_ns();
     let new_versions = span.div_ceil(period);
-    (new_versions + 2) as usize
+    ((new_versions + 2) as usize).max(MIN_DEPTH)
 }
 
 /// A step-wise model of the lock-free read/write protocol, used to
@@ -290,9 +394,9 @@ mod tests {
     fn write_then_read_returns_latest() {
         let mut v = StateMsgVar::new(StateId(0), ThreadId(1), RegionId(0), 16, 3);
         assert_eq!(v.read(), 0, "unwritten variable reads as zero");
-        v.write(ThreadId(1), 42);
-        v.write(ThreadId(1), 43);
-        assert_eq!(v.read(), 43);
+        v.write(ThreadId(1), 42, Time::from_us(10));
+        v.write(ThreadId(1), 43, Time::from_us(20));
+        assert_eq!(v.read_stamped(), (43, Time::from_us(20)));
         assert_eq!(v.writes(), 2);
         assert_eq!(v.reads(), 2);
     }
@@ -301,16 +405,82 @@ mod tests {
     #[should_panic(expected = "non-writer")]
     fn single_writer_enforced() {
         let mut v = StateMsgVar::new(StateId(0), ThreadId(1), RegionId(0), 16, 3);
-        v.write(ThreadId(2), 1);
+        v.write(ThreadId(2), 1, Time::ZERO);
+    }
+
+    #[test]
+    fn external_write_bypasses_writer_check_and_keeps_stamp() {
+        let mut v = StateMsgVar::new(StateId(0), EXTERNAL_WRITER, RegionId(0), 8, 3);
+        v.write_external(9, Time::from_ms(4));
+        assert_eq!(v.read_stamped(), (9, Time::from_ms(4)));
+        assert_eq!(v.peek(), (9, Time::from_ms(4), 1));
     }
 
     #[test]
     fn reads_do_not_consume() {
         let mut v = StateMsgVar::new(StateId(0), ThreadId(0), RegionId(0), 4, 2);
-        v.write(ThreadId(0), 7);
+        v.write(ThreadId(0), 7, Time::ZERO);
         assert_eq!(v.read(), 7);
         assert_eq!(v.read(), 7);
         assert_eq!(v.read(), 7);
+    }
+
+    /// The phantom-retry bug: a wrapped buffer must make the reader
+    /// loop and return the *fresh* value, not count a retry while
+    /// handing back the overwritten slot.
+    #[test]
+    fn wrapped_read_retries_and_returns_fresh_value() {
+        let mut v = StateMsgVar::new(StateId(0), ThreadId(0), RegionId(0), 8, 3);
+        v.write(ThreadId(0), 1, Time::from_us(1));
+        // The preemption wraps the whole depth-3 buffer (3 writes),
+        // landing version 4 in the very slot the reader snapshotted.
+        let (value, stamp) = v.read_preempted_by(|var| {
+            for (i, at) in [(2u32, 2u64), (3, 3), (4, 4)] {
+                var.write(ThreadId(0), i, Time::from_us(at));
+            }
+        });
+        assert_eq!(
+            (value, stamp),
+            (4, Time::from_us(4)),
+            "stale value returned"
+        );
+        assert_eq!(v.retries(), 1);
+        assert_eq!(v.reads(), 1);
+    }
+
+    /// Depth 1 is the most tear-prone configuration: *any* write during
+    /// the read may overwrite the single slot, so the re-check must
+    /// fire (the old `depth > 1` guard silently skipped it).
+    #[test]
+    fn depth_one_read_detects_any_overwrite() {
+        let mut v = StateMsgVar::new(StateId(0), ThreadId(0), RegionId(0), 8, 1);
+        v.write(ThreadId(0), 1, Time::from_us(1));
+        let (value, _) = v.read_preempted_by(|var| {
+            var.write(ThreadId(0), 2, Time::from_us(2));
+        });
+        assert_eq!(value, 2);
+        assert_eq!(v.retries(), 1);
+    }
+
+    /// An undisturbed read never retries, at any depth.
+    #[test]
+    fn undisturbed_read_never_retries() {
+        for depth in [1, 2, 3, 5] {
+            let mut v = StateMsgVar::new(StateId(0), ThreadId(0), RegionId(0), 8, depth);
+            v.write(ThreadId(0), 5, Time::from_us(7));
+            assert_eq!(v.read(), 5);
+            assert_eq!(v.retries(), 0, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn age_histogram_records_read_ages() {
+        let mut v = StateMsgVar::new(StateId(0), ThreadId(0), RegionId(0), 8, 3);
+        v.write(ThreadId(0), 1, Time::from_us(100));
+        v.record_age(Duration::from_us(40));
+        v.record_age(Duration::from_us(90));
+        assert_eq!(v.age_hist().count(), 2);
+        assert_eq!(v.age_hist().max(), Duration::from_us(90));
     }
 
     #[test]
@@ -326,6 +496,8 @@ mod tests {
             required_depth(Duration::from_ms(10), Duration::from_ms(1)),
             3
         );
+        // The §7 floor: even a zero-span read needs MIN_DEPTH slots.
+        assert_eq!(required_depth(Duration::from_ms(10), Duration::ZERO), 3);
     }
 
     #[test]

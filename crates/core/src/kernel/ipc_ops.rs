@@ -152,7 +152,8 @@ impl Kernel {
             return;
         }
         self.charge(OverheadKind::StateMsg, self.cfg.cost.statemsg_copy(size));
-        self.statemsgs[var.index()].write(tid, value);
+        let now = self.clock.now();
+        self.statemsgs[var.index()].write(tid, value, now);
         let seq = self.statemsgs[var.index()].seq;
         self.record(TraceEvent::StateWrite { tid, var, seq });
         self.tcbs.get_mut(tid).pc += 1;
@@ -171,11 +172,37 @@ impl Kernel {
             return;
         }
         self.charge(OverheadKind::StateMsg, self.cfg.cost.statemsg_copy(size));
-        let value = self.statemsgs[var.index()].read();
+        let now = self.clock.now();
+        let (value, stamp) = self.statemsgs[var.index()].read_stamped();
         let seq = self.statemsgs[var.index()].seq;
+        if seq > 0 {
+            // Data age of the version acted on: read instant minus the
+            // *original* writer's production stamp (end-to-end for a
+            // networked replica). Unwritten variables have no age.
+            let age = now.saturating_since(stamp);
+            self.statemsgs[var.index()].record_age(age);
+        }
         self.record(TraceEvent::StateRead { tid, var, seq });
         self.tcbs.get_mut(tid).last_read = value;
         self.tcbs.get_mut(tid).pc += 1;
+    }
+
+    /// Device-side state-message delivery (§7 networked state
+    /// messages): the NIC DMAs an arriving state frame straight into
+    /// the replica buffer — no mailbox, no interrupt, no syscall; the
+    /// consumer polls the variable at its own rate. `stamp` is the
+    /// original writer's production instant, so consumer-side data age
+    /// stays end-to-end. Never fails: state semantics overwrite.
+    pub fn external_state_write(&mut self, var: StateId, value: u32, stamp: emeralds_sim::Time) {
+        let size = self.statemsgs[var.index()].size;
+        self.charge(OverheadKind::StateMsg, self.cfg.cost.statemsg_copy(size));
+        self.statemsgs[var.index()].write_external(value, stamp);
+        let seq = self.statemsgs[var.index()].seq;
+        self.record(TraceEvent::StateWrite {
+            tid: crate::ipc::EXTERNAL_WRITER,
+            var,
+            seq,
+        });
     }
 
     /// `event_signal()`: wake all waiters, or latch.

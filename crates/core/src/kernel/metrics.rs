@@ -11,7 +11,7 @@
 //! last-K event window plus the ready-queue state whenever a deadline
 //! is missed, so a failing test prints *why*.
 
-use emeralds_sim::{Duration, ThreadId, Time, TraceEvent};
+use emeralds_sim::{Duration, DurationHistogram, ThreadId, Time, TraceEvent};
 
 use crate::kernel::Kernel;
 use crate::tcb::{ThreadState, Timing};
@@ -251,6 +251,11 @@ pub struct KernelMetrics {
     /// Events the trace saw but no longer stores (ring eviction or
     /// disabled recording).
     pub trace_dropped: u64,
+    /// End-to-end state-message data age across every variable on this
+    /// kernel: at each consistent read, the read instant minus the
+    /// version's *original* writer stamp (which travels with networked
+    /// replicas). Empty when no state messages are read.
+    pub state_age: DurationHistogram,
 }
 
 impl KernelMetrics {
@@ -271,6 +276,15 @@ impl KernelMetrics {
             if v != 0 {
                 s.push_str(&format!("  {label:<20} {v}\n"));
             }
+        }
+        if self.state_age.count() > 0 {
+            s.push_str(&format!(
+                "state-message data age: reads {} | mean {} | p99<= {} | max {}\n",
+                self.state_age.count(),
+                self.state_age.mean(),
+                self.state_age.quantile_bound(0.99),
+                self.state_age.max()
+            ));
         }
         s.push_str("tasks:\n");
         for t in &self.tasks {
@@ -312,7 +326,15 @@ impl KernelMetrics {
             }
             s.push_str(&format!("\n    \"{label}\": {v}"));
         }
-        s.push_str("\n  },\n  \"tasks\": [");
+        s.push_str("\n  },\n");
+        s.push_str(&format!(
+            "  \"state_age\": {{\"count\": {}, \"mean_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}},\n",
+            self.state_age.count(),
+            self.state_age.mean().as_ns(),
+            self.state_age.quantile_bound(0.99).as_ns(),
+            self.state_age.max().as_ns()
+        ));
+        s.push_str("  \"tasks\": [");
         for (i, t) in self.tasks.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -409,6 +431,9 @@ pub struct ClusterMetrics {
     pub misses_fault: u64,
     pub misses_overload: u64,
     pub misses_unknown: u64,
+    /// End-to-end state-message data age merged across every node —
+    /// the cluster-wide freshness picture the fault experiments gate.
+    pub state_age: DurationHistogram,
 }
 
 impl ClusterMetrics {
@@ -433,6 +458,7 @@ impl ClusterMetrics {
             misses_fault: 0,
             misses_overload: 0,
             misses_unknown: 0,
+            state_age: DurationHistogram::new(),
         };
         for n in &nodes {
             let m = &n.metrics;
@@ -453,6 +479,7 @@ impl ClusterMetrics {
             c.misses_fault += m.counters.misses_fault;
             c.misses_overload += m.counters.misses_overload;
             c.misses_unknown += m.counters.misses_unknown;
+            c.state_age.merge(&m.state_age);
         }
         c.nodes = nodes;
         c
@@ -491,6 +518,15 @@ impl ClusterMetrics {
                 self.misses_unknown
             ));
         }
+        if self.state_age.count() > 0 {
+            s.push_str(&format!(
+                "  state-message data age: reads {} | mean {} | p99<= {} | max {}\n",
+                self.state_age.count(),
+                self.state_age.mean(),
+                self.state_age.quantile_bound(0.99),
+                self.state_age.max()
+            ));
+        }
         for n in &self.nodes {
             let m = &n.metrics;
             s.push_str(&format!(
@@ -526,7 +562,7 @@ impl ClusterMetrics {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "{{\n\"now_ns\": {},\n\"node_count\": {},\n\"context_switches\": {},\n\"deadline_misses\": {},\n\"syscalls\": {},\n\"jobs_completed\": {},\n\"app_ns\": {},\n\"idle_ns\": {},\n\"overhead_ns\": {},\n\"error_frames\": {},\n\"retransmissions\": {},\n\"babble_frames\": {},\n\"bus_off_events\": {},\n\"bus_off_recoveries\": {},\n\"unrecovered_bus_off\": {},\n\"misses_fault\": {},\n\"misses_overload\": {},\n\"misses_unknown\": {},\n\"nodes\": [",
+            "{{\n\"now_ns\": {},\n\"node_count\": {},\n\"context_switches\": {},\n\"deadline_misses\": {},\n\"syscalls\": {},\n\"jobs_completed\": {},\n\"app_ns\": {},\n\"idle_ns\": {},\n\"overhead_ns\": {},\n\"error_frames\": {},\n\"retransmissions\": {},\n\"babble_frames\": {},\n\"bus_off_events\": {},\n\"bus_off_recoveries\": {},\n\"unrecovered_bus_off\": {},\n\"misses_fault\": {},\n\"misses_overload\": {},\n\"misses_unknown\": {},\n\"state_age\": {{\"count\": {}, \"mean_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}},\n\"nodes\": [",
             self.now.as_ns(),
             self.nodes.len(),
             self.context_switches,
@@ -544,7 +580,11 @@ impl ClusterMetrics {
             self.unrecovered_bus_off,
             self.misses_fault,
             self.misses_overload,
-            self.misses_unknown
+            self.misses_unknown,
+            self.state_age.count(),
+            self.state_age.mean().as_ns(),
+            self.state_age.quantile_bound(0.99).as_ns(),
+            self.state_age.max().as_ns()
         ));
         for (i, n) in self.nodes.iter().enumerate() {
             if i > 0 {
@@ -671,6 +711,10 @@ impl Kernel {
         // The wait-free state-message reader never restarts when the
         // buffer is deep enough; surface the per-variable check anyway.
         counters.statemsg_retries = self.statemsgs.iter().map(|v| v.retries()).sum();
+        let mut state_age = DurationHistogram::new();
+        for v in &self.statemsgs {
+            state_age.merge(v.age_hist());
+        }
         let tasks = self
             .tcbs
             .iter()
@@ -697,6 +741,7 @@ impl Kernel {
             counters,
             tasks,
             trace_dropped: self.trace.dropped(),
+            state_age,
         }
     }
 

@@ -289,6 +289,20 @@ struct TaskSpec {
     sort_deadline: Duration,
 }
 
+/// Specification of one state-message variable, collected by the
+/// builder: written by a local task, or a networked *replica* owned by
+/// a process and fed by the NIC ([`crate::ipc::EXTERNAL_WRITER`]).
+#[derive(Clone, Copy, Debug)]
+struct StateMsgSpec {
+    /// Local writer task index; `None` for a NIC-fed replica.
+    writer_idx: Option<usize>,
+    /// Owning process for a replica (a local variable lives in its
+    /// writer's process, resolved at build time).
+    owner: Option<ProcId>,
+    size: usize,
+    depth: usize,
+}
+
 /// Builds a [`Kernel`]: processes, tasks, kernel objects, devices.
 #[derive(Debug)]
 pub struct KernelBuilder {
@@ -299,7 +313,7 @@ pub struct KernelBuilder {
     sems: Vec<Semaphore>,
     cvs: Vec<CondVar>,
     mbox_caps: Vec<usize>,
-    statemsg_specs: Vec<(usize, usize, usize)>, // (writer task idx, size, depth)
+    statemsg_specs: Vec<StateMsgSpec>,
     statemsg_readers: Vec<Vec<ProcId>>,
     event_count: usize,
     irq_actions: Vec<IrqAction>,
@@ -439,6 +453,12 @@ impl KernelBuilder {
 
     /// Adds a state-message variable written by `writer`, readable by
     /// the listed processes (the writer's process is always mapped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer does not exist or `depth` is below the §7
+    /// minimum of [`crate::ipc::MIN_DEPTH`] — shallower buffers are
+    /// exactly the tear-prone configuration state messages rule out.
     pub fn add_state_msg(
         &mut self,
         writer: ThreadId,
@@ -450,8 +470,47 @@ impl KernelBuilder {
             writer.index() < self.tasks.len(),
             "state message writer does not exist"
         );
+        self.push_statemsg_spec(Some(writer.index()), None, size, depth, reader_procs)
+    }
+
+    /// Adds a *replica* state-message variable owned by `owner` and
+    /// written by the NIC (frames arriving over the fieldbus land here
+    /// via [`Kernel::external_state_write`], carrying the original
+    /// writer's stamp). Local tasks only read it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is below [`crate::ipc::MIN_DEPTH`].
+    pub fn add_state_replica(
+        &mut self,
+        owner: ProcId,
+        size: usize,
+        depth: usize,
+        reader_procs: &[ProcId],
+    ) -> StateId {
+        self.push_statemsg_spec(None, Some(owner), size, depth, reader_procs)
+    }
+
+    fn push_statemsg_spec(
+        &mut self,
+        writer_idx: Option<usize>,
+        owner: Option<ProcId>,
+        size: usize,
+        depth: usize,
+        reader_procs: &[ProcId],
+    ) -> StateId {
+        assert!(
+            depth >= crate::ipc::MIN_DEPTH,
+            "state message depth {depth} below the §7 minimum {}",
+            crate::ipc::MIN_DEPTH
+        );
         let id = StateId(self.statemsg_specs.len() as u32);
-        self.statemsg_specs.push((writer.index(), size, depth));
+        self.statemsg_specs.push(StateMsgSpec {
+            writer_idx,
+            owner,
+            size,
+            depth,
+        });
         self.statemsg_readers.push(reader_procs.to_vec());
         id
     }
@@ -585,9 +644,21 @@ impl KernelBuilder {
         // State messages get MPU-backed shared regions.
         let mut regions = Vec::new();
         let mut statemsgs = Vec::new();
-        for (i, &(writer_idx, size, depth)) in self.statemsg_specs.iter().enumerate() {
-            let writer = ThreadId(writer_idx as u32);
-            let writer_proc = tcbs.get(writer).proc;
+        for (i, &spec) in self.statemsg_specs.iter().enumerate() {
+            let StateMsgSpec {
+                writer_idx,
+                owner,
+                size,
+                depth,
+            } = spec;
+            let writer = match writer_idx {
+                Some(idx) => ThreadId(idx as u32),
+                None => crate::ipc::EXTERNAL_WRITER,
+            };
+            let writer_proc = match writer_idx {
+                Some(idx) => tcbs.get(ThreadId(idx as u32)).proc,
+                None => owner.expect("replica spec carries its owner"),
+            };
             let bytes = (size * depth + 16) as u64;
             let base = self.next_region_base;
             self.next_region_base = base + bytes.next_multiple_of(0x100);

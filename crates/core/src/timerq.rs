@@ -10,6 +10,8 @@
 //! equal expiries, matching the determinism guarantees of the rest of
 //! the simulator.
 
+use std::collections::VecDeque;
+
 use emeralds_sim::Time;
 
 /// A pending timer entry.
@@ -22,10 +24,11 @@ struct Entry<E> {
 
 /// A delta-style timer queue: sorted singly-linked order, O(n) insert,
 /// O(1) expiry pop — the right trade for the tens of timers a
-/// small-memory system arms.
+/// small-memory system arms. The ring buffer keeps the expiry pop O(1)
+/// for real (`Vec::remove(0)` would shift the whole queue every tick).
 #[derive(Clone, Debug)]
 pub struct TimerQueue<E> {
-    entries: Vec<Entry<E>>,
+    entries: VecDeque<Entry<E>>,
     seq: u64,
     /// Lifetime statistics: how many nodes insertions walked, for the
     /// overhead ledger and tests.
@@ -38,7 +41,7 @@ impl<E> TimerQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         TimerQueue {
-            entries: Vec::new(),
+            entries: VecDeque::new(),
             seq: 0,
             insert_walks: 0,
             inserts: 0,
@@ -66,13 +69,13 @@ impl<E> TimerQueue<E> {
     /// The head expiry — what the hardware one-shot gets programmed
     /// to.
     pub fn next_expiry(&self) -> Option<Time> {
-        self.entries.first().map(|e| e.at)
+        self.entries.front().map(|e| e.at)
     }
 
-    /// Pops the head if due at or before `now`.
+    /// Pops the head if due at or before `now` — O(1) on the deque.
     pub fn pop_due(&mut self, now: Time) -> Option<(Time, E)> {
-        if self.entries.first().map(|e| e.at <= now) == Some(true) {
-            let e = self.entries.remove(0);
+        if self.entries.front().map(|e| e.at <= now) == Some(true) {
+            let e = self.entries.pop_front().expect("front checked above");
             self.expirations += 1;
             Some((e.at, e.payload))
         } else {
@@ -83,7 +86,7 @@ impl<E> TimerQueue<E> {
     /// Delta of the head relative to `now` (what a tick decrements),
     /// zero when already due.
     pub fn head_delta(&self, now: Time) -> Option<emeralds_sim::Duration> {
-        self.entries.first().map(|e| e.at.saturating_since(now))
+        self.entries.front().map(|e| e.at.saturating_since(now))
     }
 
     /// Cancels all entries matching `pred`; returns how many.

@@ -31,10 +31,12 @@ use std::collections::VecDeque;
 use emeralds_core::kernel::{ClusterMetrics, NodeMetrics};
 use emeralds_core::Kernel;
 use emeralds_faults::{FaultClock, FaultPlan};
-use emeralds_sim::{run_epochs, Duration, EpochConfig, EpochNode, IrqLine, MboxId, NodeId, Time};
+use emeralds_sim::{
+    run_epochs, Duration, EpochConfig, EpochNode, IrqLine, MboxId, NodeId, StateId, Time,
+};
 
 use crate::errors::{ErrorConfig, FailStopGate, NodeStats};
-use crate::{frame_of, garbage_frame, BusStats, Frame};
+use crate::{frame_of, garbage_frame, BusStats, Frame, StateLink, StatePayload};
 
 /// One simulated board in a [`Cluster`]: a kernel plus its NIC wiring.
 #[derive(Debug)]
@@ -80,6 +82,10 @@ struct BusState {
     pending: Vec<(u32, u64, Frame)>,
     /// Granted transmissions awaiting delivery, in completion order.
     in_flight: VecDeque<(Time, Frame)>,
+    /// Networked state-message routes, harvested in registration
+    /// order at each barrier (serial, so deterministic for any worker
+    /// count).
+    links: Vec<StateLink>,
     stats: BusStats,
     lookahead: Duration,
     /// Error-signalling parameters.
@@ -182,6 +188,53 @@ impl BusState {
             }
         }
 
+        // 2b. Harvest the networked state-message links (§7), in
+        //     registration order: sample each link's writer variable;
+        //     a changed version ships as a state frame. At most one
+        //     un-granted frame per link sits in the queue — a newer
+        //     sample *overwrites* its payload in place, keeping the
+        //     frame's original (prio, seq) so FIFO order within a
+        //     priority is untouched and no new send is counted.
+        for li in 0..self.links.len() {
+            let link = self.links[li];
+            let src = link.src.index();
+            if self.node_offline(nodes, src, now) {
+                continue;
+            }
+            let (value, stamp, seq) = nodes[src].kernel.statemsg(link.src_var).peek();
+            if seq == 0 || seq == link.last_seq {
+                continue;
+            }
+            self.links[li].last_seq = seq;
+            let payload = StatePayload {
+                link: li as u32,
+                value,
+                stamp,
+            };
+            if let Some((_, _, f)) = self
+                .pending
+                .iter_mut()
+                .find(|(_, _, f)| f.state.map(|s| s.link) == Some(li as u32))
+            {
+                f.state = Some(payload);
+                self.stats.state_overwrites += 1;
+                continue;
+            }
+            let frame = Frame {
+                prio: link.prio,
+                src: link.src,
+                dst: Some(link.dst),
+                bytes: link.bytes.clamp(1, 8),
+                tag: 0,
+                queued_at: now,
+                garbage: false,
+                state: Some(payload),
+            };
+            self.pending.push((frame.prio, self.seq, frame));
+            self.seq += 1;
+            self.stats.frames_sent += 1;
+        }
+
         // 3. Arbitrate every transmission that starts before the next
         //    barrier: new frames cannot appear until then, so the
         //    grant order is fully decided by the current queue. A
@@ -256,6 +309,20 @@ impl BusState {
                 continue;
             }
             let node = &mut nodes[t];
+            if let Some(sp) = frame.state {
+                // State frame: DMA straight into the replica variable,
+                // carrying the original writer's stamp. No mailbox, no
+                // interrupt — the consumer polls (§7); and state
+                // semantics overwrite, so delivery cannot fail on
+                // capacity.
+                let dst_var = self.links[sp.link as usize].dst_var;
+                node.kernel
+                    .external_state_write(dst_var, sp.value, sp.stamp);
+                node.stats.on_rx_success();
+                self.stats.frames_delivered += 1;
+                self.stats.total_latency += done.since(frame.queued_at.min(done));
+                continue;
+            }
             let rx = node.rx_mbox;
             let ok = node.kernel.external_mbox_push(
                 rx,
@@ -307,6 +374,7 @@ impl Cluster {
             seq: 0,
             pending: Vec::new(),
             in_flight: VecDeque::new(),
+            links: Vec::new(),
             stats: BusStats::default(),
             lookahead: Duration::ZERO,
             error_cfg: ErrorConfig::default(),
@@ -384,6 +452,25 @@ impl Cluster {
             node.gate = (!windows.is_empty()).then(|| FailStopGate::new(windows));
         }
         self.bus.faults = Some(fc);
+    }
+
+    /// Registers a networked state-message route: the writer variable
+    /// `src_var` on `src` is sampled at every barrier and changed
+    /// versions travel as state frames to the replica `dst_var` on
+    /// `dst`. Returns the link index (carried in the frame payload).
+    pub fn link_state(
+        &mut self,
+        src: NodeId,
+        src_var: StateId,
+        dst: NodeId,
+        dst_var: StateId,
+        prio: u32,
+        bytes: usize,
+    ) -> usize {
+        self.bus
+            .links
+            .push(StateLink::new(src, src_var, dst, dst_var, prio, bytes));
+        self.bus.links.len() - 1
     }
 
     /// Per-node NIC statistics and error-confinement state.
@@ -464,6 +551,16 @@ impl Cluster {
             &mut |nodes, at| bus.exchange(nodes, at),
         );
         self.cursor = horizon;
+        // Snapshot what is still underway so `sent == delivered +
+        // dropped + in_flight` is exact at this horizon (garbage
+        // frames never counted as sent, so they don't count here).
+        self.bus.stats.frames_in_flight = self.bus.in_flight.len() as u64
+            + self
+                .bus
+                .pending
+                .iter()
+                .filter(|(_, _, f)| !f.garbage)
+                .count() as u64;
     }
 
     /// Rolls every node's kernel metrics into a [`ClusterMetrics`].
@@ -651,7 +748,10 @@ mod tests {
         c.run_until(Time::from_ms(40));
         let s = c.stats();
         assert!(s.frames_dropped > 0);
-        assert_eq!(s.frames_delivered + s.frames_dropped, s.frames_sent);
+        assert_eq!(
+            s.frames_delivered + s.frames_dropped + s.frames_in_flight,
+            s.frames_sent
+        );
     }
 
     #[test]

@@ -37,7 +37,59 @@ use std::collections::VecDeque;
 use emeralds_core::ipc::Message;
 use emeralds_core::Kernel;
 use emeralds_faults::{FaultClock, FaultPlan};
-use emeralds_sim::{Duration, IrqLine, MboxId, NodeId, Time};
+use emeralds_sim::{Duration, IrqLine, MboxId, NodeId, StateId, Time};
+
+/// Payload of a networked state-message frame (§7): the sampled value
+/// plus the *original* writer's production stamp, which travels with
+/// the frame so the consumer's data age stays end-to-end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatePayload {
+    /// Index of the [`StateLink`] this frame serves.
+    pub link: u32,
+    pub value: u32,
+    pub stamp: Time,
+}
+
+/// One networked state-message route: the writer's variable on `src`
+/// is sampled by the NIC at harvest time and shipped to the replica
+/// variable on `dst`, where it lands by DMA — no mailbox, no
+/// interrupt; the consumer polls at its own rate (§7 state semantics).
+#[derive(Clone, Copy, Debug)]
+pub struct StateLink {
+    pub src: NodeId,
+    /// The writer-side variable sampled on `src`.
+    pub src_var: StateId,
+    pub dst: NodeId,
+    /// The replica variable written on `dst`.
+    pub dst_var: StateId,
+    /// Arbitration id for this link's frames.
+    pub prio: u32,
+    /// Frame payload size in bytes (clamped to classic CAN's 1–8).
+    pub bytes: usize,
+    /// Writer sequence number of the last sample shipped (0 = never).
+    last_seq: u64,
+}
+
+impl StateLink {
+    fn new(
+        src: NodeId,
+        src_var: StateId,
+        dst: NodeId,
+        dst_var: StateId,
+        prio: u32,
+        bytes: usize,
+    ) -> StateLink {
+        StateLink {
+            src,
+            src_var,
+            dst,
+            dst_var,
+            prio,
+            bytes,
+            last_seq: 0,
+        }
+    }
+}
 
 /// A frame on the bus.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,6 +108,11 @@ pub struct Frame {
     /// A babbling-idiot injection: always corrupts on grant, never
     /// retransmitted, never delivered.
     pub garbage: bool,
+    /// A networked state-message sample; `None` for ordinary mailbox
+    /// traffic. While un-granted at the NIC, a newer sample
+    /// *overwrites* this payload in place instead of queueing behind
+    /// it (§7: the bus carries the freshest value, never history).
+    pub state: Option<StatePayload>,
 }
 
 /// One node: a kernel plus its NIC wiring.
@@ -84,6 +141,15 @@ pub struct BusStats {
     pub frames_sent: u64,
     pub frames_delivered: u64,
     pub frames_dropped: u64,
+    /// Frames accepted by a NIC but neither delivered nor dropped when
+    /// the last run ended (still queued or on the wire), so
+    /// `sent == delivered + dropped + in_flight` holds *exactly* at
+    /// any horizon. Refreshed at the end of each run.
+    pub frames_in_flight: u64,
+    /// Networked state-message samples that replaced a pending
+    /// un-granted frame at the NIC instead of queueing a new one
+    /// (§7 overwrite-not-queue; not counted in `frames_sent`).
+    pub state_overwrites: u64,
     /// Total time the bus carried bits.
     pub busy: Duration,
     /// Sum of queue→delivery latencies (divide by `frames_delivered`).
@@ -141,6 +207,9 @@ pub struct Network {
     bus_free_at: Time,
     /// Frames currently in transmission: `(delivery time, frame)`.
     in_flight: Vec<(Time, Frame)>,
+    /// Networked state-message routes, harvested in registration
+    /// order.
+    links: Vec<StateLink>,
     pub stats: BusStats,
     /// Error-signalling parameters.
     pub error_cfg: ErrorConfig,
@@ -163,6 +232,7 @@ impl Network {
             arbitration: Arbitration::Priority,
             bus_free_at: Time::ZERO,
             in_flight: Vec::new(),
+            links: Vec::new(),
             stats: BusStats::default(),
             error_cfg: ErrorConfig::default(),
             faults: None,
@@ -224,6 +294,24 @@ impl Network {
             node.gate = (!windows.is_empty()).then(|| FailStopGate::new(windows));
         }
         self.faults = Some(fc);
+    }
+
+    /// Registers a networked state-message route: the writer variable
+    /// `src_var` on `src` is sampled at every harvest and changed
+    /// versions travel as state frames to the replica `dst_var` on
+    /// `dst`. Returns the link index (carried in the frame payload).
+    pub fn link_state(
+        &mut self,
+        src: NodeId,
+        src_var: StateId,
+        dst: NodeId,
+        dst_var: StateId,
+        prio: u32,
+        bytes: usize,
+    ) -> usize {
+        self.links
+            .push(StateLink::new(src, src_var, dst, dst_var, prio, bytes));
+        self.links.len() - 1
     }
 
     /// Per-node NIC statistics and error-confinement state.
@@ -320,10 +408,20 @@ impl Network {
                     .run_until(slice.max(now + Duration::from_us(10)));
             }
         }
-        // Final flush at the horizon.
+        // Final flush at the horizon, then snapshot what is still
+        // underway so `sent == delivered + dropped + in_flight` is
+        // exact at this instant (garbage frames never counted as
+        // sent, so they don't count here either).
         self.harvest_tx(horizon);
         self.arbitrate(horizon);
         self.deliver_due(horizon);
+        self.stats.frames_in_flight = self.in_flight.len() as u64
+            + self
+                .nodes
+                .iter()
+                .flat_map(|n| &n.tx_queue)
+                .filter(|f| !f.garbage)
+                .count() as u64;
     }
 
     /// Moves application messages from TX mailboxes onto the bus
@@ -382,6 +480,52 @@ impl Network {
         self.stats.frames_sent += sent;
         self.stats.frames_dropped += lost;
         self.stats.frames_lost_offline += lost;
+        // Networked state messages (§7): sample each link's writer
+        // variable; a changed version ships as a state frame. The NIC
+        // holds at most one un-granted frame per link — a newer sample
+        // *overwrites* its payload in place (keeping the frame's slot
+        // in the FIFO), never queueing history behind it. A dead NIC
+        // samples nothing; its already-queued frames were purged (and
+        // counted dropped) above.
+        for li in 0..self.links.len() {
+            let link = self.links[li];
+            let src = link.src.index();
+            if self.node_offline(src, now) {
+                continue;
+            }
+            let (value, stamp, seq) = self.nodes[src].kernel.statemsg(link.src_var).peek();
+            if seq == 0 || seq == link.last_seq {
+                continue;
+            }
+            self.links[li].last_seq = seq;
+            let payload = StatePayload {
+                link: li as u32,
+                value,
+                stamp,
+            };
+            let node = &mut self.nodes[src];
+            if let Some(pending) = node
+                .tx_queue
+                .iter_mut()
+                .find(|f| f.state.map(|s| s.link) == Some(li as u32))
+            {
+                pending.state = Some(payload);
+                self.stats.state_overwrites += 1;
+                continue;
+            }
+            let at = node.kernel.now().max(now);
+            node.tx_queue.push_back(Frame {
+                prio: link.prio,
+                src: link.src,
+                dst: Some(link.dst),
+                bytes: link.bytes.clamp(1, 8),
+                tag: 0,
+                queued_at: at,
+                garbage: false,
+                state: Some(payload),
+            });
+            self.stats.frames_sent += 1;
+        }
     }
 
     /// Grants the bus according to the configured discipline.
@@ -512,6 +656,20 @@ impl Network {
                 continue;
             }
             let node = &mut self.nodes[t];
+            if let Some(sp) = frame.state {
+                // State frame: DMA straight into the replica variable,
+                // carrying the original writer's stamp. No mailbox, no
+                // interrupt — the consumer polls (§7); and state
+                // semantics overwrite, so delivery cannot fail on
+                // capacity.
+                let dst_var = self.links[sp.link as usize].dst_var;
+                node.kernel
+                    .external_state_write(dst_var, sp.value, sp.stamp);
+                node.stats.on_rx_success();
+                self.stats.frames_delivered += 1;
+                self.stats.total_latency += done.since(frame.queued_at.min(done));
+                continue;
+            }
             let rx = node.rx_mbox;
             let ok = node.kernel.external_mbox_push(
                 rx,
@@ -551,6 +709,7 @@ pub(crate) fn frame_of(src: NodeId, prio: u32, msg: Message, now: Time) -> Frame
         tag: msg.tag & 0x00FF_FFFF,
         queued_at: now,
         garbage: false,
+        state: None,
     }
 }
 
@@ -565,6 +724,7 @@ pub(crate) fn garbage_frame(src: NodeId, now: Time) -> Frame {
         tag: 0,
         queued_at: now,
         garbage: true,
+        state: None,
     }
 }
 
@@ -796,7 +956,7 @@ mod tests {
         net.run_until(Time::from_ms(40));
         assert!(net.stats.frames_dropped > 0);
         assert_eq!(
-            net.stats.frames_delivered + net.stats.frames_dropped,
+            net.stats.frames_delivered + net.stats.frames_dropped + net.stats.frames_in_flight,
             net.stats.frames_sent
         );
     }

@@ -27,11 +27,11 @@
 //! ```
 
 use emeralds::core::kernel::{Kernel, KernelBuilder, KernelConfig};
-use emeralds::core::script::{Action, Script};
+use emeralds::core::script::{Action, Operand, Script};
 use emeralds::core::SchedPolicy;
 use emeralds::faults::FaultPlan;
 use emeralds::fieldbus::{addressed_tag, Cluster};
-use emeralds::sim::{Duration, IrqLine, MboxId, NodeId, SimRng, Time};
+use emeralds::sim::{Duration, IrqLine, MboxId, NodeId, SimRng, StateId, Time};
 
 const NIC_IRQ: IrqLine = IrqLine(2);
 const CORE_NODES: usize = 5;
@@ -61,15 +61,25 @@ fn builder(name: &str) -> (KernelBuilder, emeralds::sim::ProcId, MboxId, MboxId)
     (b, p, tx, rx)
 }
 
-/// A sensor node: samples and broadcasts on a period.
-fn sensor_node(name: &'static str, period: Duration, payload: u32) -> (Kernel, MboxId, MboxId) {
+/// A sensor node: samples and broadcasts on a period, and also
+/// publishes the sample into a §7 state-message variable the NIC
+/// replicates to a consumer over a `link_state` channel.
+fn sensor_node(
+    name: &'static str,
+    period: Duration,
+    payload: u32,
+) -> (Kernel, MboxId, MboxId, StateId) {
     let (mut b, p, tx, rx) = builder(name);
-    b.add_periodic_task(
+    let tid = b.add_periodic_task(
         p,
         format!("{name}-sample"),
         period,
         Script::periodic(vec![
             Action::Compute(us(500)),
+            Action::StateWrite {
+                var: StateId(0),
+                value: Operand::Const(payload),
+            },
             Action::SendMbox {
                 mbox: tx,
                 bytes: 8,
@@ -77,6 +87,8 @@ fn sensor_node(name: &'static str, period: Duration, payload: u32) -> (Kernel, M
             },
         ]),
     );
+    let var = b.add_state_msg(tid, 8, 3, &[]);
+    assert_eq!(var, StateId(0));
     // Broadcast frames also land here; a light NIC driver drains them
     // (a real node would filter by label).
     b.add_driver_task(
@@ -85,13 +97,15 @@ fn sensor_node(name: &'static str, period: Duration, payload: u32) -> (Kernel, M
         ms(5),
         Script::looping(vec![Action::RecvMbox(rx), Action::Compute(us(30))]),
     );
-    (b.build(), tx, rx)
+    (b.build(), tx, rx, var)
 }
 
 /// A consumer node: an IRQ-driven NIC driver feeds a control/display
-/// task.
-fn consumer_node(name: &'static str, work: Duration) -> (Kernel, MboxId, MboxId) {
+/// task that polls its NIC-fed state-message replica — each read
+/// records the end-to-end *data age* of the sensor sample it consumes.
+fn consumer_node(name: &'static str, work: Duration) -> (Kernel, MboxId, MboxId, StateId) {
     let (mut b, p, tx, rx) = builder(name);
+    let var = b.add_state_replica(p, 8, 3, &[]);
     // NIC driver: drain the RX mailbox as frames arrive.
     b.add_driver_task(
         p,
@@ -99,14 +113,15 @@ fn consumer_node(name: &'static str, work: Duration) -> (Kernel, MboxId, MboxId)
         ms(2),
         Script::looping(vec![Action::RecvMbox(rx), Action::Compute(us(120))]),
     );
-    // The node's periodic work (control law / display refresh / log).
+    // The node's periodic work (control law / display refresh / log)
+    // consumes the freshest replicated sensor sample.
     b.add_periodic_task(
         p,
         format!("{name}-main"),
         ms(10),
-        Script::compute_only(work),
+        Script::periodic(vec![Action::StateRead(var), Action::Compute(work)]),
     );
-    (b.build(), tx, rx)
+    (b.build(), tx, rx, var)
 }
 
 /// A remote terminal: local control loop plus a ring status frame
@@ -147,11 +162,11 @@ fn terminal_node(i: usize, ring_dst: NodeId, rng: &mut SimRng) -> (Kernel, MboxI
 fn build_cluster(workers: usize) -> Cluster {
     let mut cluster = Cluster::new(1_000_000).with_workers(workers); // 1 Mbit/s
 
-    let (ahrs, ahrs_tx, ahrs_rx) = sensor_node("ahrs", ms(10), 45); // pitch
-    let (adc, adc_tx, adc_rx) = sensor_node("adc", ms(20), 320); // airspeed (kt)
-    let (fcc, fcc_tx, fcc_rx) = consumer_node("fcc", ms(3));
-    let (disp, disp_tx, disp_rx) = consumer_node("disp", ms(4));
-    let (dfdr, dfdr_tx, dfdr_rx) = consumer_node("dfdr", ms(1));
+    let (ahrs, ahrs_tx, ahrs_rx, ahrs_var) = sensor_node("ahrs", ms(10), 45); // pitch
+    let (adc, adc_tx, adc_rx, adc_var) = sensor_node("adc", ms(20), 320); // airspeed (kt)
+    let (fcc, fcc_tx, fcc_rx, fcc_var) = consumer_node("fcc", ms(3));
+    let (disp, disp_tx, disp_rx, disp_var) = consumer_node("disp", ms(4));
+    let (dfdr, dfdr_tx, dfdr_rx, _) = consumer_node("dfdr", ms(1));
 
     // Bus arbitration ids: AHRS (attitude) outranks ADC, which
     // outranks everything else; terminals fill the low-priority tail.
@@ -160,6 +175,12 @@ fn build_cluster(workers: usize) -> Cluster {
     cluster.add_node("fcc", fcc, fcc_tx, fcc_rx, NIC_IRQ, 10);
     cluster.add_node("disp", disp, disp_tx, disp_rx, NIC_IRQ, 11);
     cluster.add_node("dfdr", dfdr, dfdr_tx, dfdr_rx, NIC_IRQ, 12);
+
+    // State-message replication: attitude feeds the control law, air
+    // data feeds the display. Arbitration ids 3–4 keep the state
+    // frames just below the raw sensor broadcasts.
+    cluster.link_state(NodeId(0), ahrs_var, NodeId(2), fcc_var, 3, 8);
+    cluster.link_state(NodeId(1), adc_var, NodeId(3), disp_var, 4, 8);
 
     let mut rng = SimRng::seeded(0xA710);
     for i in 0..TERMINALS {
@@ -226,9 +247,31 @@ fn main() {
     assert!(s.frames_sent >= 1_000, "sent {}", s.frames_sent);
     assert_eq!(s.frames_dropped, 0);
     assert_eq!(m.deadline_misses, 0);
+    // Frame accounting: broadcasts fan out (one reception per
+    // listener), so receptions exceed sends here — but nothing
+    // vanishes: every sent frame is delivered, dropped, or still
+    // pending at the horizon.
+    assert!(s.frames_delivered + s.frames_dropped + s.frames_in_flight >= s.frames_sent);
     println!(
         "all {} nodes met every deadline; no frames dropped",
         m.node_count()
+    );
+
+    // End-to-end staleness at the consumers: the FCC's attitude data
+    // is never older than one AHRS period plus delivery slack.
+    let fcc_age = cluster.node(n_fcc).kernel.metrics().state_age;
+    println!(
+        "fcc attitude data age: {} reads, mean {}, p99 <= {}, max {}",
+        fcc_age.count(),
+        fcc_age.mean(),
+        fcc_age.quantile_bound(0.99),
+        fcc_age.max()
+    );
+    assert!(fcc_age.count() > 0, "fcc never consumed replicated state");
+    assert!(
+        fcc_age.max() <= ms(10) + ms(3),
+        "attitude staleness {} beyond P + D",
+        fcc_age.max()
     );
 
     // --- Phase 2: the same airframe under injected faults ---
@@ -283,6 +326,15 @@ fn main() {
         faulted.node(halted).kernel.metrics().counters.misses_fault,
     );
 
+    let age2 = m2.state_age.clone();
+    println!(
+        "state-message data age under faults: {} reads, mean {}, p99 <= {}, max {}",
+        age2.count(),
+        age2.mean(),
+        age2.quantile_bound(0.99),
+        age2.max()
+    );
+
     // The fault machinery engaged and contained everything.
     assert!(s2.error_frames > 0 && s2.retransmissions > 0);
     assert!(s2.babble_frames > 0);
@@ -290,6 +342,11 @@ fn main() {
     assert_eq!(m2.unrecovered_bus_off, 0, "a node stayed bus-off");
     assert!(s2.frames_lost_offline > 0);
     assert!(m2.misses_fault > 0, "the outage left no fault-tagged miss");
+    // Accounting survives the storm (broadcast fan-out included), and
+    // the staleness tail stays inside the horizon envelope.
+    assert!(s2.frames_delivered + s2.frames_dropped + s2.frames_in_flight >= s2.frames_sent);
+    assert!(age2.count() > 0);
+    assert!(age2.max() <= Duration::from_ms(HORIZON_MS));
     // The flight-critical nodes never missed a beat.
     for id in [n_ahrs, n_adc, n_fcc, n_disp, n_dfdr] {
         let node = faulted.node(id);

@@ -12,11 +12,11 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 use emeralds::core::kernel::{Kernel, KernelBuilder, KernelConfig};
-use emeralds::core::script::{Action, Script};
+use emeralds::core::script::{Action, Operand, Script};
 use emeralds::core::SchedPolicy;
 use emeralds::faults::FaultPlan;
 use emeralds::fieldbus::{addressed_tag, Cluster};
-use emeralds::sim::{Duration, IrqLine, MboxId, NodeId, SimRng, Time};
+use emeralds::sim::{Duration, IrqLine, MboxId, NodeId, SimRng, StateId, Time};
 
 const NIC_IRQ: IrqLine = IrqLine(2);
 
@@ -180,6 +180,130 @@ fn faulted_runs_identical_across_worker_counts() {
                 "node stats diverged at workers={workers}, seed {fault_seed:#x}"
             );
         }
+    }
+}
+
+/// A traced node that both publishes a state-message variable (shipped
+/// to its ring successor over a `link_state` channel) and polls the
+/// replica its predecessor feeds, recording data age on every read.
+fn state_traced_node(i: usize, rng: &mut SimRng) -> (Kernel, MboxId, MboxId, StateId, StateId) {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::Csd {
+            boundaries: vec![1],
+        },
+        record_trace: true,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process(format!("node{i}"));
+    let tx = b.add_mailbox(8);
+    let rx = b.add_mailbox(16);
+    b.board_mut().add_nic("can", NIC_IRQ);
+    let tid = b.add_periodic_task(
+        p,
+        "pub",
+        Duration::from_us(rng.int_in(4_000, 7_000)),
+        Script::periodic(vec![
+            Action::Compute(Duration::from_us(rng.int_in(100, 300))),
+            Action::StateWrite {
+                var: StateId(0),
+                value: Operand::Const(i as u32),
+            },
+        ]),
+    );
+    let wvar = b.add_state_msg(tid, 8, 3, &[]);
+    assert_eq!(wvar, StateId(0));
+    let rvar = b.add_state_replica(p, 8, 3, &[]);
+    b.add_periodic_task(
+        p,
+        "law",
+        Duration::from_us(rng.int_in(8_000, 12_000)),
+        Script::periodic(vec![
+            Action::StateRead(rvar),
+            Action::Compute(Duration::from_us(rng.int_in(200, 500))),
+        ]),
+    );
+    b.add_periodic_task(
+        p,
+        "filler",
+        Duration::from_us(rng.int_in(900, 1_500)),
+        Script::compute_only(Duration::from_us(rng.int_in(30, 80))),
+    );
+    (b.build(), tx, rx, wvar, rvar)
+}
+
+/// A 6-node state-linked ring with tracing on.
+fn state_ring_cluster(workers: usize) -> Cluster {
+    const N: usize = 6;
+    let mut rng = SimRng::seeded(0x57A13);
+    let mut c = Cluster::new(1_000_000).with_workers(workers);
+    let mut vars = Vec::new();
+    for i in 0..N {
+        let mut nrng = rng.derive(i as u64);
+        let (k, tx, rx, wvar, rvar) = state_traced_node(i, &mut nrng);
+        c.add_node(format!("node{i}"), k, tx, rx, NIC_IRQ, (i + 1) as u32);
+        vars.push((wvar, rvar));
+    }
+    for i in 0..N {
+        let dst = (i + 1) % N;
+        c.link_state(
+            NodeId(i as u32),
+            vars[i].0,
+            NodeId(dst as u32),
+            vars[dst].1,
+            (10 + i) as u32,
+            8,
+        );
+    }
+    c
+}
+
+/// The staleness instrumentation must be worker-invisible too: the
+/// same faulted, state-linked ring produces bit-for-bit identical data
+/// age histograms, state-frame stats (overwrites, in-flight), and
+/// traces at 1, 4, and `available_parallelism` workers.
+#[test]
+fn staleness_metrics_identical_across_worker_counts() {
+    let horizon = Time::from_ms(80);
+    let plan = FaultPlan::random(0xA6E, 6, horizon, 0.04, 0.3, 0.3);
+    assert!(!plan.is_empty());
+
+    let run = |workers: usize| {
+        let mut c = state_ring_cluster(workers);
+        c.set_fault_plan(&plan);
+        c.run_until(horizon);
+        let hashes: Vec<u64> = c
+            .nodes()
+            .iter()
+            .map(|n| hash_of(&n.kernel.trace().to_jsonl()))
+            .collect();
+        (hashes, c.metrics(), *c.stats())
+    };
+
+    let base = run(1);
+    // The pin is nontrivial: ages were recorded and state frames flowed.
+    assert!(base.1.state_age.count() > 0, "no data age recorded");
+    assert!(base.2.frames_delivered > 0, "no state frames delivered");
+    assert_eq!(
+        base.2.frames_sent,
+        base.2.frames_delivered + base.2.frames_dropped + base.2.frames_in_flight,
+        "frame accounting leak: {:?}",
+        base.2
+    );
+
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for workers in [4, host] {
+        let other = run(workers);
+        assert_eq!(
+            other.0, base.0,
+            "trace hashes diverged at workers={workers}"
+        );
+        assert_eq!(
+            other.1, base.1,
+            "metrics (incl. staleness) diverged at workers={workers}"
+        );
+        assert_eq!(other.2, base.2, "bus stats diverged at workers={workers}");
     }
 }
 

@@ -12,14 +12,29 @@
 //!    stops appearing on the bus — frames it posts while off are
 //!    dropped at its dead NIC — while other nodes keep transmitting,
 //!    and after recovery it rejoins.
+//! 3. **Frame accounting balances**: at any observation point,
+//!    `sent == delivered + dropped + in_flight` — no frame is ever
+//!    leaked by the retry/overwrite/outage machinery, state links
+//!    included.
 
 use emeralds::core::ipc::Message;
 use emeralds::core::kernel::{Kernel, KernelBuilder, KernelConfig};
-use emeralds::core::script::Script;
+use emeralds::core::script::{Action, Operand, Script};
 use emeralds::core::SchedPolicy;
 use emeralds::faults::FaultPlan;
 use emeralds::fieldbus::{addressed_tag, Network};
-use emeralds::sim::{Duration, IrqLine, MboxId, SimRng, ThreadId, Time};
+use emeralds::sim::{Duration, IrqLine, MboxId, SimRng, StateId, ThreadId, Time};
+
+/// The frame-conservation invariant, checked wherever a network is
+/// observed at rest.
+fn assert_frames_conserved(net: &Network, ctx: &str) {
+    let s = &net.stats;
+    assert_eq!(
+        s.frames_sent,
+        s.frames_delivered + s.frames_dropped + s.frames_in_flight,
+        "frame accounting leak ({ctx}): {s:?}"
+    );
+}
 
 /// Randomized cases per property.
 const CASES: u64 = 16;
@@ -90,6 +105,7 @@ fn check_fifo_preserved(seed: u64, n_frames: u32, corruption: f64) -> (u64, u64)
         net.node_mut(sink).kernel.external_mbox_pop(rx1).is_none(),
         "phantom extra frame delivered"
     );
+    assert_frames_conserved(&net, &format!("fifo seed {seed:#x}"));
     (net.stats.retransmissions, net.stats.error_frames)
 }
 
@@ -207,6 +223,7 @@ fn check_busoff_contains(babble_period_us: u64, babble_start_us: u64) {
         .expect("recovered node transmits again");
     assert_eq!(msg.tag, 777);
     assert_eq!(msg.sender, ThreadId(u32::MAX - babbler.0));
+    assert_frames_conserved(&net, "busoff containment");
 }
 
 #[test]
@@ -218,5 +235,103 @@ fn busoff_silences_babbler_until_recovery() {
         let period = rng.int_in(40, 120);
         let start = rng.int_in(200, 1500);
         check_busoff_contains(period, start);
+    }
+}
+
+/// A writer node publishing into a state-message variable on a
+/// jittered period. The NIC samples the variable and ships changed
+/// versions over a `link_state` channel.
+fn state_writer_node(period_us: u64) -> (Kernel, MboxId, MboxId, IrqLine, StateId) {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::RmQueue,
+        record_trace: false,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process("writer");
+    let tx = b.add_mailbox(8);
+    let rx = b.add_mailbox(8);
+    let line = IrqLine(2);
+    b.board_mut().add_nic("can", line);
+    let tid = b.add_periodic_task(
+        p,
+        "pub",
+        Duration::from_us(period_us),
+        Script::periodic(vec![
+            Action::Compute(Duration::from_us(30)),
+            Action::StateWrite {
+                var: StateId(0),
+                value: Operand::Const(0xBEEF),
+            },
+        ]),
+    );
+    let var = b.add_state_msg(tid, 8, 3, &[]);
+    assert_eq!(var, StateId(0));
+    (b.build(), tx, rx, line, var)
+}
+
+/// A reader node holding the NIC-fed replica, polled by a periodic
+/// control task.
+fn state_reader_node(period_us: u64) -> (Kernel, MboxId, MboxId, IrqLine, StateId) {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::RmQueue,
+        record_trace: false,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process("reader");
+    let tx = b.add_mailbox(8);
+    let rx = b.add_mailbox(8);
+    let line = IrqLine(2);
+    b.board_mut().add_nic("can", line);
+    let var = b.add_state_replica(p, 8, 3, &[]);
+    b.add_periodic_task(
+        p,
+        "law",
+        Duration::from_us(period_us),
+        Script::periodic(vec![
+            Action::StateRead(var),
+            Action::Compute(Duration::from_us(50)),
+        ]),
+    );
+    (b.build(), tx, rx, line, var)
+}
+
+/// State links must uphold conservation under wire corruption: every
+/// sampled version is either delivered, overwritten in place (which
+/// never counts as a new send), or still pending at the horizon — and
+/// the replica converges to the writer's value.
+#[test]
+fn state_links_conserve_frames_under_corruption() {
+    let mut rng = SimRng::seeded(0x57A7E);
+    for case in 0..8 {
+        let p = rng.int_in(0, 30) as f64 / 100.0;
+        let seed = rng.int_in(1, u64::MAX - 1);
+        let wr_period = rng.int_in(2_000, 6_000);
+        let mut net = Network::new(1_000_000);
+        let (k0, tx0, rx0, irq0, wvar) = state_writer_node(wr_period);
+        let (k1, tx1, rx1, irq1, rvar) = state_reader_node(5_000);
+        let src = net.add_node("writer", k0, tx0, rx0, irq0, 10);
+        let dst = net.add_node("reader", k1, tx1, rx1, irq1, 20);
+        net.link_state(src, wvar, dst, rvar, 30, 8);
+        net.set_fault_plan(&FaultPlan::new(seed).with_corruption(p));
+        net.run_until(Time::from_ms(60));
+
+        assert_frames_conserved(&net, &format!("state case {case}, p {p}"));
+        assert!(
+            net.stats.frames_delivered > 0,
+            "no state frame arrived (case {case})"
+        );
+        let replica = net.node_mut(dst).kernel.statemsg(rvar);
+        let (value, stamp, seq) = replica.peek();
+        assert!(seq > 0, "replica never written (case {case})");
+        assert_eq!(value, 0xBEEF, "replica diverged (case {case})");
+        assert!(
+            stamp <= Time::from_ms(60),
+            "stamp from the future (case {case})"
+        );
+        let m = net.node_mut(dst).kernel.metrics();
+        assert!(
+            m.state_age.count() > 0,
+            "reader recorded no data age (case {case})"
+        );
     }
 }
