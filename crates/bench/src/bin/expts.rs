@@ -18,12 +18,14 @@
 //!                              # multi-node cluster scaling → BENCH_scale.json
 //! expts faults [--quick] [--nodes 8,16,...] [--out FILE] [--gate]
 //!                              # fault injection + recovery → BENCH_faults.json
+//! expts hotpath [--quick] [--out FILE] [--gate]
+//!                              # kernel hot-path work counters → BENCH_hotpath.json
 //! expts all [--workloads N]    # everything above
 //! ```
 
 use emeralds_bench::{
-    breakdown_figs, csdx_expt, cyclic_expt, faults_expt, fig2, scale_expt, searchcost, semfig,
-    statemsg_expt, syscall_expt, table1, table3,
+    breakdown_figs, csdx_expt, cyclic_expt, faults_expt, fig2, hotpath_expt, scale_expt,
+    searchcost, semfig, statemsg_expt, syscall_expt, table1, table3,
 };
 use emeralds_core::footprint;
 
@@ -170,6 +172,34 @@ fn main() {
                 }
             }
         }
+        "hotpath" => {
+            let params = if flag("--quick") {
+                hotpath_expt::HotpathParams::quick()
+            } else {
+                hotpath_expt::HotpathParams::full()
+            };
+            let report = hotpath_expt::run(&params);
+            print!("{}", hotpath_expt::render(&report));
+            let out = svalue("--out").unwrap_or_else(|| "BENCH_hotpath.json".into());
+            let json = hotpath_expt::to_json(&params, &report);
+            match std::fs::write(&out, &json) {
+                Ok(()) => println!("wrote {out}"),
+                Err(e) => {
+                    eprintln!("cannot write {out}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if flag("--gate") {
+                let (lines, failed) = hotpath_expt::gate(&report);
+                for l in &lines {
+                    println!("{l}");
+                }
+                if failed {
+                    eprintln!("hotpath experiment gate failed");
+                    std::process::exit(1);
+                }
+            }
+        }
         "all" => {
             banner("T1  Table 1: scheduler run-time overheads");
             print!("{}", table1::report(&[5, 10, 15, 20, 30, 40, 50]));
@@ -209,7 +239,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: table1 fig2 fig3 fig4 fig5 table3 fig11 fig12 statemsg footprint searchcost cyclic syscalls csdx scale faults all");
+            eprintln!("known: table1 fig2 fig3 fig4 fig5 table3 fig11 fig12 statemsg footprint searchcost cyclic syscalls csdx scale faults hotpath all");
             std::process::exit(2);
         }
     }

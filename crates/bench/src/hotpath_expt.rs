@@ -1,0 +1,529 @@
+//! Experiment HP — kernel hot-path work counters.
+//!
+//! The scale experiment's profile pointed at three kernel hot paths:
+//! the scheduler pick re-evaluated on every dispatch, the timer
+//! queue's O(n) insert walk, and the fully general `sem_acquire`
+//! path taken even when a semaphore is free and uncontended. Each got
+//! a host-side cut (dispatch memoization, a bucketed calendar
+//! front-end, an uncontended fast path) that must not move *virtual*
+//! time by a nanosecond. This experiment measures the cuts in
+//! **work units, not wall-clock** — queue evaluations, ordering
+//! steps, slow-path entries — so the committed `BENCH_hotpath.json`
+//! is bit-for-bit reproducible on any host and can gate CI without
+//! timing noise:
+//!
+//! - **Scheduler pick** — the same workload runs with the dispatch
+//!   cache off ("before": every `reschedule` walks the ready queues)
+//!   and on ("after": only invalidated picks re-evaluate), and the
+//!   two runs' `KernelMetrics` must be identical.
+//! - **Timer queue** — an identical arm/pop trace drives a local
+//!   reimplementation of the original delta queue (O(n) insert walk)
+//!   and the current calendar queue, comparing ordering work.
+//! - **`sem_acquire`** — the workload counts how many acquisitions
+//!   took the uncontended fast path vs entering the general path.
+//! - **`StateMsgVar::read`** — reads and torn-read retries; with §7
+//!   buffer sizing the retry count is structurally zero, i.e. read
+//!   work is exactly one snapshot+copy per read.
+
+use emeralds_core::kernel::{KernelBuilder, KernelConfig};
+use emeralds_core::script::{Action, Operand, Script};
+use emeralds_core::timerq::TimerQueue;
+use emeralds_core::{Kernel, SchedPolicy};
+use emeralds_sim::{Duration, SimRng, StateId, Time};
+
+/// Experiment shape.
+#[derive(Clone, Debug)]
+pub struct HotpathParams {
+    /// Simulated horizon of the kernel workload runs.
+    pub horizon: Time,
+    /// Periodic tasks in the synthetic timer trace.
+    pub timer_tasks: usize,
+    /// Simulated span of the synthetic timer trace.
+    pub timer_span: Time,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl HotpathParams {
+    /// The committed-baseline shape.
+    pub fn full() -> HotpathParams {
+        HotpathParams {
+            horizon: Time::from_ms(400),
+            timer_tasks: 48,
+            timer_span: Time::from_ms(300),
+            seed: 0x407,
+        }
+    }
+
+    /// CI smoke shape: shorter horizon, fewer timer tasks. Still
+    /// deterministic — only smaller.
+    pub fn quick() -> HotpathParams {
+        HotpathParams {
+            horizon: Time::from_ms(80),
+            timer_tasks: 16,
+            timer_span: Time::from_ms(60),
+            seed: 0x407,
+        }
+    }
+}
+
+/// The measured work counters. Every field is a deterministic
+/// function of the params — no wall-clock anywhere.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotpathReport {
+    // Scheduler pick.
+    pub select_calls: u64,
+    /// Full queue evaluations with the dispatch cache disabled
+    /// (the "before": equals `select_calls` by construction).
+    pub select_evals_uncached: u64,
+    /// Full queue evaluations with the cache enabled (the "after":
+    /// only invalidated picks re-evaluate).
+    pub select_evals_cached: u64,
+    /// The two runs produced identical `KernelMetrics` — the
+    /// bit-for-bit guarantee the cache must uphold.
+    pub dispatch_metrics_match: bool,
+
+    // Timer queue.
+    pub timer_arms: u64,
+    /// Ordering steps of the original delta queue on the synthetic
+    /// trace (each insert walks to its position).
+    pub timer_walks_legacy: u64,
+    /// Ordering work of the calendar queue on the identical trace
+    /// (bucket appends + dispense sorts + window probes).
+    pub timer_walks_calendar: u64,
+    /// Both queues popped the identical expiry sequence.
+    pub timer_order_match: bool,
+
+    // Semaphore acquire.
+    pub sem_acquired: u64,
+    pub sem_contended: u64,
+    /// §6.2 early inheritances — how EMERALDS-scheme contention
+    /// manifests (the waiter never reaches `acquire_sem` blocked).
+    pub sem_early_inherits: u64,
+    /// Acquisitions that took the uncontended fast path (free permit,
+    /// no waiters, no pre-lock members, no early grant).
+    pub sem_fast_acquires: u64,
+
+    // State-message reads.
+    pub statemsg_reads: u64,
+    pub statemsg_retries: u64,
+}
+
+/// The kernel workload: a mix that exercises all four hot paths —
+/// many periodic releases (timer + scheduler pressure), a
+/// mostly-uncontended mutex, one genuinely contended mutex, and a
+/// state-message producer/consumer pair.
+fn build_workload(seed: u64, dispatch_cache: bool) -> Kernel {
+    let mut rng = SimRng::seeded(seed);
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::Csd {
+            boundaries: vec![2],
+        },
+        record_trace: false,
+        dispatch_cache,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process("hotpath");
+    let quiet = b.add_mutex();
+    let busy = b.add_mutex();
+
+    // A producer updating a state message, and a consumer reading it.
+    let writer = b.add_periodic_task(
+        p,
+        "producer",
+        Duration::from_ms(2),
+        Script::periodic(vec![
+            Action::Compute(Duration::from_us(40)),
+            Action::StateWrite {
+                var: StateId(0),
+                value: Operand::Const(7),
+            },
+        ]),
+    );
+    let var = b.add_state_msg(writer, 8, 4, &[p]);
+    assert_eq!(var, StateId(0));
+    b.add_periodic_task(
+        p,
+        "consumer",
+        Duration::from_ms(1),
+        Script::periodic(vec![
+            Action::StateRead(var),
+            Action::Compute(Duration::from_us(30)),
+        ]),
+    );
+
+    // Uncontended mutex: a lone task takes and releases it each job.
+    b.add_periodic_task(
+        p,
+        "solo-lock",
+        Duration::from_us(1_500),
+        Script::periodic(vec![
+            Action::AcquireSem(quiet),
+            Action::Compute(Duration::from_us(25)),
+            Action::ReleaseSem(quiet),
+        ]),
+    );
+    // Contended mutex: a long-period task holds `busy` for 1 ms, and
+    // a short-period task is phased so roughly every other of its
+    // releases lands inside that critical section — keeping the
+    // general path (inheritance, hand-over, pre-lock parking)
+    // exercised and measured.
+    b.add_periodic_task(
+        p,
+        "hog-lo",
+        Duration::from_ms(6),
+        Script::periodic(vec![
+            Action::AcquireSem(busy),
+            Action::Compute(Duration::from_ms(1)),
+            Action::ReleaseSem(busy),
+        ]),
+    );
+    b.add_periodic_task_phased(
+        p,
+        "hog-hi",
+        Duration::from_ms(3),
+        Duration::from_ms(3),
+        Duration::from_us(500),
+        Script::periodic(vec![
+            Action::AcquireSem(busy),
+            Action::Compute(Duration::from_us(100)),
+            Action::ReleaseSem(busy),
+        ]),
+    );
+    // Filler periodics: scheduler + timer pressure.
+    for f in 0..10 {
+        let period = Duration::from_us(rng.int_in(700, 2_000));
+        b.add_periodic_task(
+            p,
+            format!("ctl{f}"),
+            period,
+            Script::compute_only(Duration::from_us(rng.int_in(15, 40))),
+        );
+    }
+    b.build()
+}
+
+/// The original timer structure, reimplemented for an honest
+/// "before": a list ordered by expiry, each insert walking from the
+/// head to its position (the O(n) cost the calendar queue removes).
+/// Ties keep arm order, matching the real queue's FIFO guarantee.
+struct LegacyDeltaQueue<E> {
+    entries: Vec<(Time, u64, E)>,
+    seq: u64,
+    insert_walks: u64,
+}
+
+impl<E> LegacyDeltaQueue<E> {
+    fn new() -> Self {
+        LegacyDeltaQueue {
+            entries: Vec::new(),
+            seq: 0,
+            insert_walks: 0,
+        }
+    }
+
+    fn arm(&mut self, at: Time, payload: E) {
+        let mut pos = 0;
+        while pos < self.entries.len() && self.entries[pos].0 <= at {
+            pos += 1;
+            self.insert_walks += 1;
+        }
+        self.entries.insert(pos, (at, self.seq, payload));
+        self.seq += 1;
+    }
+
+    fn pop_due(&mut self, now: Time) -> Option<(Time, E)> {
+        if self.entries.first().map(|e| e.0 <= now) == Some(true) {
+            let (at, _, payload) = self.entries.remove(0);
+            Some((at, payload))
+        } else {
+            None
+        }
+    }
+}
+
+/// Replays the same periodic re-arm trace through both timer queues:
+/// `timer_tasks` tasks with jittered periods, each re-arming one
+/// period ahead when its timer pops — exactly the kernel's release
+/// pattern. Returns `(arms, legacy walks, calendar walks, orders
+/// matched)`.
+fn timer_shootout(params: &HotpathParams) -> (u64, u64, u64, bool) {
+    let mut rng = SimRng::seeded(params.seed ^ 0x7133);
+    let periods: Vec<Duration> = (0..params.timer_tasks)
+        .map(|_| Duration::from_us(rng.int_in(500, 10_000)))
+        .collect();
+
+    let mut legacy = LegacyDeltaQueue::new();
+    let mut calendar: TimerQueue<usize> = TimerQueue::new();
+    let mut arms = 0u64;
+    for (i, p) in periods.iter().enumerate() {
+        legacy.arm(Time::ZERO + *p, i);
+        calendar.arm(Time::ZERO + *p, i);
+        arms += 1;
+    }
+    let mut order_match = true;
+    // Pop in expiry order, re-arming each task one period ahead; the
+    // two queues must dispense identical (time, task) sequences.
+    while let Some(at) = calendar.next_expiry() {
+        if at > params.timer_span {
+            break;
+        }
+        let c = calendar.pop_due(at).expect("head is due");
+        let l = legacy.pop_due(at);
+        order_match &= l.as_ref() == Some(&c);
+        let (_, task) = c;
+        let next = at + periods[task];
+        legacy.arm(next, task);
+        calendar.arm(next, task);
+        arms += 1;
+    }
+    (
+        arms,
+        legacy.insert_walks,
+        calendar.insert_walks,
+        order_match,
+    )
+}
+
+/// Runs the full measurement: the dispatch-cache A/B kernel runs, the
+/// timer shootout, and the semaphore / state-message counters (taken
+/// from the cache-enabled run — the configuration the kernel ships
+/// with).
+pub fn run(params: &HotpathParams) -> HotpathReport {
+    let mut before = build_workload(params.seed, false);
+    before.run_until(params.horizon);
+    let mut after = build_workload(params.seed, true);
+    after.run_until(params.horizon);
+
+    let (calls_b, evals_b) = before.dispatch_cache_stats();
+    let (calls_a, evals_a) = after.dispatch_cache_stats();
+    assert_eq!(
+        calls_b, calls_a,
+        "dispatch cache changed how often the scheduler runs"
+    );
+    let metrics_match = before.metrics() == after.metrics();
+
+    let (timer_arms, walks_legacy, walks_calendar, timer_order_match) = timer_shootout(params);
+
+    let c = after.counters();
+    HotpathReport {
+        select_calls: calls_a,
+        select_evals_uncached: evals_b,
+        select_evals_cached: evals_a,
+        dispatch_metrics_match: metrics_match,
+        timer_arms,
+        timer_walks_legacy: walks_legacy,
+        timer_walks_calendar: walks_calendar,
+        timer_order_match,
+        sem_acquired: c.sem_acquired,
+        sem_contended: c.sem_contended,
+        sem_early_inherits: c.early_inherits,
+        sem_fast_acquires: after.sem_fast_acquires(),
+        statemsg_reads: c.statemsg_reads,
+        statemsg_retries: c.statemsg_retries,
+    }
+}
+
+/// Renders the report as a before/after table.
+pub fn render(r: &HotpathReport) -> String {
+    let mut s = String::new();
+    s.push_str("hot path            before (work)   after (work)   cut\n");
+    let row = |s: &mut String, label: &str, before: u64, after: u64| {
+        let cut = if before > 0 {
+            format!("{:.1}x", before as f64 / (after.max(1)) as f64)
+        } else {
+            "-".into()
+        };
+        s.push_str(&format!("{label:<18} {before:>14} {after:>14}   {cut}\n"));
+    };
+    row(
+        &mut s,
+        "sched evals",
+        r.select_evals_uncached,
+        r.select_evals_cached,
+    );
+    row(
+        &mut s,
+        "timer walk steps",
+        r.timer_walks_legacy,
+        r.timer_walks_calendar,
+    );
+    row(
+        &mut s,
+        "sem slow entries",
+        r.sem_acquired + r.sem_contended,
+        r.sem_acquired + r.sem_contended - r.sem_fast_acquires,
+    );
+    row(
+        &mut s,
+        "statemsg copies",
+        r.statemsg_reads + r.statemsg_retries,
+        r.statemsg_reads + r.statemsg_retries,
+    );
+    s.push_str(&format!(
+        "sched picks {} | timer arms {} | sem acquired {} (blocked {}, early-inherit {}, fast {}) | reads {} retries {}\n",
+        r.select_calls,
+        r.timer_arms,
+        r.sem_acquired,
+        r.sem_contended,
+        r.sem_early_inherits,
+        r.sem_fast_acquires,
+        r.statemsg_reads,
+        r.statemsg_retries,
+    ));
+    s.push_str(&format!(
+        "virtual-time parity: metrics {} | timer order {}\n",
+        if r.dispatch_metrics_match {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+        if r.timer_order_match {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+    ));
+    s
+}
+
+/// Serializes the report as `BENCH_hotpath.json`. Every value is
+/// deterministic, so the committed file regenerates byte-identically
+/// on any host.
+pub fn to_json(params: &HotpathParams, r: &HotpathReport) -> String {
+    format!(
+        "{{\n\
+         \"experiment\": \"hotpath\",\n\
+         \"horizon_ms\": {},\n\
+         \"seed\": {},\n\
+         \"select_calls\": {},\n\
+         \"select_evals_uncached\": {},\n\
+         \"select_evals_cached\": {},\n\
+         \"dispatch_metrics_match\": {},\n\
+         \"timer_arms\": {},\n\
+         \"timer_walks_legacy\": {},\n\
+         \"timer_walks_calendar\": {},\n\
+         \"timer_order_match\": {},\n\
+         \"sem_acquired\": {},\n\
+         \"sem_contended\": {},\n\
+         \"sem_early_inherits\": {},\n\
+         \"sem_fast_acquires\": {},\n\
+         \"statemsg_reads\": {},\n\
+         \"statemsg_retries\": {}\n\
+         }}\n",
+        params.horizon.as_ms_f64(),
+        params.seed,
+        r.select_calls,
+        r.select_evals_uncached,
+        r.select_evals_cached,
+        r.dispatch_metrics_match,
+        r.timer_arms,
+        r.timer_walks_legacy,
+        r.timer_walks_calendar,
+        r.timer_order_match,
+        r.sem_acquired,
+        r.sem_contended,
+        r.sem_early_inherits,
+        r.sem_fast_acquires,
+        r.statemsg_reads,
+        r.statemsg_retries,
+    )
+}
+
+/// Deterministic CI gate: each cut must actually cut, and neither may
+/// perturb virtual time. Returns the verdict lines and whether any
+/// check failed.
+pub fn gate(r: &HotpathReport) -> (Vec<String>, bool) {
+    let mut lines = Vec::new();
+    let mut failed = false;
+    let mut check = |ok: bool, line: String| {
+        failed |= !ok;
+        lines.push(format!("{} {line}", if ok { "ok  " } else { "FAIL" }));
+    };
+    check(
+        r.dispatch_metrics_match,
+        "dispatch cache leaves KernelMetrics bit-identical".into(),
+    );
+    check(
+        r.select_evals_cached < r.select_evals_uncached,
+        format!(
+            "dispatch cache skips queue evaluations ({} -> {})",
+            r.select_evals_uncached, r.select_evals_cached
+        ),
+    );
+    check(
+        r.timer_order_match,
+        "calendar queue dispenses the legacy expiry order".into(),
+    );
+    check(
+        r.timer_walks_calendar * 2 <= r.timer_walks_legacy,
+        format!(
+            "calendar queue halves timer ordering work ({} -> {})",
+            r.timer_walks_legacy, r.timer_walks_calendar
+        ),
+    );
+    check(
+        r.sem_fast_acquires > 0 && r.sem_fast_acquires <= r.sem_acquired,
+        format!(
+            "sem fast path taken ({} of {} acquisitions)",
+            r.sem_fast_acquires, r.sem_acquired
+        ),
+    );
+    check(
+        r.sem_contended + r.sem_early_inherits > 0,
+        format!(
+            "contention still exercised ({} blocks, {} early inherits)",
+            r.sem_contended, r.sem_early_inherits
+        ),
+    );
+    check(
+        r.statemsg_retries == 0,
+        format!(
+            "state-message reads stay wait-free ({} reads, {} retries)",
+            r.statemsg_reads, r.statemsg_retries
+        ),
+    );
+    (lines, failed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_is_deterministic_and_passes_gate() {
+        let params = HotpathParams::quick();
+        let a = run(&params);
+        let b = run(&params);
+        assert_eq!(a, b, "hotpath report must be a pure function of params");
+        let (lines, failed) = gate(&a);
+        assert!(!failed, "{lines:?}");
+    }
+
+    #[test]
+    fn timer_shootout_orders_match_and_calendar_wins() {
+        let params = HotpathParams::quick();
+        let (arms, legacy, calendar, ordered) = timer_shootout(&params);
+        assert!(ordered);
+        assert!(arms > params.timer_tasks as u64);
+        assert!(
+            calendar * 2 <= legacy,
+            "calendar {calendar} vs legacy {legacy}"
+        );
+    }
+
+    #[test]
+    fn json_contains_every_counter() {
+        let params = HotpathParams::quick();
+        let r = run(&params);
+        let json = to_json(&params, &r);
+        for key in [
+            "select_evals_cached",
+            "timer_walks_legacy",
+            "sem_fast_acquires",
+            "statemsg_retries",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+}

@@ -19,12 +19,14 @@
 //! | CX | CSD queue-count sweep (§5.6) | [`csdx_expt`] |
 //! | SC | multi-node cluster scaling (not a paper figure) | [`scale_expt`] |
 //! | FT | fault injection + recovery forensics (not a paper figure) | [`faults_expt`] |
+//! | HP | kernel hot-path work counters (not a paper figure) | [`hotpath_expt`] |
 
 pub mod breakdown_figs;
 pub mod csdx_expt;
 pub mod cyclic_expt;
 pub mod faults_expt;
 pub mod fig2;
+pub mod hotpath_expt;
 pub mod microbench;
 pub mod scale_expt;
 pub mod searchcost;

@@ -54,6 +54,13 @@ pub struct KernelConfig {
     pub trace_ring: Option<usize>,
     /// How many trailing trace events a deadline-miss report captures.
     pub miss_window: usize,
+    /// Memoize the scheduler's dispatch decision between invocations:
+    /// when no release/block/unblock/inheritance change occurred since
+    /// the last selection, `reschedule` reuses the cached pick (and
+    /// still charges the identical virtual selection cost, so results
+    /// are bit-for-bit the same with the cache off — only host work
+    /// changes). The switch exists for that comparison.
+    pub dispatch_cache: bool,
 }
 
 impl Default for KernelConfig {
@@ -67,6 +74,7 @@ impl Default for KernelConfig {
             record_trace: true,
             trace_ring: None,
             miss_window: 32,
+            dispatch_cache: true,
         }
     }
 }
@@ -134,6 +142,19 @@ pub struct Kernel {
     /// `(cause, until)` instead of by CPU state. Installed by fault
     /// executives around outages.
     pub(crate) miss_cause_hint: Option<(MissCause, Time)>,
+    /// Memoized scheduler decision `(pick, selection cost)`, valid
+    /// until any event that can change the selection (block, unblock,
+    /// priority inheritance/restore) invalidates it. Host-side
+    /// optimization only: the cached virtual cost is still charged on
+    /// every hit.
+    pub(crate) dispatch_memo: Option<(Option<ThreadId>, Duration)>,
+    /// Scheduler invocations (`reschedule` calls).
+    pub(crate) select_calls: u64,
+    /// Full queue evaluations actually performed (cache misses).
+    pub(crate) select_evals: u64,
+    /// `sem_acquire` calls that took the uncontended fast path (free
+    /// permit, no waiters, no pre-lock members, no early grant).
+    pub(crate) sem_fast_acquires: u64,
 }
 
 impl Kernel {
@@ -155,6 +176,39 @@ impl Kernel {
     /// The currently running thread.
     pub fn current(&self) -> Option<ThreadId> {
         self.current
+    }
+
+    /// Dispatch-cache effectiveness: `(scheduler invocations, full
+    /// queue evaluations)`. With the cache enabled the second number
+    /// counts misses; with it disabled the two are equal. Both are
+    /// deterministic (driven purely by virtual events).
+    pub fn dispatch_cache_stats(&self) -> (u64, u64) {
+        (self.select_calls, self.select_evals)
+    }
+
+    /// `sem_acquire` calls that skipped the general-path queue scans
+    /// because the semaphore was free and uncontended. Deterministic;
+    /// host-side accounting only (virtual charges are identical on
+    /// both paths).
+    pub fn sem_fast_acquires(&self) -> u64 {
+        self.sem_fast_acquires
+    }
+
+    /// Timer-queue work counters: `(inserts, ordering work units,
+    /// expirations)` — see [`crate::timerq::TimerQueue::insert_walks`].
+    pub fn timer_stats(&self) -> (u64, u64, u64) {
+        (
+            self.timers.inserts,
+            self.timers.insert_walks,
+            self.timers.expirations,
+        )
+    }
+
+    /// Drops the memoized dispatch decision. Must be called by every
+    /// mutation that can change what `select` returns: ready-state
+    /// transitions and priority-inheritance adjustments.
+    pub(crate) fn invalidate_dispatch(&mut self) {
+        self.dispatch_memo = None;
     }
 
     /// TCB inspection (read-only).
@@ -709,6 +763,10 @@ impl KernelBuilder {
             miss_reports: Vec::new(),
             pending_send,
             miss_cause_hint: None,
+            dispatch_memo: None,
+            select_calls: 0,
+            select_evals: 0,
+            sem_fast_acquires: 0,
         };
         // Event-driven tasks are ready at boot: dispatch one.
         kernel.reschedule();

@@ -27,6 +27,37 @@ impl Kernel {
         });
         self.charge(OverheadKind::Semaphore, self.cfg.cost.sem_logic);
 
+        // Uncontended fast path: no early grant pending on this
+        // semaphore, the permit is free, nobody waits, and the
+        // pre-lock queue holds at most the caller itself (§6.2.1 puts
+        // the *next* acquirer there at its preceding blocking call, so
+        // a solo user of a lock meets its own entry every time). This
+        // is the case the paper's semaphore redesign optimizes for
+        // (§6.2 "case A"), and the dominant one in practice — take the
+        // permit with no queue scans, no inheritance checks, and no
+        // peer-parking loop. Charges and trace are identical to what
+        // the general path emits under these conditions, so results
+        // are bit-for-bit unchanged; only host-side work is skipped.
+        {
+            let sem = &self.sems[s.index()];
+            if sem.available()
+                && sem.waiters.is_empty()
+                && sem.prelock.iter().all(|&(t, blocked)| t == tid && !blocked)
+                && self.tcbs.get(tid).granted_sem != Some(s)
+            {
+                self.sem_fast_acquires += 1;
+                self.sems[s.index()].prelock_remove(tid);
+                self.sems[s.index()].take(tid);
+                if self.sems[s.index()].is_mutex() {
+                    self.tcbs.get_mut(tid).held_sems.push(s);
+                }
+                self.record(TraceEvent::SemAcquired { tid, sem: s });
+                self.tcbs.get_mut(tid).pc += 1;
+                self.charge(OverheadKind::Syscall, self.cfg.cost.syscall_exit);
+                return;
+            }
+        }
+
         // EMERALDS early grant: the lock was handed to us while we
         // were still blocked (§6.2); `grant_sem` already recorded the
         // acquisition.
@@ -270,6 +301,10 @@ impl Kernel {
 
     /// One inheritance step on one semaphore.
     fn apply_inheritance(&mut self, s: SemId, holder: ThreadId, donor: ThreadId) {
+        // Every branch below can reorder the ready queues or (DP) bump
+        // an effective deadline without a block/unblock, so the
+        // memoized dispatch decision must go.
+        self.invalidate_dispatch();
         let holder_q = self.tcbs.get(holder).queue;
         let donor_q = self.tcbs.get(donor).queue;
         match (holder_q, donor_q) {
@@ -344,6 +379,8 @@ impl Kernel {
             return;
         }
         self.sems[s.index()].inherited = false;
+        // Restores mutate queue order / effective deadlines directly.
+        self.invalidate_dispatch();
         match self.tcbs.get(holder).queue {
             QueueAssign::Fp => {
                 if let Some(ph) = self.sems[s.index()].placeholder.take() {

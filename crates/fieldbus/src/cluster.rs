@@ -37,6 +37,41 @@ use emeralds_sim::{
 
 use crate::errors::{ErrorConfig, FailStopGate, NodeStats};
 use crate::{frame_of, garbage_frame, BusStats, Frame, StateLink, StatePayload};
+pub use emeralds_sim::EpochStats;
+
+/// A frame reception staged at a barrier and applied by the receiving
+/// node itself at the top of its next advance — the parallel half of
+/// the decomposed exchange. The receiver's virtual clock equals the
+/// staging barrier when it applies the inbox, and neither a mailbox
+/// push, an IRQ latch, nor a replica DMA advances the clock, so the
+/// kernel observes the exact same instant as a serial in-barrier
+/// delivery.
+#[derive(Debug)]
+enum StagedRx {
+    /// State frame: DMA into the replica variable (§7).
+    State {
+        var: StateId,
+        value: u32,
+        stamp: Time,
+        latency: Duration,
+    },
+    /// Data frame: NIC mailbox push + receive interrupt.
+    Msg {
+        msg: emeralds_core::ipc::Message,
+        latency: Duration,
+    },
+}
+
+/// Node-local delivery tallies accumulated during the parallel
+/// advance and folded into the global [`BusStats`] at the next
+/// barrier. All fields are order-independent sums, so the serial
+/// rollup order cannot influence the totals.
+#[derive(Debug, Default)]
+struct RxOutcome {
+    delivered: u64,
+    dropped: u64,
+    latency: Duration,
+}
 
 /// One simulated board in a [`Cluster`]: a kernel plus its NIC wiring.
 #[derive(Debug)]
@@ -55,10 +90,58 @@ pub struct ClusterNode {
     /// NIC statistics and CAN error-confinement state.
     pub stats: NodeStats,
     gate: Option<FailStopGate>,
+    /// Receptions staged at the last barrier, applied at the top of
+    /// the next advance (completion order preserved).
+    inbox: Vec<StagedRx>,
+    /// Delivery tallies owed to the global bus stats.
+    outcome: RxOutcome,
+}
+
+impl ClusterNode {
+    /// Applies every staged reception. Runs on the node's own worker
+    /// (or serially at the end of a `run_until`): it touches only this
+    /// node's kernel and stats, so it is data-race-free and
+    /// deterministic regardless of worker count.
+    fn apply_inbox(&mut self) {
+        for rx in self.inbox.drain(..) {
+            match rx {
+                StagedRx::State {
+                    var,
+                    value,
+                    stamp,
+                    latency,
+                } => {
+                    // State semantics overwrite, so delivery cannot
+                    // fail on capacity. No mailbox, no interrupt — the
+                    // consumer polls (§7).
+                    self.kernel.external_state_write(var, value, stamp);
+                    self.stats.on_rx_success();
+                    self.outcome.delivered += 1;
+                    self.outcome.latency += latency;
+                }
+                StagedRx::Msg { msg, latency } => {
+                    if self.kernel.external_mbox_push(self.rx_mbox, msg) {
+                        self.kernel.raise_external_irq(self.nic_irq);
+                        self.stats.on_rx_success();
+                        self.outcome.delivered += 1;
+                        self.outcome.latency += latency;
+                    } else {
+                        self.stats.rx_dropped += 1;
+                        self.outcome.dropped += 1;
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl EpochNode for ClusterNode {
     fn advance_to(&mut self, horizon: Time) {
+        // NIC delivery DMA runs here, in parallel, not under the
+        // serial exchange. The inbox was staged at the barrier this
+        // advance starts from, so the kernel clock equals the staging
+        // instant.
+        self.apply_inbox();
         // The gate consults only this node's own clock and its static
         // outage windows, so running it inside the parallel per-node
         // advance cannot perturb determinism.
@@ -88,6 +171,9 @@ struct BusState {
     links: Vec<StateLink>,
     stats: BusStats,
     lookahead: Duration,
+    /// Stretch epochs across provably-quiet bus time (see
+    /// [`BusState::next_barrier_proposal`]).
+    adaptive: bool,
     /// Error-signalling parameters.
     error_cfg: ErrorConfig,
     /// Compiled fault schedule, when one is installed.
@@ -124,12 +210,26 @@ impl BusState {
         self.stats.frames_lost_offline += purged;
     }
 
-    /// The serial barrier step: recover, deliver, harvest, babble,
-    /// arbitrate. Runs in node order on one thread, so every fault
-    /// decision here is deterministic for any worker count.
+    /// The serial barrier step: roll up, recover, stage deliveries,
+    /// harvest, babble, arbitrate. Runs in node order on one thread,
+    /// so every fault decision here is deterministic for any worker
+    /// count. Per-receiver work (mailbox push, replica DMA, IRQ latch)
+    /// is *not* done here — it is staged into node inboxes and applied
+    /// by each node's own worker at the top of the next advance,
+    /// keeping the serial section down to bus-global decisions.
     fn exchange(&mut self, nodes: &mut [&mut ClusterNode], now: Time) {
-        // 0. Complete due bus-off recoveries before anything else this
-        //    barrier: a recovered node sends and receives again.
+        // 0. Fold the previous epoch's node-local delivery tallies
+        //    into the global stats. The fields are order-independent
+        //    sums, so totals are identical to the old serial scheme.
+        for node in nodes.iter_mut() {
+            let o = std::mem::take(&mut node.outcome);
+            self.stats.frames_delivered += o.delivered;
+            self.stats.frames_dropped += o.dropped;
+            self.stats.total_latency += o.latency;
+        }
+
+        // 0b. Complete due bus-off recoveries before anything else
+        //     this barrier: a recovered node sends and receives again.
         let recovery = self.error_cfg.recovery_time(self.bitrate_bps);
         for node in nodes.iter_mut() {
             if node.stats.try_recover(now, recovery) {
@@ -137,14 +237,16 @@ impl BusState {
             }
         }
 
-        // 1. Deliver frames whose wire time has completed. `in_flight`
-        //    is in completion order (the bus is serial).
+        // 1. Stage frames whose wire time has completed. `in_flight`
+        //    is in completion order (the bus is serial). Receiver
+        //    liveness is judged *here*, serially, at the completion
+        //    instant — only the mechanical application is deferred.
         while let Some(&(done, frame)) = self.in_flight.front() {
             if done > now {
                 break;
             }
             self.in_flight.pop_front();
-            self.deliver(nodes, frame, done);
+            self.stage(nodes, frame, done);
         }
 
         // 2. Harvest TX mailboxes in node order. Frames posted during
@@ -293,7 +395,11 @@ impl BusState {
         }
     }
 
-    fn deliver(&mut self, nodes: &mut [&mut ClusterNode], frame: Frame, done: Time) {
+    /// Stages a completed frame into its receivers' inboxes. Offline
+    /// receivers are judged here (they need the global fault clock);
+    /// everything else — mailbox push, replica DMA, IRQ — happens on
+    /// the receiver's own worker at the top of the next advance.
+    fn stage(&mut self, nodes: &mut [&mut ClusterNode], frame: Frame, done: Time) {
         let targets: Vec<usize> = match frame.dst {
             Some(d) => vec![d.index()],
             None => (0..nodes.len())
@@ -308,40 +414,101 @@ impl BusState {
                 self.stats.frames_lost_offline += 1;
                 continue;
             }
-            let node = &mut nodes[t];
+            let latency = done.since(frame.queued_at.min(done));
             if let Some(sp) = frame.state {
-                // State frame: DMA straight into the replica variable,
-                // carrying the original writer's stamp. No mailbox, no
-                // interrupt — the consumer polls (§7); and state
-                // semantics overwrite, so delivery cannot fail on
-                // capacity.
-                let dst_var = self.links[sp.link as usize].dst_var;
-                node.kernel
-                    .external_state_write(dst_var, sp.value, sp.stamp);
-                node.stats.on_rx_success();
-                self.stats.frames_delivered += 1;
-                self.stats.total_latency += done.since(frame.queued_at.min(done));
-                continue;
-            }
-            let rx = node.rx_mbox;
-            let ok = node.kernel.external_mbox_push(
-                rx,
-                emeralds_core::ipc::Message {
-                    bytes: frame.bytes,
-                    tag: frame.tag,
-                    sender: emeralds_sim::ThreadId(u32::MAX - frame.src.0),
-                },
-            );
-            if ok {
-                node.kernel.raise_external_irq(node.nic_irq);
-                node.stats.on_rx_success();
-                self.stats.frames_delivered += 1;
-                self.stats.total_latency += done.since(frame.queued_at.min(done));
+                // State frame: the replica DMA carries the original
+                // writer's stamp end to end.
+                let var = self.links[sp.link as usize].dst_var;
+                nodes[t].inbox.push(StagedRx::State {
+                    var,
+                    value: sp.value,
+                    stamp: sp.stamp,
+                    latency,
+                });
             } else {
-                node.stats.rx_dropped += 1;
-                self.stats.frames_dropped += 1;
+                nodes[t].inbox.push(StagedRx::Msg {
+                    msg: emeralds_core::ipc::Message {
+                        bytes: frame.bytes,
+                        tag: frame.tag,
+                        sender: emeralds_sim::ThreadId(u32::MAX - frame.src.0),
+                    },
+                    latency,
+                });
             }
         }
+    }
+
+    /// Adaptive lookahead: after an exchange at `now`, propose the
+    /// next barrier. Returns `None` (fixed cadence, `now + L`) unless
+    /// the bus is *provably quiet*:
+    ///
+    /// - no fault plan installed (the babble cursor and fail-stop
+    ///   bookkeeping advance per barrier, so their schedule is part of
+    ///   the barrier cadence),
+    /// - nothing pending arbitration, nothing in flight, nothing
+    ///   staged for delivery, and
+    /// - every kernel idle (no current thread).
+    ///
+    /// An idle kernel acts next at its earliest timer/board event, so
+    /// let `t_min` be the minimum of those instants across nodes.
+    /// Every epoch boundary stays on the fixed grid `origin + k·L`:
+    /// the proposal is the smallest grid point *strictly* greater than
+    /// `t_min` (or the horizon when no event is pending). All skipped
+    /// grid barriers are no-ops — no frame can be posted, sampled,
+    /// delivered, or granted before `t_min`, and a TX posted at
+    /// virtual instant `t` is harvested at the first grid point
+    /// strictly after `t` in fixed mode too (posts landing exactly on
+    /// a boundary are processed at the top of the following epoch).
+    /// Hence fixed and adaptive runs produce bit-identical results;
+    /// only the barrier count differs.
+    fn next_barrier_proposal(
+        &self,
+        nodes: &[&mut ClusterNode],
+        now: Time,
+        origin: Time,
+        horizon: Time,
+    ) -> Option<Time> {
+        if !self.adaptive || self.faults.is_some() {
+            return None;
+        }
+        if !self.pending.is_empty() || !self.in_flight.is_empty() {
+            return None;
+        }
+        if nodes
+            .iter()
+            .any(|n| !n.inbox.is_empty() || n.kernel.current().is_some())
+        {
+            return None;
+        }
+        let mut t_min: Option<Time> = None;
+        for n in nodes.iter() {
+            if let Some(t) = n.kernel.next_external_time() {
+                t_min = Some(t_min.map_or(t, |m| m.min(t)));
+            }
+        }
+        let target = match t_min {
+            // Nothing will ever happen again: run straight to the end.
+            None => horizon,
+            Some(t) => {
+                if t < now {
+                    return None; // defensive: never step backwards
+                }
+                let l = self.lookahead.as_ns();
+                let k = t.since(origin).as_ns() / l + 1;
+                match k.checked_mul(l) {
+                    Some(ns) => origin + Duration::from_ns(ns),
+                    None => return None,
+                }
+            }
+        };
+        // Only stretch; a proposal at or below the fixed cadence buys
+        // nothing (and at the final barrier, `now` already sits at
+        // the horizon).
+        let target = target.min(horizon);
+        if target <= now + self.lookahead {
+            return None;
+        }
+        Some(target)
     }
 }
 
@@ -355,6 +522,8 @@ pub struct Cluster {
     pub workers: usize,
     /// How far the executive has driven the cluster.
     cursor: Time,
+    /// Accumulated engine cost accounting across `run_until` calls.
+    exec_stats: EpochStats,
 }
 
 impl Cluster {
@@ -377,6 +546,7 @@ impl Cluster {
             links: Vec::new(),
             stats: BusStats::default(),
             lookahead: Duration::ZERO,
+            adaptive: true,
             error_cfg: ErrorConfig::default(),
             faults: None,
         };
@@ -386,6 +556,7 @@ impl Cluster {
             bus,
             workers: 1,
             cursor: Time::ZERO,
+            exec_stats: EpochStats::default(),
         }
     }
 
@@ -412,6 +583,27 @@ impl Cluster {
         self.bus.lookahead = window;
     }
 
+    /// Enables or disables adaptive lookahead (on by default).
+    /// Adaptive runs produce bit-identical simulation results to
+    /// fixed-cadence runs — only barrier counts differ — so this
+    /// switch exists for that comparison and for measurement.
+    pub fn set_adaptive(&mut self, adaptive: bool) {
+        self.bus.adaptive = adaptive;
+    }
+
+    /// Whether adaptive lookahead is enabled.
+    pub fn adaptive(&self) -> bool {
+        self.bus.adaptive
+    }
+
+    /// Engine cost accounting accumulated across every `run_until` so
+    /// far: barrier crossings plus serial/total wall nanoseconds.
+    /// Host-side measurement only — never feeds back into the
+    /// simulation.
+    pub fn exec_stats(&self) -> &EpochStats {
+        &self.exec_stats
+    }
+
     /// Attaches a node. The kernel must already own the two mailboxes
     /// and have its NIC wired to `nic_irq`.
     pub fn add_node(
@@ -434,6 +626,8 @@ impl Cluster {
             tx_prio,
             stats: NodeStats::default(),
             gate: None,
+            inbox: Vec::new(),
+            outcome: RxOutcome::default(),
         });
         id
     }
@@ -542,15 +736,26 @@ impl Cluster {
             lookahead: self.bus.lookahead,
             workers: self.workers,
         };
+        let origin = self.cursor;
         let bus = &mut self.bus;
-        run_epochs(
-            &mut self.nodes,
-            self.cursor,
-            horizon,
-            &cfg,
-            &mut |nodes, at| bus.exchange(nodes, at),
-        );
+        let stats = run_epochs(&mut self.nodes, origin, horizon, &cfg, &mut |nodes, at| {
+            bus.exchange(nodes, at);
+            bus.next_barrier_proposal(nodes, at, origin, horizon)
+        });
+        self.exec_stats.merge(&stats);
         self.cursor = horizon;
+        // The final barrier stages deliveries but no epoch follows
+        // inside this call: flush the inboxes here (the nodes' clocks
+        // sit exactly at the horizon, the same instant a following
+        // advance would apply them) and fold the tallies in, so a
+        // split run matches a whole run and the books below balance.
+        for node in self.nodes.iter_mut() {
+            node.apply_inbox();
+            let o = std::mem::take(&mut node.outcome);
+            self.bus.stats.frames_delivered += o.delivered;
+            self.bus.stats.frames_dropped += o.dropped;
+            self.bus.stats.total_latency += o.latency;
+        }
         // Snapshot what is still underway so `sent == delivered +
         // dropped + in_flight` is exact at this horizon (garbage
         // frames never counted as sent, so they don't count here).

@@ -33,6 +33,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use crate::time::{Duration, Time};
 
@@ -99,44 +100,102 @@ pub struct EpochConfig {
     pub workers: usize,
 }
 
+/// Host-side cost accounting for one `run_epochs` call.
+///
+/// Every field is *measurement*, not simulation state: barrier counts
+/// are deterministic for a given lookahead policy, while the
+/// nanosecond fields are wall-clock and vary run to run. None of them
+/// feed back into virtual time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Barrier crossings (== epochs executed == exchange invocations).
+    pub barriers: u64,
+    /// Wall nanoseconds spent inside the serial exchange closure.
+    pub serial_ns: u64,
+    /// Wall nanoseconds for the whole `run_epochs` call.
+    pub wall_ns: u64,
+}
+
+impl EpochStats {
+    /// Fraction of total wall time spent in the serial exchange —
+    /// the Amdahl limiter for the parallel executive.
+    pub fn serial_frac(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.serial_ns as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Accumulates another call's stats (for split `run_until`s).
+    pub fn merge(&mut self, other: &EpochStats) {
+        self.barriers += other.barriers;
+        self.serial_ns += other.serial_ns;
+        self.wall_ns += other.wall_ns;
+    }
+}
+
 /// Advances `nodes` from `from` to `horizon` in lookahead-sized
 /// epochs, invoking `exchange` at every barrier with exclusive,
 /// in-order access to all nodes and the barrier instant.
+///
+/// The exchange may return a **next-barrier proposal**: `Some(t)`
+/// schedules the next barrier at `t` (clamped to `horizon`) instead of
+/// the default `cur + lookahead`. This is how a bus model with nothing
+/// in flight stretches the epoch across provably-quiet virtual time
+/// and collapses barrier crossings. Proposals must advance strictly
+/// past the current barrier; `None` keeps the fixed cadence for the
+/// next epoch.
 ///
 /// The final epoch is truncated at `horizon`, and `exchange` runs one
 /// last time at the horizon itself, so callers can flush in-flight
 /// state.
 ///
+/// Returns per-call [`EpochStats`] (barrier count and serial/total
+/// wall nanoseconds).
+///
 /// # Panics
 ///
-/// Panics on a zero lookahead (the engine would not make progress).
+/// Panics on a zero lookahead (the engine would not make progress) or
+/// on a non-advancing exchange proposal.
 pub fn run_epochs<N, X>(
     nodes: &mut Vec<N>,
     from: Time,
     horizon: Time,
     cfg: &EpochConfig,
     exchange: &mut X,
-) where
+) -> EpochStats
+where
     N: EpochNode,
-    X: FnMut(&mut [&mut N], Time),
+    X: FnMut(&mut [&mut N], Time) -> Option<Time>,
 {
     assert!(!cfg.lookahead.is_zero(), "zero lookahead");
+    let mut stats = EpochStats::default();
     if nodes.is_empty() || from >= horizon {
-        return;
+        return stats;
     }
+    let t_run = Instant::now();
     let workers = cfg.workers.clamp(1, nodes.len());
     if workers == 1 {
         let mut cur = from;
+        let mut hint: Option<Time> = None;
         while cur < horizon {
-            let end = horizon.min(cur + cfg.lookahead);
+            let end = horizon.min(hint.take().unwrap_or(cur + cfg.lookahead));
             for n in nodes.iter_mut() {
                 n.advance_to(end);
             }
             let mut refs: Vec<&mut N> = nodes.iter_mut().collect();
-            exchange(&mut refs, end);
+            let t_ex = Instant::now();
+            hint = exchange(&mut refs, end);
+            stats.serial_ns += t_ex.elapsed().as_nanos() as u64;
+            stats.barriers += 1;
+            if let Some(h) = hint {
+                assert!(h > end, "exchange proposed a non-advancing barrier");
+            }
             cur = end;
         }
-        return;
+        stats.wall_ns = t_run.elapsed().as_nanos() as u64;
+        return stats;
     }
 
     // Parallel path: nodes live in per-node mutexes for the duration.
@@ -178,8 +237,9 @@ pub fn run_epochs<N, X>(
             });
         }
         let mut cur = from;
+        let mut hint: Option<Time> = None;
         while cur < horizon {
-            let end = horizon.min(cur + cfg.lookahead);
+            let end = horizon.min(hint.take().unwrap_or(cur + cfg.lookahead));
             epoch_end_ns.store(end.as_ns(), Ordering::Release);
             barrier.wait(); // A
             advance_stride(0, end);
@@ -189,7 +249,13 @@ pub fn run_epochs<N, X>(
                 .map(|c| c.lock().expect("node poisoned"))
                 .collect();
             let mut refs: Vec<&mut N> = guards.iter_mut().map(|g| &mut **g).collect();
-            exchange(&mut refs, end);
+            let t_ex = Instant::now();
+            hint = exchange(&mut refs, end);
+            stats.serial_ns += t_ex.elapsed().as_nanos() as u64;
+            stats.barriers += 1;
+            if let Some(h) = hint {
+                assert!(h > end, "exchange proposed a non-advancing barrier");
+            }
             cur = end;
         }
         done.store(true, Ordering::Release);
@@ -200,6 +266,8 @@ pub fn run_epochs<N, X>(
             .into_iter()
             .map(|c| c.into_inner().expect("node poisoned")),
     );
+    stats.wall_ns = t_run.elapsed().as_nanos() as u64;
+    stats
 }
 
 #[cfg(test)]
@@ -220,6 +288,14 @@ mod tests {
     }
 
     fn run(workers: usize, n: usize) -> Vec<(Vec<Time>, u64)> {
+        run_with_hint(workers, n, |_| None)
+    }
+
+    fn run_with_hint(
+        workers: usize,
+        n: usize,
+        mut hint: impl FnMut(Time) -> Option<Time>,
+    ) -> Vec<(Vec<Time>, u64)> {
         let mut nodes: Vec<Probe> = (0..n)
             .map(|_| Probe {
                 horizons: Vec::new(),
@@ -242,6 +318,7 @@ mod tests {
                 for n in nodes.iter_mut() {
                     n.inbox += at.as_ns() + round;
                 }
+                hint(at)
             },
         );
         nodes.into_iter().map(|n| (n.horizons, n.inbox)).collect()
@@ -267,6 +344,75 @@ mod tests {
     }
 
     #[test]
+    fn exchange_hint_stretches_epochs_and_clamps_at_horizon() {
+        // Every exchange proposes a barrier two windows out; the final
+        // proposal (500µs) must clamp to the 450µs horizon.
+        let hint = |at: Time| Some(at + Duration::from_us(200));
+        let out = run_with_hint(1, 3, hint);
+        let expect: Vec<Time> = [100u64, 300, 450]
+            .iter()
+            .map(|&us| Time::from_us(us))
+            .collect();
+        for (horizons, _) in &out {
+            assert_eq!(horizons, &expect);
+        }
+        // Parity: stretched runs are worker-count invariant too.
+        for workers in [2, 3] {
+            assert_eq!(run_with_hint(workers, 3, hint), out, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn stats_count_barriers() {
+        let mut nodes = vec![Probe {
+            horizons: Vec::new(),
+            inbox: 0,
+        }];
+        let cfg = EpochConfig {
+            lookahead: Duration::from_us(100),
+            workers: 1,
+        };
+        let stats = run_epochs(
+            &mut nodes,
+            Time::ZERO,
+            Time::from_us(450),
+            &cfg,
+            &mut |_, _| None,
+        );
+        assert_eq!(stats.barriers, 5);
+        let stretched = run_epochs(
+            &mut nodes,
+            Time::from_us(450),
+            Time::from_us(900),
+            &cfg,
+            &mut |_, at| Some(at + Duration::from_us(1000)),
+        );
+        // First epoch ends at 550, the stretched proposal clamps at
+        // the horizon: two barriers total.
+        assert_eq!(stretched.barriers, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-advancing barrier")]
+    fn non_advancing_hint_panics() {
+        let mut nodes = vec![Probe {
+            horizons: Vec::new(),
+            inbox: 0,
+        }];
+        let cfg = EpochConfig {
+            lookahead: Duration::from_us(100),
+            workers: 1,
+        };
+        run_epochs(
+            &mut nodes,
+            Time::ZERO,
+            Time::from_ms(1),
+            &cfg,
+            &mut |_, at| Some(at),
+        );
+    }
+
+    #[test]
     fn empty_and_degenerate_ranges_are_noops() {
         let mut nodes: Vec<Probe> = Vec::new();
         let cfg = EpochConfig {
@@ -278,7 +424,7 @@ mod tests {
             Time::ZERO,
             Time::from_ms(1),
             &cfg,
-            &mut |_, _| {},
+            &mut |_, _| None,
         );
         let mut one = vec![Probe {
             horizons: Vec::new(),
@@ -289,7 +435,7 @@ mod tests {
             Time::from_ms(2),
             Time::from_ms(1),
             &cfg,
-            &mut |_, _| {},
+            &mut |_, _| None,
         );
         assert!(one[0].horizons.is_empty());
     }
@@ -310,7 +456,7 @@ mod tests {
             Time::ZERO,
             Time::from_ms(1),
             &cfg,
-            &mut |_, _| {},
+            &mut |_, _| None,
         );
     }
 }

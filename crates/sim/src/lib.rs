@@ -34,7 +34,7 @@ pub mod time;
 pub mod trace;
 
 pub use account::{Accounting, OverheadKind};
-pub use cluster::{run_epochs, EpochConfig, EpochNode};
+pub use cluster::{run_epochs, EpochConfig, EpochNode, EpochStats};
 pub use event::EventQueue;
 pub use histogram::DurationHistogram;
 pub use ids::{

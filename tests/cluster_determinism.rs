@@ -368,6 +368,157 @@ fn single_node_cluster_matches_plain_kernel() {
     assert_eq!(c.stats().frames_sent, 0);
 }
 
+/// Adaptive lookahead (the default) must be simulation-invisible:
+/// disabling it may only change barrier counts, never traces, metrics,
+/// or bus statistics.
+#[test]
+fn adaptive_and_fixed_cadence_runs_bit_identical() {
+    let horizon = Time::from_ms(80);
+    let run = |adaptive: bool| {
+        let mut c = ring_cluster(2);
+        c.set_adaptive(adaptive);
+        c.run_until(horizon);
+        let hashes: Vec<u64> = c
+            .nodes()
+            .iter()
+            .map(|n| hash_of(&n.kernel.trace().to_jsonl()))
+            .collect();
+        (hashes, c.metrics(), *c.stats(), c.exec_stats().barriers)
+    };
+    let fixed = run(false);
+    let adaptive = run(true);
+    assert!(fixed.2.frames_delivered > 20, "ring carried no traffic");
+    assert_eq!(adaptive.0, fixed.0, "trace hashes diverged");
+    assert_eq!(adaptive.1, fixed.1, "metrics diverged");
+    assert_eq!(adaptive.2, fixed.2, "bus stats diverged");
+    assert!(
+        adaptive.3 <= fixed.3,
+        "adaptive mode added barriers: {} > {}",
+        adaptive.3,
+        fixed.3
+    );
+}
+
+/// A stretched epoch is truncated at the horizon: driving a quiet
+/// cluster to a horizon on neither the lookahead grid nor any timer
+/// expiry lands the cursor exactly there, and resuming to a further
+/// horizon matches a single uninterrupted run. On this quiet bus the
+/// stretch must also collapse barriers heavily vs fixed cadence.
+#[test]
+fn adaptive_stretch_truncates_at_horizon() {
+    let mid = Time::from_us(13_317); // off-grid, off every period used
+    let end = Time::from_ms(60);
+    let build = || {
+        let mut c = Cluster::new(1_000_000);
+        let (k, tx, rx) = local_only_kernel();
+        c.add_node("solo", k, tx, rx, NIC_IRQ, 1);
+        c
+    };
+    let mut whole = build();
+    whole.run_until(end);
+
+    let mut split = build();
+    split.run_until(mid);
+    assert_eq!(split.now(), mid, "cursor overshot the truncated horizon");
+    assert!(split.exec_stats().barriers >= 1);
+    split.run_until(end);
+    assert_eq!(split.now(), end);
+    let (a, b) = (&split.node(NodeId(0)).kernel, &whole.node(NodeId(0)).kernel);
+    assert_eq!(a.metrics(), b.metrics(), "metrics diverged across split");
+    assert_eq!(
+        hash_of(&a.trace().to_jsonl()),
+        hash_of(&b.trace().to_jsonl()),
+        "trace diverged across split"
+    );
+
+    let mut fixed = build();
+    fixed.set_adaptive(false);
+    fixed.run_until(end);
+    assert!(
+        whole.exec_stats().barriers * 2 <= fixed.exec_stats().barriers,
+        "quiet-bus stretch collapsed too few barriers: {} vs {}",
+        whole.exec_stats().barriers,
+        fixed.exec_stats().barriers
+    );
+}
+
+/// A node that posts one frame right at each job release (the timer
+/// expiry adaptive stretches target), then idles most of its period.
+fn sparse_tx_node(i: usize, dst: NodeId) -> (Kernel, MboxId, MboxId) {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::Csd {
+            boundaries: vec![1],
+        },
+        record_trace: true,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process(format!("sparse{i}"));
+    let tx = b.add_mailbox(8);
+    let rx = b.add_mailbox(16);
+    b.board_mut().add_nic("can", NIC_IRQ);
+    b.add_periodic_task(
+        p,
+        "tx",
+        Duration::from_us(9_700 + 900 * i as u64),
+        Script::periodic(vec![
+            Action::SendMbox {
+                mbox: tx,
+                bytes: 8,
+                tag: addressed_tag(Some(dst), i as u32),
+            },
+            Action::Compute(Duration::from_us(120)),
+        ]),
+    );
+    b.add_driver_task(
+        p,
+        "nicdrv",
+        Duration::from_ms(2),
+        Script::looping(vec![
+            Action::RecvMbox(rx),
+            Action::Compute(Duration::from_us(40)),
+        ]),
+    );
+    (b.build(), tx, rx)
+}
+
+/// Frames enqueued at the very instant a stretched epoch lands on (the
+/// job-release expiry the stretch targeted) are harvested and
+/// delivered bit-identically to a fixed-cadence run — and the long
+/// idle gaps between sends must actually have been stretched across.
+#[test]
+fn tx_at_stretched_boundary_is_delivered_identically() {
+    let horizon = Time::from_ms(60);
+    let run = |adaptive: bool| {
+        let mut c = Cluster::new(1_000_000).with_workers(2);
+        c.set_adaptive(adaptive);
+        for i in 0..2usize {
+            let dst = NodeId(((i + 1) % 2) as u32);
+            let (k, tx, rx) = sparse_tx_node(i, dst);
+            c.add_node(format!("n{i}"), k, tx, rx, NIC_IRQ, (i + 1) as u32);
+        }
+        c.run_until(horizon);
+        let hashes: Vec<u64> = c
+            .nodes()
+            .iter()
+            .map(|n| hash_of(&n.kernel.trace().to_jsonl()))
+            .collect();
+        (hashes, c.metrics(), *c.stats(), c.exec_stats().barriers)
+    };
+    let fixed = run(false);
+    let adaptive = run(true);
+    // Every periodic send made it across in both modes.
+    assert!(fixed.2.frames_delivered >= 10, "{:?}", fixed.2);
+    assert_eq!(adaptive.0, fixed.0, "trace hashes diverged");
+    assert_eq!(adaptive.1, fixed.1, "metrics diverged");
+    assert_eq!(adaptive.2, fixed.2, "bus stats diverged");
+    assert!(
+        adaptive.3 * 2 <= fixed.3,
+        "sparse traffic should stretch epochs: {} vs {} barriers",
+        adaptive.3,
+        fixed.3
+    );
+}
+
 #[test]
 fn epoch_split_run_matches_single_call() {
     // Same cluster, horizon reached in one call vs many small calls
