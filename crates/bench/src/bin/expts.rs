@@ -20,12 +20,14 @@
 //!                              # fault injection + recovery → BENCH_faults.json
 //! expts hotpath [--quick] [--out FILE] [--gate]
 //!                              # kernel hot-path work counters → BENCH_hotpath.json
+//! expts topo [--quick] [--out FILE] [--gate]
+//!                              # bridged multi-segment topologies → BENCH_topology.json
 //! expts all [--workloads N]    # everything above
 //! ```
 
 use emeralds_bench::{
     breakdown_figs, csdx_expt, cyclic_expt, faults_expt, fig2, hotpath_expt, scale_expt,
-    searchcost, semfig, statemsg_expt, syscall_expt, table1, table3,
+    searchcost, semfig, statemsg_expt, syscall_expt, table1, table3, topo_expt,
 };
 use emeralds_core::footprint;
 
@@ -200,6 +202,34 @@ fn main() {
                 }
             }
         }
+        "topo" => {
+            let params = if flag("--quick") {
+                topo_expt::TopoParams::quick()
+            } else {
+                topo_expt::TopoParams::full()
+            };
+            let runs = topo_expt::run(&params);
+            print!("{}", topo_expt::render(&runs));
+            let out = svalue("--out").unwrap_or_else(|| "BENCH_topology.json".into());
+            let json = topo_expt::to_json(&params, &runs);
+            match std::fs::write(&out, &json) {
+                Ok(()) => println!("wrote {out}"),
+                Err(e) => {
+                    eprintln!("cannot write {out}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if flag("--gate") {
+                let (lines, failed) = topo_expt::gate(&runs);
+                for l in &lines {
+                    println!("{l}");
+                }
+                if failed {
+                    eprintln!("topology experiment gate failed");
+                    std::process::exit(1);
+                }
+            }
+        }
         "all" => {
             banner("T1  Table 1: scheduler run-time overheads");
             print!("{}", table1::report(&[5, 10, 15, 20, 30, 40, 50]));
@@ -239,7 +269,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: table1 fig2 fig3 fig4 fig5 table3 fig11 fig12 statemsg footprint searchcost cyclic syscalls csdx scale faults hotpath all");
+            eprintln!("known: table1 fig2 fig3 fig4 fig5 table3 fig11 fig12 statemsg footprint searchcost cyclic syscalls csdx scale faults hotpath topo all");
             std::process::exit(2);
         }
     }

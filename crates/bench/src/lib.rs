@@ -20,6 +20,7 @@
 //! | SC | multi-node cluster scaling (not a paper figure) | [`scale_expt`] |
 //! | FT | fault injection + recovery forensics (not a paper figure) | [`faults_expt`] |
 //! | HP | kernel hot-path work counters (not a paper figure) | [`hotpath_expt`] |
+//! | TOPO | bridged multi-segment topologies (not a paper figure) | [`topo_expt`] |
 
 pub mod breakdown_figs;
 pub mod csdx_expt;
@@ -35,6 +36,7 @@ pub mod statemsg_expt;
 pub mod syscall_expt;
 pub mod table1;
 pub mod table3;
+pub mod topo_expt;
 
 /// Renders one row of numbers with a label, for the harness output.
 pub fn render_row(label: &str, values: &[f64], width: usize, prec: usize) -> String {

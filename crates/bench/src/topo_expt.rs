@@ -1,0 +1,447 @@
+//! Experiment TOPO — bridged multi-segment topologies under
+//! hierarchical conservative lookahead.
+//!
+//! Not a paper figure: the paper's distributed configuration (§2) is
+//! one fieldbus of 5–10 nodes. City-scale EMERALDS-class systems —
+//! vehicle platoons, plant cells, building backbones — are *many*
+//! buses joined by store-and-forward gateways, and this experiment
+//! measures the [`emeralds_fieldbus::Topology`] executive at that
+//! scale: 2–8 CAN segments carrying 128–1024 application nodes total,
+//! with ~25% of each segment's traffic crossing a gateway to the
+//! neighboring segment.
+//!
+//! Everything reported is *simulated* — no wall-clock fields — so the
+//! committed `BENCH_topology.json` reproduces bit-for-bit on any
+//! host. Two properties are gated per row:
+//!
+//! - **Cross-segment frame conservation**: summed over segments,
+//!   `sent == delivered + dropped + in_flight + gateway_buffered` —
+//!   the gateway buffers are the only carry term, and unroutable or
+//!   overflowing captures are charged (`frames_lost_gateway`), never
+//!   leaked.
+//! - **Outer-worker invisibility**: each row is run at 1, 4, and
+//!   `available_parallelism` outer workers and every statistic —
+//!   per-segment bus stats, gateway stats, rolled-up kernel metrics,
+//!   barrier counts — must be bit-for-bit identical (`deterministic`
+//!   column).
+
+use emeralds_core::kernel::{KernelBuilder, KernelConfig};
+use emeralds_core::script::{Action, Script};
+use emeralds_core::{Kernel, SchedPolicy};
+use emeralds_fieldbus::{wide_tag, GatewayConfig, GatewayId, Topology};
+use emeralds_sim::{Duration, IrqLine, MboxId, NodeId, SimRng, Time};
+
+const NIC_IRQ: IrqLine = IrqLine(2);
+
+/// Experiment shape.
+#[derive(Clone, Debug)]
+pub struct TopoParams {
+    /// `(segments, app_nodes)` rows; `app_nodes` must divide evenly
+    /// across segments.
+    pub rows: Vec<(usize, usize)>,
+    /// Simulated horizon per run.
+    pub horizon: Time,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl TopoParams {
+    /// The committed-baseline sweep: up to 8 segments and 1024 nodes.
+    pub fn full() -> TopoParams {
+        TopoParams {
+            rows: vec![(2, 128), (4, 256), (4, 512), (8, 512), (8, 1024)],
+            horizon: Time::from_ms(120),
+            seed: 0x7070,
+        }
+    }
+
+    /// CI smoke shape: two small topologies, short horizon.
+    pub fn quick() -> TopoParams {
+        TopoParams {
+            rows: vec![(2, 12), (3, 18)],
+            horizon: Time::from_ms(40),
+            seed: 0x7070,
+        }
+    }
+}
+
+/// One application node: a periodic sender shipping a wide-addressed
+/// frame to `dst`, and the NIC drain driver.
+fn app_node(i: usize, dst: NodeId, period_us: u64, rng: &mut SimRng) -> (Kernel, MboxId, MboxId) {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::RmQueue,
+        record_trace: false,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process(format!("app{i}"));
+    let tx = b.add_mailbox(8);
+    let rx = b.add_mailbox(16);
+    b.board_mut().add_nic("can", NIC_IRQ);
+    b.add_periodic_task(
+        p,
+        "tx",
+        Duration::from_us(period_us),
+        Script::periodic(vec![
+            Action::Compute(Duration::from_us(rng.int_in(80, 200))),
+            Action::SendMbox {
+                mbox: tx,
+                bytes: 8,
+                tag: wide_tag(Some(dst), (i as u32) & 0xFFFF),
+            },
+        ]),
+    );
+    b.add_driver_task(
+        p,
+        "nicdrv",
+        Duration::from_ms(2),
+        Script::looping(vec![
+            Action::RecvMbox(rx),
+            Action::Compute(Duration::from_us(30)),
+        ]),
+    );
+    (b.build(), tx, rx)
+}
+
+/// Builds one row's topology: a line of `segments` 1 Mbit/s buses
+/// joined by default-latency gateways, `nodes` application nodes
+/// spread evenly (global ids segment-major, apps before gateway
+/// NICs). Three of four nodes address a segment-local peer; every
+/// fourth sends to its counterpart on the adjacent segment, crossing
+/// exactly one gateway.
+///
+/// # Panics
+///
+/// Panics when `nodes` does not divide evenly across `segments`.
+pub fn build_topology(segments: usize, nodes: usize, seed: u64, workers: usize) -> Topology {
+    assert!(segments >= 2, "a topology row needs at least two segments");
+    assert_eq!(
+        nodes % segments,
+        0,
+        "app nodes must divide evenly across segments"
+    );
+    let per = nodes / segments;
+    // Scale send periods with per-segment population so every bus
+    // stays comfortably under saturation as rows grow.
+    let period_scale = 1 + per as u64 / 16;
+    let mut rng = SimRng::seeded(seed);
+    let mut t = Topology::new().with_workers(workers);
+    let segs: Vec<_> = (0..segments).map(|_| t.add_segment(1_000_000)).collect();
+    for s in 0..segments {
+        for j in 0..per {
+            let i = s * per + j;
+            let mut nrng = rng.derive(i as u64);
+            let dst = if j % 4 == 3 {
+                // Cross-segment: the same slot on the adjacent
+                // segment (the line's last segment sends backwards).
+                let ns = if s + 1 < segments { s + 1 } else { s - 1 };
+                NodeId((ns * per + j) as u32)
+            } else {
+                NodeId((s * per + (j + 1) % per) as u32)
+            };
+            let period_us = nrng.int_in(6_000, 12_000) * period_scale;
+            let (k, tx, rx) = app_node(i, dst, period_us, &mut nrng);
+            t.add_node(
+                segs[s],
+                format!("app{i}"),
+                k,
+                tx,
+                rx,
+                NIC_IRQ,
+                (j + 1) as u32,
+            );
+        }
+    }
+    for s in 0..segments - 1 {
+        t.add_gateway(segs[s], segs[s + 1], GatewayConfig::default());
+    }
+    t
+}
+
+/// One measured configuration. Every field is simulated and
+/// deterministic.
+#[derive(Clone, Debug)]
+pub struct TopoRun {
+    pub segments: usize,
+    pub nodes: usize,
+    pub gateways: usize,
+    pub frames_sent: u64,
+    pub frames_delivered: u64,
+    pub frames_dropped: u64,
+    pub frames_lost_gateway: u64,
+    pub frames_in_flight: u64,
+    /// Frames held inside gateway buffers at the horizon — the carry
+    /// term of the cross-segment conservation invariant.
+    pub gateway_buffered: u64,
+    pub gateway_forwarded: u64,
+    pub gateway_overflow_drops: u64,
+    pub gateway_peak_depth: u64,
+    pub no_route_drops: u64,
+    /// Inter-segment barriers the two-level engine placed.
+    pub outer_barriers: u64,
+    /// Intra-segment barriers, summed over segments.
+    pub inner_barriers: u64,
+    pub jobs_completed: u64,
+    pub deadline_misses: u64,
+    pub mean_latency_us: f64,
+    /// Bit-for-bit identical statistics at 1, 4, and host-parallelism
+    /// outer workers.
+    pub deterministic: bool,
+}
+
+impl TopoRun {
+    /// The conservation invariant, summed across segments.
+    pub fn conserved(&self) -> bool {
+        self.frames_sent
+            == self.frames_delivered
+                + self.frames_dropped
+                + self.frames_in_flight
+                + self.gateway_buffered
+    }
+}
+
+/// A deterministic fingerprint of everything a run observed; equal
+/// fingerprints across worker counts mean the outer engine's
+/// threading is invisible.
+fn fingerprint(t: &Topology) -> String {
+    let mut s = String::new();
+    for si in 0..t.segment_count() as u32 {
+        s.push_str(&format!(
+            "{:?}\n",
+            t.segment_stats(emeralds_fieldbus::SegmentId(si))
+        ));
+    }
+    for gi in 0..t.gateway_count() as u32 {
+        s.push_str(&format!("{:?}\n", t.gateway_stats(GatewayId(gi))));
+    }
+    s.push_str(&format!("{:?}\n", t.conservation()));
+    s.push_str(&t.metrics().to_json());
+    s
+}
+
+/// Runs the sweep: each row once per worker count (1, 4, host), with
+/// the single-worker run providing the reported numbers and the
+/// others the determinism verdict.
+pub fn run(params: &TopoParams) -> Vec<TopoRun> {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = Vec::new();
+    for &(segments, nodes) in &params.rows {
+        let mut t = build_topology(segments, nodes, params.seed, 1);
+        t.run_until(params.horizon);
+        let base_print = fingerprint(&t);
+        let mut deterministic = true;
+        for workers in [4, host] {
+            let mut other = build_topology(segments, nodes, params.seed, workers);
+            other.run_until(params.horizon);
+            deterministic &= fingerprint(&other) == base_print;
+        }
+        let total = t.total_stats();
+        let m = t.metrics();
+        let report = t.conservation();
+        let (mut forwarded, mut overflow, mut peak) = (0u64, 0u64, 0u64);
+        for gi in 0..t.gateway_count() as u32 {
+            let g = t.gateway_stats(GatewayId(gi));
+            forwarded += g.forwarded;
+            overflow += g.dropped_overflow;
+            peak = peak.max(g.peak_depth);
+        }
+        let stats = t.exec_stats();
+        out.push(TopoRun {
+            segments,
+            nodes,
+            gateways: t.gateway_count(),
+            frames_sent: total.frames_sent,
+            frames_delivered: total.frames_delivered,
+            frames_dropped: total.frames_dropped,
+            frames_lost_gateway: total.frames_lost_gateway,
+            frames_in_flight: total.frames_in_flight,
+            gateway_buffered: report.gateway_buffered,
+            gateway_forwarded: forwarded,
+            gateway_overflow_drops: overflow,
+            gateway_peak_depth: peak,
+            no_route_drops: t.no_route_drops(),
+            outer_barriers: stats.outer.barriers,
+            inner_barriers: stats.inner.barriers,
+            jobs_completed: m.jobs_completed,
+            deadline_misses: m.deadline_misses,
+            mean_latency_us: total.mean_latency().map(|d| d.as_us_f64()).unwrap_or(0.0),
+            deterministic,
+        });
+    }
+    out
+}
+
+/// Renders the sweep as a table.
+pub fn render(runs: &[TopoRun]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "segs  nodes  sent   delivered  dropped  gw-lost  inflight  buffered  forwarded  peak  barriers(out/in)  lat us  det\n",
+    );
+    for r in runs {
+        s.push_str(&format!(
+            "{:>4}  {:>5}  {:>5}  {:>9}  {:>7}  {:>7}  {:>8}  {:>8}  {:>9}  {:>4}  {:>7}/{:<8}  {:>6.0}  {}\n",
+            r.segments,
+            r.nodes,
+            r.frames_sent,
+            r.frames_delivered,
+            r.frames_dropped,
+            r.frames_lost_gateway,
+            r.frames_in_flight,
+            r.gateway_buffered,
+            r.gateway_forwarded,
+            r.gateway_peak_depth,
+            r.outer_barriers,
+            r.inner_barriers,
+            r.mean_latency_us,
+            if r.deterministic { "yes" } else { "NO" },
+        ));
+    }
+    s
+}
+
+/// Serializes the sweep as `BENCH_topology.json` — one `runs[]` entry
+/// per line, no wall-clock or host fields, bit-for-bit reproducible.
+pub fn to_json(params: &TopoParams, runs: &[TopoRun]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("\"experiment\": \"topology\",\n");
+    s.push_str(&format!(
+        "\"horizon_ms\": {},\n",
+        params.horizon.as_ms_f64()
+    ));
+    s.push_str(&format!("\"seed\": {},\n", params.seed));
+    s.push_str("\"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        s.push_str(&format!(
+            "{{\"segments\": {}, \"nodes\": {}, \"gateways\": {}, \"frames_sent\": {}, \"frames_delivered\": {}, \"frames_dropped\": {}, \"frames_lost_gateway\": {}, \"frames_in_flight\": {}, \"gateway_buffered\": {}, \"gateway_forwarded\": {}, \"gateway_overflow_drops\": {}, \"gateway_peak_depth\": {}, \"no_route_drops\": {}, \"outer_barriers\": {}, \"inner_barriers\": {}, \"jobs_completed\": {}, \"deadline_misses\": {}, \"mean_latency_us\": {:.1}, \"deterministic\": {}}}{}\n",
+            r.segments,
+            r.nodes,
+            r.gateways,
+            r.frames_sent,
+            r.frames_delivered,
+            r.frames_dropped,
+            r.frames_lost_gateway,
+            r.frames_in_flight,
+            r.gateway_buffered,
+            r.gateway_forwarded,
+            r.gateway_overflow_drops,
+            r.gateway_peak_depth,
+            r.no_route_drops,
+            r.outer_barriers,
+            r.inner_barriers,
+            r.jobs_completed,
+            r.deadline_misses,
+            r.mean_latency_us,
+            r.deterministic,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// The CI regression gate, on absolute (deterministic) values:
+///
+/// - cross-segment frame conservation must balance at every row;
+/// - every row must be bit-for-bit identical across outer worker
+///   counts;
+/// - every row must actually exercise the topology: gateways
+///   forwarded frames and segments delivered them;
+/// - static routing must cover the line: no unroutable captures;
+/// - the workload must be schedulable: no deadline misses.
+///
+/// Returns the per-row verdict lines and whether anything failed.
+pub fn gate(runs: &[TopoRun]) -> (Vec<String>, bool) {
+    let mut lines = Vec::new();
+    let mut failed = false;
+    for r in runs {
+        let mut bad = Vec::new();
+        if !r.conserved() {
+            bad.push(format!(
+                "conservation leak: sent {} != delivered {} + dropped {} + in-flight {} + buffered {}",
+                r.frames_sent,
+                r.frames_delivered,
+                r.frames_dropped,
+                r.frames_in_flight,
+                r.gateway_buffered
+            ));
+        }
+        if !r.deterministic {
+            bad.push("outer worker count changed results".into());
+        }
+        if r.gateway_forwarded == 0 {
+            bad.push("no frame crossed a gateway".into());
+        }
+        if r.frames_delivered == 0 {
+            bad.push("no frame delivered".into());
+        }
+        if r.no_route_drops > 0 {
+            bad.push(format!("{} unroutable captures", r.no_route_drops));
+        }
+        if r.deadline_misses > 0 {
+            bad.push(format!("{} deadline misses", r.deadline_misses));
+        }
+        failed |= !bad.is_empty();
+        lines.push(format!(
+            "topo s{} n{}: {}",
+            r.segments,
+            r.nodes,
+            if bad.is_empty() {
+                "ok".into()
+            } else {
+                format!("FAIL ({})", bad.join("; "))
+            }
+        ));
+    }
+    (lines, failed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_runs() -> (TopoParams, Vec<TopoRun>) {
+        let params = TopoParams::quick();
+        let runs = run(&params);
+        (params, runs)
+    }
+
+    #[test]
+    fn quick_rows_conserve_and_are_deterministic() {
+        let (_, runs) = quick_runs();
+        for r in &runs {
+            assert!(r.conserved(), "{r:?}");
+            assert!(r.deterministic, "{r:?}");
+            assert!(r.gateway_forwarded > 0, "{r:?}");
+            assert!(r.frames_delivered > 0, "{r:?}");
+            assert_eq!(r.no_route_drops, 0, "{r:?}");
+        }
+        let (lines, failed) = gate(&runs);
+        assert!(!failed, "{lines:?}");
+    }
+
+    #[test]
+    fn gate_flags_conservation_leak_and_nondeterminism() {
+        let (_, mut runs) = quick_runs();
+        runs[0].frames_in_flight += 1;
+        let (lines, failed) = gate(&runs);
+        assert!(failed, "{lines:?}");
+
+        let (_, mut runs) = quick_runs();
+        runs[0].deterministic = false;
+        let (_, failed) = gate(&runs);
+        assert!(failed);
+    }
+
+    #[test]
+    fn json_is_reproducible_and_host_free() {
+        let (params, runs) = quick_runs();
+        let json = to_json(&params, &runs);
+        assert!(!json.contains("wall_ms"));
+        assert!(!json.contains("host_parallelism"));
+        assert!(json.contains("\"experiment\": \"topology\""));
+        let runs2 = run(&params);
+        assert_eq!(json, to_json(&params, &runs2));
+    }
+}

@@ -399,6 +399,12 @@ pub struct NodeMetrics {
     /// Bus error/fault forensics for this node (default when the
     /// executive injects no faults).
     pub faults: NodeFaultSummary,
+    /// Bus segment this node sits on in a bridged topology; `None` on
+    /// a single-bus cluster.
+    pub segment: Option<u32>,
+    /// Set when the node is a gateway attachment (the store-and-forward
+    /// bridge's NIC on this segment): the gateway's id.
+    pub gateway: Option<u32>,
 }
 
 /// Aggregate metrics across every kernel of a multi-node cluster: the
@@ -529,14 +535,20 @@ impl ClusterMetrics {
         }
         for n in &self.nodes {
             let m = &n.metrics;
+            let place = match (n.segment, n.gateway) {
+                (Some(seg), Some(gw)) => format!(" seg {seg} gw {gw}"),
+                (Some(seg), None) => format!(" seg {seg}"),
+                _ => String::new(),
+            };
             s.push_str(&format!(
-                "  {:<10} ctxsw {:<7} misses {:<4} app {:<12} overhead {:<12} idle {}\n",
+                "  {:<10} ctxsw {:<7} misses {:<4} app {:<12} overhead {:<12} idle {}{}\n",
                 n.name,
                 m.context_switches,
                 m.deadline_misses,
                 m.app_time.to_string(),
                 m.total_overhead.to_string(),
-                m.idle_time
+                m.idle_time,
+                place
             ));
             if !n.faults.is_clean() {
                 s.push_str(&format!(
@@ -590,9 +602,12 @@ impl ClusterMetrics {
             if i > 0 {
                 s.push(',');
             }
+            let opt = |v: Option<u32>| v.map_or("null".to_string(), |x| x.to_string());
             s.push_str(&format!(
-                "\n{{\"name\": \"{}\", \"faults\": {{\"error_frames\": {}, \"retransmissions\": {}, \"babble_frames\": {}, \"bus_off_events\": {}, \"bus_off_recoveries\": {}, \"tec\": {}, \"rec\": {}, \"bus_off\": {}, \"max_recovery_ns\": {}, \"mean_recovery_ns\": {}}}, \"metrics\": {}}}",
+                "\n{{\"name\": \"{}\", \"segment\": {}, \"gateway\": {}, \"faults\": {{\"error_frames\": {}, \"retransmissions\": {}, \"babble_frames\": {}, \"bus_off_events\": {}, \"bus_off_recoveries\": {}, \"tec\": {}, \"rec\": {}, \"bus_off\": {}, \"max_recovery_ns\": {}, \"mean_recovery_ns\": {}}}, \"metrics\": {}}}",
                 n.name,
+                opt(n.segment),
+                opt(n.gateway),
                 n.faults.error_frames,
                 n.faults.retransmissions,
                 n.faults.babble_frames,
@@ -690,6 +705,27 @@ impl MissReport {
             }
         }
         s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cluster rollup over zero nodes (or nodes with zero state-age
+    /// samples) must render and serialize without panicking: every
+    /// histogram summary degrades to zero, never divides by the count.
+    #[test]
+    fn empty_rollup_renders_without_panicking() {
+        let c = ClusterMetrics::from_nodes(Vec::new());
+        assert_eq!(c.node_count(), 0);
+        assert_eq!(c.state_age.count(), 0);
+        assert_eq!(c.state_age.mean(), Duration::ZERO);
+        let text = c.render();
+        assert!(text.contains("nodes 0"));
+        let json = c.to_json();
+        assert!(json.contains("\"node_count\": 0"));
+        assert!(json.contains("\"state_age\": {\"count\": 0, \"mean_ns\": 0"));
     }
 }
 

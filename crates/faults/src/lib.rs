@@ -304,6 +304,38 @@ impl FaultClock {
         SimRng::stream(self.seed, idx).chance(self.corruption)
     }
 
+    /// The earliest pending babble-injection instant: the cursor of
+    /// any unexhausted babble window. Adaptive-lookahead executives
+    /// treat this like a kernel event — an injection due at cursor `c`
+    /// lands at the first barrier *strictly after* `c`, so a quiet-bus
+    /// stretch must not leap past that grid point. Per-grant
+    /// corruption needs no entry here: it is consumed only when a
+    /// frame is granted, and a stretch is only proposed when nothing
+    /// is queued or in flight.
+    pub fn next_babble_instant(&self) -> Option<Time> {
+        self.nodes
+            .iter()
+            .flat_map(|nf| nf.babble.iter())
+            .filter(|w| w.cursor < w.until)
+            .map(|w| w.cursor)
+            .min()
+    }
+
+    /// The earliest fail-stop window boundary (start or end) strictly
+    /// after `after`. Offline judgments compare the *barrier* time
+    /// against these boundaries (`is_down(node, now)`), so an adaptive
+    /// stretch must place a barrier at the first grid point *at or
+    /// after* each one — not merely past it — to judge offline state
+    /// at the same instants as a fixed-cadence run.
+    pub fn next_outage_boundary_after(&self, after: Time) -> Option<Time> {
+        self.nodes
+            .iter()
+            .flat_map(|nf| nf.down.iter())
+            .flat_map(|&(s, e)| [s, e])
+            .filter(|&t| t > after)
+            .min()
+    }
+
     /// Number of garbage frames `node`'s babbling transmitter has due
     /// by `until`. Advances the injection cursor, so call this exactly
     /// once per node per barrier — including while the node is offline
@@ -394,6 +426,29 @@ mod tests {
         assert_eq!(fc.babble_due(0, Time::from_ms(11)), 0); // cursor advanced
         assert_eq!(fc.babble_due(0, Time::from_ms(30)), 2); // 11.0, 11.5
         assert_eq!(fc.babble_due(0, Time::from_ms(30)), 0); // window exhausted
+    }
+
+    #[test]
+    fn fault_horizon_queries_walk_boundaries_and_cursors() {
+        let plan = FaultPlan::new(5)
+            .fail_stop(NodeId(0), Time::from_ms(10), ms(5))
+            .babble(NodeId(1), Time::from_ms(30), ms(1), Duration::from_us(500));
+        let mut fc = FaultClock::new(&plan, 2);
+        // Outage start, then end, then nothing.
+        assert_eq!(
+            fc.next_outage_boundary_after(Time::ZERO),
+            Some(Time::from_ms(10))
+        );
+        assert_eq!(
+            fc.next_outage_boundary_after(Time::from_ms(10)),
+            Some(Time::from_ms(15))
+        );
+        assert_eq!(fc.next_outage_boundary_after(Time::from_ms(15)), None);
+        // The babble cursor reports the next pending injection…
+        assert_eq!(fc.next_babble_instant(), Some(Time::from_ms(30)));
+        // …and consuming the window's ticks exhausts it.
+        assert_eq!(fc.babble_due(1, Time::from_ms(31)), 2);
+        assert_eq!(fc.next_babble_instant(), None);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use emeralds_sim::{
 };
 
 use crate::errors::{ErrorConfig, FailStopGate, NodeStats};
-use crate::{frame_of, garbage_frame, BusStats, Frame, StateLink, StatePayload};
+use crate::{frame_of, frame_of_wide, garbage_frame, BusStats, Frame, StateLink, StatePayload};
 pub use emeralds_sim::EpochStats;
 
 /// A frame reception staged at a barrier and applied by the receiving
@@ -47,7 +47,7 @@ pub use emeralds_sim::EpochStats;
 /// kernel observes the exact same instant as a serial in-barrier
 /// delivery.
 #[derive(Debug)]
-enum StagedRx {
+pub(crate) enum StagedRx {
     /// State frame: DMA into the replica variable (§7).
     State {
         var: StateId,
@@ -67,7 +67,7 @@ enum StagedRx {
 /// barrier. All fields are order-independent sums, so the serial
 /// rollup order cannot influence the totals.
 #[derive(Debug, Default)]
-struct RxOutcome {
+pub(crate) struct RxOutcome {
     delivered: u64,
     dropped: u64,
     latency: Duration,
@@ -98,11 +98,38 @@ pub struct ClusterNode {
 }
 
 impl ClusterNode {
+    /// Builds a node. `id` is this node's index on its own bus: global
+    /// on a single-bus [`Cluster`], segment-local under a
+    /// [`crate::Topology`].
+    pub(crate) fn new(
+        id: NodeId,
+        name: String,
+        kernel: Kernel,
+        tx_mbox: MboxId,
+        rx_mbox: MboxId,
+        nic_irq: IrqLine,
+        tx_prio: u32,
+    ) -> ClusterNode {
+        ClusterNode {
+            id,
+            name,
+            kernel,
+            tx_mbox,
+            rx_mbox,
+            nic_irq,
+            tx_prio,
+            stats: NodeStats::default(),
+            gate: None,
+            inbox: Vec::new(),
+            outcome: RxOutcome::default(),
+        }
+    }
+
     /// Applies every staged reception. Runs on the node's own worker
     /// (or serially at the end of a `run_until`): it touches only this
     /// node's kernel and stats, so it is data-race-free and
     /// deterministic regardless of worker count.
-    fn apply_inbox(&mut self) {
+    pub(crate) fn apply_inbox(&mut self) {
         for rx in self.inbox.drain(..) {
             match rx {
                 StagedRx::State {
@@ -152,9 +179,18 @@ impl EpochNode for ClusterNode {
     }
 }
 
-/// The shared-bus state mutated only at epoch barriers.
+/// Maps global node ids onto one segment of a bridged topology.
 #[derive(Debug)]
-struct BusState {
+pub(crate) struct SegmentRouting {
+    /// Indexed by *global* node id: this segment's local index for the
+    /// node, or `u32::MAX` when the node lives on another segment.
+    pub(crate) local_of: Vec<u32>,
+}
+
+/// The shared-bus state mutated only at epoch barriers. One per
+/// [`Cluster`]; one per segment under a [`crate::Topology`].
+#[derive(Debug)]
+pub(crate) struct BusState {
     bitrate_bps: u64,
     framing_bits: u64,
     /// The instant the bus becomes idle.
@@ -162,29 +198,78 @@ struct BusState {
     /// Harvest order within an arbitration id (CAN FIFO tie-break).
     seq: u64,
     /// Frames queued but not yet granted the bus: `(prio, seq, frame)`.
-    pending: Vec<(u32, u64, Frame)>,
+    pub(crate) pending: Vec<(u32, u64, Frame)>,
     /// Granted transmissions awaiting delivery, in completion order.
-    in_flight: VecDeque<(Time, Frame)>,
+    pub(crate) in_flight: VecDeque<(Time, Frame)>,
     /// Networked state-message routes, harvested in registration
     /// order at each barrier (serial, so deterministic for any worker
     /// count).
     links: Vec<StateLink>,
-    stats: BusStats,
-    lookahead: Duration,
+    pub(crate) stats: BusStats,
+    pub(crate) lookahead: Duration,
     /// Stretch epochs across provably-quiet bus time (see
     /// [`BusState::next_barrier_proposal`]).
-    adaptive: bool,
+    pub(crate) adaptive: bool,
     /// Error-signalling parameters.
     error_cfg: ErrorConfig,
     /// Compiled fault schedule, when one is installed.
     faults: Option<FaultClock>,
+    /// Bridged-topology routing, when this bus is one segment of a
+    /// [`crate::Topology`]; `None` on a standalone cluster.
+    pub(crate) routing: Option<SegmentRouting>,
+    /// Completed frames addressed off-segment, awaiting pickup by the
+    /// topology executive at the next inter-segment barrier (wire
+    /// -completion time, frame).
+    pub(crate) remote_out: Vec<(Time, Frame)>,
+    /// Decode TX-mailbox tags with [`crate::wide_tag`]'s 16-bit
+    /// destination field instead of [`crate::addressed_tag`]'s 8-bit
+    /// one (bridged topologies exceed one byte of node ids).
+    pub(crate) wide_tags: bool,
 }
 
 impl BusState {
+    /// A fresh idle bus at the given bit rate, with the lookahead
+    /// defaulting to one max-size frame time and adaptive stretching
+    /// on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero bit rate.
+    pub(crate) fn new(bitrate_bps: u64) -> BusState {
+        assert!(bitrate_bps > 0, "zero bit rate");
+        let mut bus = BusState {
+            bitrate_bps,
+            framing_bits: 47,
+            bus_free_at: Time::ZERO,
+            seq: 0,
+            pending: Vec::new(),
+            in_flight: VecDeque::new(),
+            links: Vec::new(),
+            stats: BusStats::default(),
+            lookahead: Duration::ZERO,
+            adaptive: true,
+            error_cfg: ErrorConfig::default(),
+            faults: None,
+            routing: None,
+            remote_out: Vec::new(),
+            wide_tags: false,
+        };
+        bus.lookahead = bus.frame_time(8);
+        bus
+    }
+
     /// Wire time of one frame.
-    fn frame_time(&self, bytes: usize) -> Duration {
+    pub(crate) fn frame_time(&self, bytes: usize) -> Duration {
         let bits = bytes as u64 * 8 + self.framing_bits;
         Duration::from_ns(bits * 1_000_000_000 / self.bitrate_bps)
+    }
+
+    /// Enqueues an already-counted frame for arbitration: a gateway
+    /// forward, counted in `frames_sent` once at its origin segment's
+    /// harvest, never again here.
+    pub(crate) fn inject(&mut self, frame: Frame) {
+        self.pending.push((frame.prio, self.seq, frame));
+        self.seq += 1;
     }
 
     /// Is `node` off the bus at `at` (fail-stop outage or bus-off)?
@@ -217,7 +302,7 @@ impl BusState {
     /// is *not* done here — it is staged into node inboxes and applied
     /// by each node's own worker at the top of the next advance,
     /// keeping the serial section down to bus-global decisions.
-    fn exchange(&mut self, nodes: &mut [&mut ClusterNode], now: Time) {
+    pub(crate) fn exchange(&mut self, nodes: &mut [&mut ClusterNode], now: Time) {
         // 0. Fold the previous epoch's node-local delivery tallies
         //    into the global stats. The fields are order-independent
         //    sums, so totals are identical to the old serial scheme.
@@ -265,7 +350,11 @@ impl BusState {
                     self.stats.frames_lost_offline += 1;
                     continue;
                 }
-                let frame = frame_of(node.id, node.tx_prio, msg, now);
+                let frame = if self.wide_tags {
+                    frame_of_wide(node.id, node.tx_prio, msg, now)
+                } else {
+                    frame_of(node.id, node.tx_prio, msg, now)
+                };
                 self.pending.push((frame.prio, self.seq, frame));
                 self.seq += 1;
             }
@@ -399,9 +488,24 @@ impl BusState {
     /// receivers are judged here (they need the global fault clock);
     /// everything else — mailbox push, replica DMA, IRQ — happens on
     /// the receiver's own worker at the top of the next advance.
+    ///
+    /// Under a [`crate::Topology`], an addressed frame whose (global)
+    /// destination is not on this segment is parked in `remote_out`
+    /// for the topology executive instead; broadcasts always stay
+    /// segment-local.
     fn stage(&mut self, nodes: &mut [&mut ClusterNode], frame: Frame, done: Time) {
         let targets: Vec<usize> = match frame.dst {
-            Some(d) => vec![d.index()],
+            Some(d) => match self.routing.as_ref() {
+                Some(r) => {
+                    let local = r.local_of.get(d.index()).copied().unwrap_or(u32::MAX);
+                    if local == u32::MAX {
+                        self.remote_out.push((done, frame));
+                        return;
+                    }
+                    vec![local as usize]
+                }
+                None => vec![d.index()],
+            },
             None => (0..nodes.len())
                 .filter(|&i| i != frame.src.index())
                 .collect(),
@@ -440,35 +544,42 @@ impl BusState {
 
     /// Adaptive lookahead: after an exchange at `now`, propose the
     /// next barrier. Returns `None` (fixed cadence, `now + L`) unless
-    /// the bus is *provably quiet*:
+    /// the bus is *provably quiet*: nothing pending arbitration,
+    /// nothing in flight, nothing staged for delivery, and every
+    /// kernel idle (no current thread).
     ///
-    /// - no fault plan installed (the babble cursor and fail-stop
-    ///   bookkeeping advance per barrier, so their schedule is part of
-    ///   the barrier cadence),
-    /// - nothing pending arbitration, nothing in flight, nothing
-    ///   staged for delivery, and
-    /// - every kernel idle (no current thread).
+    /// An idle kernel acts next at its earliest timer/board event; a
+    /// quiet bus can also be disturbed by the *fault schedule* — a
+    /// babble injection falling due, a fail-stop window boundary, or a
+    /// bus-off recovery. Every epoch boundary stays on the fixed grid
+    /// `origin + k·L`, and the proposal is the earliest grid point at
+    /// which any of those can act, so every skipped grid barrier is
+    /// provably a no-op:
     ///
-    /// An idle kernel acts next at its earliest timer/board event, so
-    /// let `t_min` be the minimum of those instants across nodes.
-    /// Every epoch boundary stays on the fixed grid `origin + k·L`:
-    /// the proposal is the smallest grid point *strictly* greater than
-    /// `t_min` (or the horizon when no event is pending). All skipped
-    /// grid barriers are no-ops — no frame can be posted, sampled,
-    /// delivered, or granted before `t_min`, and a TX posted at
-    /// virtual instant `t` is harvested at the first grid point
-    /// strictly after `t` in fixed mode too (posts landing exactly on
-    /// a boundary are processed at the top of the following epoch).
-    /// Hence fixed and adaptive runs produce bit-identical results;
-    /// only the barrier count differs.
-    fn next_barrier_proposal(
+    /// - **Kernel events and babble ticks** act at the first grid
+    ///   point *strictly after* their instant `t`: a TX posted at `t`
+    ///   — or a babble cursor parked at `t` — is harvested at the
+    ///   first barrier past it under fixed cadence too (a barrier
+    ///   landing exactly on `t` does not yet see it).
+    /// - **Offline-state changes** (fail-stop starts/ends, bus-off
+    ///   recovery instants `since + recovery`) are judged by
+    ///   barrier-time comparison (`is_down(now)`, `try_recover(now)`),
+    ///   so they take effect at the first grid point *at or after*
+    ///   their instant. The stretch must stop there — skipping it
+    ///   would complete a recovery at a later barrier than fixed
+    ///   cadence and record a different recovery latency.
+    ///
+    /// Hence fixed and adaptive runs produce bit-identical results,
+    /// with or without an active fault plan; only the barrier count
+    /// differs. `tests/cluster_determinism.rs` pins both.
+    pub(crate) fn next_barrier_proposal(
         &self,
         nodes: &[&mut ClusterNode],
         now: Time,
         origin: Time,
         horizon: Time,
     ) -> Option<Time> {
-        if !self.adaptive || self.faults.is_some() {
+        if !self.adaptive {
             return None;
         }
         if !self.pending.is_empty() || !self.in_flight.is_empty() {
@@ -480,35 +591,76 @@ impl BusState {
         {
             return None;
         }
-        let mut t_min: Option<Time> = None;
+        // Earliest instant of each barrier-placement class above.
+        let mut strict: Option<Time> = None;
+        let mut at_or: Option<Time> = None;
+        let fold = |slot: &mut Option<Time>, t: Time| {
+            *slot = Some(slot.map_or(t, |m| m.min(t)));
+        };
         for n in nodes.iter() {
             if let Some(t) = n.kernel.next_external_time() {
-                t_min = Some(t_min.map_or(t, |m| m.min(t)));
+                fold(&mut strict, t);
             }
         }
-        let target = match t_min {
-            // Nothing will ever happen again: run straight to the end.
-            None => horizon,
-            Some(t) => {
-                if t < now {
-                    return None; // defensive: never step backwards
-                }
-                let l = self.lookahead.as_ns();
-                let k = t.since(origin).as_ns() / l + 1;
-                match k.checked_mul(l) {
-                    Some(ns) => origin + Duration::from_ns(ns),
-                    None => return None,
-                }
+        if let Some(f) = self.faults.as_ref() {
+            if let Some(t) = f.next_babble_instant() {
+                fold(&mut strict, t);
             }
-        };
+            if let Some(t) = f.next_outage_boundary_after(now) {
+                fold(&mut at_or, t);
+            }
+        }
+        let recovery = self.error_cfg.recovery_time(self.bitrate_bps);
+        for n in nodes.iter() {
+            if let Some(since) = n.stats.bus_off_since {
+                fold(&mut at_or, since + recovery);
+            }
+        }
+        let l = self.lookahead.as_ns();
+        let grid = |k: u64| k.checked_mul(l).map(|ns| origin + Duration::from_ns(ns));
+        // No bound at all: nothing will ever happen again, run
+        // straight to the end.
+        let mut target = horizon;
+        if let Some(t) = strict {
+            if t < now {
+                return None; // defensive: never step backwards
+            }
+            target = target.min(grid(t.since(origin).as_ns() / l + 1)?);
+        }
+        if let Some(t) = at_or {
+            if t <= now {
+                return None; // defensive: should have acted already
+            }
+            target = target.min(grid(t.since(origin).as_ns().div_ceil(l))?);
+        }
         // Only stretch; a proposal at or below the fixed cadence buys
         // nothing (and at the final barrier, `now` already sits at
         // the horizon).
-        let target = target.min(horizon);
         if target <= now + self.lookahead {
             return None;
         }
         Some(target)
+    }
+
+    /// End-of-run flush, shared by [`Cluster::run_until`] and the
+    /// topology executive: the final barrier staged deliveries but no
+    /// epoch follows inside this call, so apply the inboxes here (the
+    /// nodes' clocks sit exactly at the horizon, the same instant a
+    /// following advance would apply them), fold the tallies in, and
+    /// snapshot what is still underway so the ledger
+    /// `sent == delivered + dropped + in_flight` is exact at this
+    /// horizon (garbage frames never counted as sent, so they don't
+    /// count here).
+    pub(crate) fn flush_run_end(&mut self, nodes: &mut [ClusterNode]) {
+        for node in nodes.iter_mut() {
+            node.apply_inbox();
+            let o = std::mem::take(&mut node.outcome);
+            self.stats.frames_delivered += o.delivered;
+            self.stats.frames_dropped += o.dropped;
+            self.stats.total_latency += o.latency;
+        }
+        self.stats.frames_in_flight = self.in_flight.len() as u64
+            + self.pending.iter().filter(|(_, _, f)| !f.garbage).count() as u64;
     }
 }
 
@@ -535,25 +687,9 @@ impl Cluster {
     ///
     /// Panics on a zero bit rate.
     pub fn new(bitrate_bps: u64) -> Cluster {
-        assert!(bitrate_bps > 0, "zero bit rate");
-        let mut bus = BusState {
-            bitrate_bps,
-            framing_bits: 47,
-            bus_free_at: Time::ZERO,
-            seq: 0,
-            pending: Vec::new(),
-            in_flight: VecDeque::new(),
-            links: Vec::new(),
-            stats: BusStats::default(),
-            lookahead: Duration::ZERO,
-            adaptive: true,
-            error_cfg: ErrorConfig::default(),
-            faults: None,
-        };
-        bus.lookahead = bus.frame_time(8);
         Cluster {
             nodes: Vec::new(),
-            bus,
+            bus: BusState::new(bitrate_bps),
             workers: 1,
             cursor: Time::ZERO,
             exec_stats: EpochStats::default(),
@@ -616,19 +752,15 @@ impl Cluster {
         tx_prio: u32,
     ) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(ClusterNode {
+        self.nodes.push(ClusterNode::new(
             id,
-            name: name.into(),
+            name.into(),
             kernel,
             tx_mbox,
             rx_mbox,
             nic_irq,
             tx_prio,
-            stats: NodeStats::default(),
-            gate: None,
-            inbox: Vec::new(),
-            outcome: RxOutcome::default(),
-        });
+        ));
         id
     }
 
@@ -744,28 +876,7 @@ impl Cluster {
         });
         self.exec_stats.merge(&stats);
         self.cursor = horizon;
-        // The final barrier stages deliveries but no epoch follows
-        // inside this call: flush the inboxes here (the nodes' clocks
-        // sit exactly at the horizon, the same instant a following
-        // advance would apply them) and fold the tallies in, so a
-        // split run matches a whole run and the books below balance.
-        for node in self.nodes.iter_mut() {
-            node.apply_inbox();
-            let o = std::mem::take(&mut node.outcome);
-            self.bus.stats.frames_delivered += o.delivered;
-            self.bus.stats.frames_dropped += o.dropped;
-            self.bus.stats.total_latency += o.latency;
-        }
-        // Snapshot what is still underway so `sent == delivered +
-        // dropped + in_flight` is exact at this horizon (garbage
-        // frames never counted as sent, so they don't count here).
-        self.bus.stats.frames_in_flight = self.bus.in_flight.len() as u64
-            + self
-                .bus
-                .pending
-                .iter()
-                .filter(|(_, _, f)| !f.garbage)
-                .count() as u64;
+        self.bus.flush_run_end(&mut self.nodes);
     }
 
     /// Rolls every node's kernel metrics into a [`ClusterMetrics`].
@@ -777,6 +888,8 @@ impl Cluster {
                     name: n.name.clone(),
                     metrics: n.kernel.metrics(),
                     faults: n.stats.fault_summary(),
+                    segment: None,
+                    gateway: None,
                 })
                 .collect(),
         )

@@ -28,9 +28,11 @@
 
 pub mod cluster;
 pub mod errors;
+pub mod topology;
 
 pub use cluster::{Cluster, ClusterNode};
 pub use errors::{CanErrorState, ErrorConfig, FailStopGate, NodeStats};
+pub use topology::{GatewayConfig, GatewayId, GatewayStats, SegmentId, Topology};
 
 use std::collections::VecDeque;
 
@@ -168,6 +170,12 @@ pub struct BusStats {
     /// Of `frames_dropped`: losses because a node was offline
     /// (fail-stop outage or bus-off) at either end.
     pub frames_lost_offline: u64,
+    /// Of `frames_dropped`: losses at a store-and-forward gateway in a
+    /// bridged topology (forwarding buffer overflow, or no route to the
+    /// destination segment). Charged to the segment the frame was
+    /// captured from, so the cross-segment conservation invariant
+    /// stays exact (see `topology`).
+    pub frames_lost_gateway: u64,
 }
 
 impl BusStats {
@@ -178,6 +186,25 @@ impl BusStats {
         } else {
             Some(self.total_latency / self.frames_delivered)
         }
+    }
+
+    /// Accumulates another bus's statistics (the per-segment rollup of
+    /// a bridged topology). Every field is an order-independent sum.
+    pub fn merge(&mut self, other: &BusStats) {
+        self.frames_sent += other.frames_sent;
+        self.frames_delivered += other.frames_delivered;
+        self.frames_dropped += other.frames_dropped;
+        self.frames_in_flight += other.frames_in_flight;
+        self.state_overwrites += other.state_overwrites;
+        self.busy += other.busy;
+        self.total_latency += other.total_latency;
+        self.error_frames += other.error_frames;
+        self.retransmissions += other.retransmissions;
+        self.babble_frames += other.babble_frames;
+        self.bus_off_events += other.bus_off_events;
+        self.bus_off_recoveries += other.bus_off_recoveries;
+        self.frames_lost_offline += other.frames_lost_offline;
+        self.frames_lost_gateway += other.frames_lost_gateway;
     }
 }
 
@@ -732,6 +759,36 @@ pub(crate) fn garbage_frame(src: NodeId, now: Time) -> Frame {
 pub fn addressed_tag(dst: Option<NodeId>, payload: u32) -> u32 {
     let d = dst.map_or(0xFFu32, |n| n.0);
     (d << 24) | (payload & 0x00FF_FFFF)
+}
+
+/// Wide-addressing variant of [`addressed_tag`] for bridged topologies:
+/// the tag's high 16 bits select a *global* destination node (0xFFFF =
+/// segment-local broadcast), the low 16 bits travel as payload. Single
+/// -bus executives keep the classic 8-bit format; a [`Topology`] node
+/// must use this one (node counts there exceed one byte).
+pub fn wide_tag(dst: Option<NodeId>, payload: u32) -> u32 {
+    let d = dst.map_or(0xFFFFu32, |n| n.0);
+    assert!(d < 0xFFFF || dst.is_none(), "node id exceeds wide tag");
+    (d << 16) | (payload & 0x0000_FFFF)
+}
+
+/// Builds a frame from a wide-addressed message (see [`wide_tag`]).
+pub(crate) fn frame_of_wide(src: NodeId, prio: u32, msg: Message, now: Time) -> Frame {
+    let dst = (msg.tag >> 16) & 0xFFFF;
+    Frame {
+        prio,
+        src,
+        dst: if dst == 0xFFFF {
+            None
+        } else {
+            Some(NodeId(dst))
+        },
+        bytes: msg.bytes.clamp(1, 8),
+        tag: msg.tag & 0x0000_FFFF,
+        queued_at: now,
+        garbage: false,
+        state: None,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,919 @@
+//! Bridged multi-segment topologies: several CAN segments joined by
+//! store-and-forward gateways, advanced under *hierarchical*
+//! conservative lookahead.
+//!
+//! A single [`crate::Cluster`] models one bus; city-scale systems — a
+//! vehicle platoon, a plant with per-cell buses, a building backbone —
+//! are many buses joined by gateway nodes that receive a frame on one
+//! segment, hold it for a forwarding latency, and retransmit it on the
+//! other. That latency is exploitable lookahead one level up: nodes on
+//! one segment interact within one bus-frame time (the *intra*-segment
+//! horizon), but traffic can only cross a gateway after its forwarding
+//! delay (the *inter*-segment horizon). [`Topology`] therefore runs
+//! each segment as an [`EpochGroup`] under [`run_two_level`]: between
+//! inter-segment barriers every segment's sub-executive runs its own
+//! fine-grained epoch loop in parallel; at each barrier a serial
+//! exchange moves frames segment → gateway queue → segment.
+//!
+//! **Routing** is static: each gateway joins exactly two segments, and
+//! a per-segment BFS over the gateway graph (registration order) picks
+//! the first hop toward every destination segment. Addressed frames
+//! carry *global* node ids ([`crate::wide_tag`]); a frame completing
+//! on a segment that does not host its destination is captured into
+//! the next-hop gateway's bounded FIFO. Broadcasts stay segment-local.
+//!
+//! **Gateway queuing** is a serial-server model: direction `d` of a
+//! gateway forwards one frame per `latency`, so a frame captured at
+//! wire-completion `done` becomes injectable at `max(done,
+//! last_ready) + latency`. The buffer holds at most `capacity` frames
+//! per direction; overflow (and unroutable) frames are dropped and
+//! charged to the capturing segment's `frames_dropped` *and*
+//! `frames_lost_gateway`, so the cross-segment conservation invariant
+//! stays exact at any horizon:
+//!
+//! ```text
+//! Σ_segments sent == Σ_segments (delivered + dropped + in_flight)
+//!                     + gateway_buffered
+//! ```
+//!
+//! A frame is counted `sent` exactly once, at its origin segment's
+//! harvest, and sits on exactly one ledger at any instant: origin
+//! pending/in-flight, a gateway buffer, or the delivering segment's
+//! pending/in-flight — never two at once, never duplicated at a
+//! gateway. [`Topology::conservation`] checks this; the TOPO bench
+//! experiment gates on it at every row. The equality is exact for
+//! *addressed* traffic; a broadcast counts `sent` once but resolves
+//! once per listener on its segment (longstanding single-bus
+//! semantics), so broadcast-heavy workloads shift the ledger by the
+//! fan-out.
+//!
+//! **Determinism** stacks exactly like [`run_two_level`]'s argument:
+//! inner loops are serial per segment, segments share nothing between
+//! outer barriers, and the capture/inject exchange walks segments and
+//! gateways in registration order on one thread — so results are
+//! bit-for-bit identical for any outer worker count
+//! (`tests/topology_determinism.rs` pins 1/4/host).
+
+use std::collections::VecDeque;
+
+use emeralds_core::kernel::{ClusterMetrics, KernelBuilder, KernelConfig, NodeMetrics};
+use emeralds_core::script::Script;
+use emeralds_core::{Kernel, SchedPolicy};
+use emeralds_sim::{
+    run_epochs, run_two_level, Duration, EpochConfig, EpochGroup, EpochStats, IrqLine, MboxId,
+    NodeId, Time, TwoLevelStats,
+};
+
+use crate::cluster::{BusState, ClusterNode, SegmentRouting};
+use crate::{BusStats, Frame};
+
+/// Identifies one bus segment of a [`Topology`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(pub u32);
+
+impl SegmentId {
+    /// The segment's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies one gateway of a [`Topology`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GatewayId(pub u32);
+
+impl GatewayId {
+    /// The gateway's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Store-and-forward parameters of one gateway.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GatewayConfig {
+    /// Forwarding latency per frame and per direction (serial-server
+    /// service time). Also the natural inter-segment lookahead.
+    pub latency: Duration,
+    /// Forwarding-buffer slots per direction; a capture finding the
+    /// buffer full is dropped (`frames_lost_gateway`).
+    pub capacity: usize,
+    /// Arbitration id of the gateway's bridge NIC nodes themselves
+    /// (forwarded frames keep their original priority).
+    pub prio: u32,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            latency: Duration::from_us(200),
+            capacity: 16,
+            prio: 1,
+        }
+    }
+}
+
+/// Forwarding statistics of one gateway (both directions summed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Frames injected onto the far segment.
+    pub forwarded: u64,
+    /// Captures dropped because the forwarding buffer was full.
+    pub dropped_overflow: u64,
+    /// Deepest either direction's buffer ever got.
+    pub peak_depth: u64,
+    /// Frames still buffered when the last run ended (the
+    /// `gateway_buffered` term of the conservation invariant).
+    pub buffered: u64,
+}
+
+/// One direction of a gateway: a bounded FIFO with a serial-server
+/// ready clock.
+#[derive(Debug, Default)]
+struct GatewayQueue {
+    /// `(ready_at, frame)` in capture order; `ready_at` is monotone.
+    buf: VecDeque<(Time, Frame)>,
+    /// When the server frees up (the last frame's `ready_at`).
+    last_ready: Time,
+}
+
+/// A store-and-forward bridge between two segments.
+#[derive(Debug)]
+struct Gateway {
+    cfg: GatewayConfig,
+    /// The two segments joined.
+    segs: [u32; 2],
+    /// The gateway NIC's *local* node index on each segment.
+    attach: [u32; 2],
+    /// `queues[0]` carries `segs[0] → segs[1]`; `queues[1]` the
+    /// reverse.
+    queues: [GatewayQueue; 2],
+    stats: GatewayStats,
+}
+
+/// One bus segment: its shared-bus state plus its nodes, advanced as
+/// an [`EpochGroup`] (a serial inner epoch loop per outer epoch).
+#[derive(Debug)]
+struct Segment {
+    bus: BusState,
+    nodes: Vec<ClusterNode>,
+    /// Global node id of each local node, parallel to `nodes`.
+    globals: Vec<u32>,
+    cursor: Time,
+}
+
+impl EpochGroup for Segment {
+    fn advance_group(&mut self, horizon: Time) -> EpochStats {
+        if horizon <= self.cursor || self.nodes.is_empty() {
+            self.cursor = self.cursor.max(horizon);
+            return EpochStats::default();
+        }
+        let cfg = EpochConfig {
+            lookahead: self.bus.lookahead,
+            workers: 1,
+        };
+        let origin = self.cursor;
+        let bus = &mut self.bus;
+        let stats = run_epochs(&mut self.nodes, origin, horizon, &cfg, &mut |nodes, at| {
+            bus.exchange(nodes, at);
+            bus.next_barrier_proposal(nodes, at, origin, horizon)
+        });
+        self.cursor = horizon;
+        stats
+    }
+}
+
+/// The end-of-run snapshot of the cross-segment frame ledger; see the
+/// module docs for the invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConservationReport {
+    pub sent: u64,
+    pub delivered: u64,
+    pub dropped: u64,
+    /// Still pending or on a wire, summed over segments.
+    pub in_flight: u64,
+    /// Still held in a gateway forwarding buffer.
+    pub gateway_buffered: u64,
+}
+
+impl ConservationReport {
+    /// True when every sent frame is accounted for exactly once.
+    ///
+    /// Exact for addressed traffic; each broadcast adds `listeners -
+    /// 1` to the delivered/dropped side (see the module docs).
+    pub fn holds(&self) -> bool {
+        self.sent == self.delivered + self.dropped + self.in_flight + self.gateway_buffered
+    }
+}
+
+/// Interrupt line gateway NICs use (matches the examples' convention).
+const GW_NIC_IRQ: IrqLine = IrqLine(2);
+
+/// Multiple CAN segments bridged by store-and-forward gateways,
+/// advanced under two-level conservative lookahead. See the module
+/// docs for the model.
+#[derive(Debug)]
+pub struct Topology {
+    segments: Vec<Segment>,
+    gateways: Vec<Gateway>,
+    /// Global node id → segment index.
+    node_seg: Vec<u32>,
+    /// Global node id → local index on its segment.
+    node_local: Vec<u32>,
+    /// Global node id → gateway id when the node is a gateway NIC.
+    node_gateway: Vec<Option<u32>>,
+    /// `routes[s][d]`: gateway to take from segment `s` toward
+    /// segment `d` (`None` = unreachable), rebuilt lazily.
+    routes: Vec<Vec<Option<u32>>>,
+    routes_dirty: bool,
+    /// Host worker threads for the *outer* engine (inner loops are
+    /// serial per segment).
+    pub workers: usize,
+    /// Override for the inter-segment lookahead; defaults to the
+    /// smallest gateway latency.
+    inter_lookahead: Option<Duration>,
+    /// Captures dropped for lack of any route to the destination.
+    no_route: u64,
+    cursor: Time,
+    exec_stats: TwoLevelStats,
+}
+
+impl Topology {
+    /// An empty topology with one outer worker.
+    pub fn new() -> Topology {
+        Topology {
+            segments: Vec::new(),
+            gateways: Vec::new(),
+            node_seg: Vec::new(),
+            node_local: Vec::new(),
+            node_gateway: Vec::new(),
+            routes: Vec::new(),
+            routes_dirty: true,
+            workers: 1,
+            inter_lookahead: None,
+            no_route: 0,
+            cursor: Time::ZERO,
+            exec_stats: TwoLevelStats::default(),
+        }
+    }
+
+    /// Sets the outer worker-thread count (builder style).
+    pub fn with_workers(mut self, workers: usize) -> Topology {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Adds a bus segment at the given bit rate. Its intra-segment
+    /// lookahead defaults to one max-size frame time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero bit rate.
+    pub fn add_segment(&mut self, bitrate_bps: u64) -> SegmentId {
+        let mut bus = BusState::new(bitrate_bps);
+        bus.wide_tags = true;
+        bus.routing = Some(SegmentRouting {
+            local_of: vec![u32::MAX; self.node_seg.len()],
+        });
+        self.segments.push(Segment {
+            bus,
+            nodes: Vec::new(),
+            globals: Vec::new(),
+            cursor: self.cursor,
+        });
+        self.routes_dirty = true;
+        SegmentId(self.segments.len() as u32 - 1)
+    }
+
+    /// Attaches a node to `seg` and returns its **global** id — the id
+    /// other nodes address it by via [`crate::wide_tag`]. The kernel
+    /// must already own the two mailboxes and have its NIC wired to
+    /// `nic_irq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown segment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_node(
+        &mut self,
+        seg: SegmentId,
+        name: impl Into<String>,
+        kernel: Kernel,
+        tx_mbox: MboxId,
+        rx_mbox: MboxId,
+        nic_irq: IrqLine,
+        tx_prio: u32,
+    ) -> NodeId {
+        self.attach(
+            seg,
+            name.into(),
+            kernel,
+            tx_mbox,
+            rx_mbox,
+            nic_irq,
+            tx_prio,
+            None,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn attach(
+        &mut self,
+        seg: SegmentId,
+        name: String,
+        kernel: Kernel,
+        tx_mbox: MboxId,
+        rx_mbox: MboxId,
+        nic_irq: IrqLine,
+        tx_prio: u32,
+        gateway: Option<u32>,
+    ) -> NodeId {
+        let si = seg.index();
+        assert!(si < self.segments.len(), "unknown segment {seg:?}");
+        let global = self.node_seg.len() as u32;
+        assert!(global < 0xFFFF, "wide tags address at most 65534 nodes");
+        let local = self.segments[si].nodes.len() as u32;
+        // Every segment's routing table gains a column for the new
+        // global id; only the hosting segment maps it to a local slot.
+        for (k, s) in self.segments.iter_mut().enumerate() {
+            let routing = s.bus.routing.as_mut().expect("segments always route");
+            routing
+                .local_of
+                .push(if k == si { local } else { u32::MAX });
+        }
+        self.segments[si].nodes.push(ClusterNode::new(
+            NodeId(local),
+            name,
+            kernel,
+            tx_mbox,
+            rx_mbox,
+            nic_irq,
+            tx_prio,
+        ));
+        self.segments[si].globals.push(global);
+        self.node_seg.push(si as u32);
+        self.node_local.push(local);
+        self.node_gateway.push(gateway);
+        NodeId(global)
+    }
+
+    /// Joins two distinct segments with a store-and-forward gateway:
+    /// one bridge NIC node is attached to each side (visible in the
+    /// metrics rollup with its `gateway` id set).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown or identical segment pair, a zero latency,
+    /// or a zero capacity.
+    pub fn add_gateway(&mut self, a: SegmentId, b: SegmentId, cfg: GatewayConfig) -> GatewayId {
+        assert!(a != b, "gateway must join two distinct segments");
+        assert!(!cfg.latency.is_zero(), "zero gateway latency");
+        assert!(cfg.capacity > 0, "zero gateway capacity");
+        let gid = self.gateways.len() as u32;
+        let mut attach = [0u32; 2];
+        for (k, seg) in [a, b].into_iter().enumerate() {
+            let (kernel, tx, rx) = gateway_kernel();
+            let name = format!("gw{gid}.s{}", seg.0);
+            let global = self.attach(seg, name, kernel, tx, rx, GW_NIC_IRQ, cfg.prio, Some(gid));
+            attach[k] = self.node_local[global.index()];
+        }
+        self.gateways.push(Gateway {
+            cfg,
+            segs: [a.0, b.0],
+            attach,
+            queues: [GatewayQueue::default(), GatewayQueue::default()],
+            stats: GatewayStats::default(),
+        });
+        self.routes_dirty = true;
+        GatewayId(gid)
+    }
+
+    /// The inter-segment lookahead in effect: the override if set,
+    /// else the smallest gateway latency, else 1 ms (a gateway-less
+    /// topology has no inter-segment traffic to bound).
+    pub fn inter_lookahead(&self) -> Duration {
+        self.inter_lookahead
+            .or_else(|| self.gateways.iter().map(|g| g.cfg.latency).min())
+            .unwrap_or(Duration::from_ms(1))
+    }
+
+    /// Overrides the inter-segment lookahead (the outer epoch length).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero window.
+    pub fn set_inter_lookahead(&mut self, window: Duration) {
+        assert!(!window.is_zero(), "zero lookahead");
+        self.inter_lookahead = Some(window);
+    }
+
+    /// Enables or disables adaptive intra-segment lookahead on every
+    /// segment (on by default; bit-identical either way).
+    pub fn set_adaptive(&mut self, adaptive: bool) {
+        for s in &mut self.segments {
+            s.bus.adaptive = adaptive;
+        }
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of gateways.
+    pub fn gateway_count(&self) -> usize {
+        self.gateways.len()
+    }
+
+    /// Total nodes across every segment, gateway NICs included.
+    pub fn node_count(&self) -> usize {
+        self.node_seg.len()
+    }
+
+    /// The segment hosting a (global) node id.
+    pub fn segment_of(&self, id: NodeId) -> SegmentId {
+        SegmentId(self.node_seg[id.index()])
+    }
+
+    /// Node access by global id.
+    pub fn node(&self, id: NodeId) -> &ClusterNode {
+        let seg = &self.segments[self.node_seg[id.index()] as usize];
+        &seg.nodes[self.node_local[id.index()] as usize]
+    }
+
+    /// Mutable node access by global id.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut ClusterNode {
+        let seg = &mut self.segments[self.node_seg[id.index()] as usize];
+        &mut seg.nodes[self.node_local[id.index()] as usize]
+    }
+
+    /// One segment's bus statistics.
+    pub fn segment_stats(&self, seg: SegmentId) -> &BusStats {
+        &self.segments[seg.index()].bus.stats
+    }
+
+    /// One gateway's forwarding statistics.
+    pub fn gateway_stats(&self, gw: GatewayId) -> &GatewayStats {
+        &self.gateways[gw.index()].stats
+    }
+
+    /// Captures dropped because no gateway path reaches the
+    /// destination segment (also charged to `frames_lost_gateway`).
+    pub fn no_route_drops(&self) -> u64 {
+        self.no_route
+    }
+
+    /// Bus statistics summed across every segment.
+    pub fn total_stats(&self) -> BusStats {
+        let mut total = BusStats::default();
+        for s in &self.segments {
+            total.merge(&s.bus.stats);
+        }
+        total
+    }
+
+    /// The cross-segment frame-conservation ledger at the last
+    /// horizon; `holds()` must be true at any quiescent point.
+    pub fn conservation(&self) -> ConservationReport {
+        let t = self.total_stats();
+        ConservationReport {
+            sent: t.frames_sent,
+            delivered: t.frames_delivered,
+            dropped: t.frames_dropped,
+            in_flight: t.frames_in_flight,
+            gateway_buffered: self
+                .gateways
+                .iter()
+                .map(|g| g.queues.iter().map(|q| q.buf.len() as u64).sum::<u64>())
+                .sum(),
+        }
+    }
+
+    /// Two-level engine cost accounting accumulated across every
+    /// `run_until` (host-side measurement only).
+    pub fn exec_stats(&self) -> &TwoLevelStats {
+        &self.exec_stats
+    }
+
+    /// How far the executive has driven the topology.
+    pub fn now(&self) -> Time {
+        self.cursor
+    }
+
+    /// Advances every segment to `horizon` under two-level epochs.
+    /// Callable repeatedly; each call resumes from the previous
+    /// horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology has no segments or any segment has no
+    /// nodes.
+    pub fn run_until(&mut self, horizon: Time) {
+        assert!(!self.segments.is_empty(), "topology has no segments");
+        assert!(
+            self.segments.iter().all(|s| !s.nodes.is_empty()),
+            "every segment needs at least one node"
+        );
+        if horizon <= self.cursor {
+            return;
+        }
+        self.ensure_routes();
+        let cfg = EpochConfig {
+            lookahead: self.inter_lookahead(),
+            workers: self.workers,
+        };
+        let gateways = &mut self.gateways;
+        let node_seg = &self.node_seg;
+        let routes = &self.routes;
+        let no_route = &mut self.no_route;
+        let stats = run_two_level(
+            &mut self.segments,
+            self.cursor,
+            horizon,
+            &cfg,
+            &mut |segs, at| {
+                route_frames(segs, gateways, node_seg, routes, no_route, at);
+                None
+            },
+        );
+        self.exec_stats.merge(&stats);
+        self.cursor = horizon;
+        for seg in &mut self.segments {
+            debug_assert!(
+                seg.bus.remote_out.is_empty(),
+                "outer exchange must drain remote_out"
+            );
+            let Segment { bus, nodes, .. } = seg;
+            bus.flush_run_end(nodes);
+        }
+        for gw in &mut self.gateways {
+            gw.stats.buffered = gw.queues.iter().map(|q| q.buf.len() as u64).sum();
+        }
+    }
+
+    /// Rolls every node's kernel metrics into a [`ClusterMetrics`],
+    /// with each entry's segment (and gateway id, for bridge NICs)
+    /// filled in.
+    pub fn metrics(&self) -> ClusterMetrics {
+        let mut all = Vec::new();
+        for (si, seg) in self.segments.iter().enumerate() {
+            for (n, &global) in seg.nodes.iter().zip(&seg.globals) {
+                all.push(NodeMetrics {
+                    name: n.name.clone(),
+                    metrics: n.kernel.metrics(),
+                    faults: n.stats.fault_summary(),
+                    segment: Some(si as u32),
+                    gateway: self.node_gateway[global as usize],
+                });
+            }
+        }
+        ClusterMetrics::from_nodes(all)
+    }
+
+    /// Rebuilds the static routing tables: BFS per source segment over
+    /// the gateway graph, edges in gateway-registration order, so the
+    /// chosen first hop is deterministic.
+    fn ensure_routes(&mut self) {
+        if !self.routes_dirty {
+            return;
+        }
+        let n = self.segments.len();
+        let mut adj: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+        for (gi, gw) in self.gateways.iter().enumerate() {
+            adj[gw.segs[0] as usize].push((gw.segs[1] as usize, gi as u32));
+            adj[gw.segs[1] as usize].push((gw.segs[0] as usize, gi as u32));
+        }
+        self.routes = (0..n)
+            .map(|s| {
+                let mut first: Vec<Option<u32>> = vec![None; n];
+                let mut seen = vec![false; n];
+                seen[s] = true;
+                let mut queue = VecDeque::from([s]);
+                while let Some(u) = queue.pop_front() {
+                    for &(v, gi) in &adj[u] {
+                        if seen[v] {
+                            continue;
+                        }
+                        seen[v] = true;
+                        first[v] = if u == s { Some(gi) } else { first[u] };
+                        queue.push_back(v);
+                    }
+                }
+                first
+            })
+            .collect();
+        self.routes_dirty = false;
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::new()
+    }
+}
+
+/// The serial inter-segment barrier step: capture each segment's
+/// off-segment frames into their next-hop gateway queues, then inject
+/// every frame whose forwarding latency has elapsed into its far
+/// segment's arbitration queue. Segments, then gateways, in
+/// registration order — fully deterministic.
+fn route_frames(
+    segs: &mut [&mut Segment],
+    gateways: &mut [Gateway],
+    node_seg: &[u32],
+    routes: &[Vec<Option<u32>>],
+    no_route: &mut u64,
+    at: Time,
+) {
+    for si in 0..segs.len() {
+        let out = std::mem::take(&mut segs[si].bus.remote_out);
+        for (done, frame) in out {
+            let dst = frame.dst.expect("remote_out frames are addressed");
+            let hop = node_seg
+                .get(dst.index())
+                .and_then(|&d| routes[si][d as usize]);
+            let Some(gi) = hop else {
+                let stats = &mut segs[si].bus.stats;
+                stats.frames_dropped += 1;
+                stats.frames_lost_gateway += 1;
+                *no_route += 1;
+                continue;
+            };
+            let gw = &mut gateways[gi as usize];
+            let dir = usize::from(gw.segs[0] as usize != si);
+            let q = &mut gw.queues[dir];
+            if q.buf.len() >= gw.cfg.capacity {
+                let stats = &mut segs[si].bus.stats;
+                stats.frames_dropped += 1;
+                stats.frames_lost_gateway += 1;
+                gw.stats.dropped_overflow += 1;
+                continue;
+            }
+            let ready = done.max(q.last_ready) + gw.cfg.latency;
+            q.last_ready = ready;
+            q.buf.push_back((ready, frame));
+            gw.stats.peak_depth = gw.stats.peak_depth.max(q.buf.len() as u64);
+        }
+    }
+    for gw in gateways.iter_mut() {
+        for dir in 0..2 {
+            let target = gw.segs[1 - dir] as usize;
+            let src_local = gw.attach[1 - dir];
+            while let Some(&(ready, _)) = gw.queues[dir].buf.front() {
+                if ready > at {
+                    break;
+                }
+                let (_, mut frame) = gw.queues[dir].buf.pop_front().expect("peeked");
+                // The far-side bridge NIC retransmits the frame: its
+                // stats accrue there, while `queued_at` (and so the
+                // end-to-end latency) travels with the frame.
+                frame.src = NodeId(src_local);
+                segs[target].bus.inject(frame);
+                gw.stats.forwarded += 1;
+            }
+        }
+    }
+}
+
+/// A minimal kernel for a gateway bridge NIC: mailboxes and an idle
+/// heartbeat; the store-and-forward logic itself runs in the topology
+/// executive.
+fn gateway_kernel() -> (Kernel, MboxId, MboxId) {
+    let cfg = KernelConfig {
+        policy: SchedPolicy::RmQueue,
+        ..KernelConfig::default()
+    };
+    let mut b = KernelBuilder::new(cfg);
+    let p = b.add_process("gateway");
+    let tx = b.add_mailbox(8);
+    let rx = b.add_mailbox(8);
+    b.board_mut().add_nic("can", GW_NIC_IRQ);
+    b.add_periodic_task(
+        p,
+        "gw-idle",
+        Duration::from_ms(500),
+        Script::compute_only(Duration::from_us(1)),
+    );
+    (b.build(), tx, rx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wide_tag;
+    use emeralds_core::script::Action;
+
+    const NIC_IRQ: IrqLine = IrqLine(2);
+
+    /// A node that periodically sends one wide-addressed frame to
+    /// `dst` and drains everything received.
+    fn make_node(
+        send_period_ms: u64,
+        payload: u32,
+        dst: Option<NodeId>,
+    ) -> (Kernel, MboxId, MboxId) {
+        let cfg = KernelConfig {
+            policy: SchedPolicy::RmQueue,
+            ..KernelConfig::default()
+        };
+        let mut b = KernelBuilder::new(cfg);
+        let p = b.add_process("node");
+        let tx = b.add_mailbox(8);
+        let rx = b.add_mailbox(8);
+        b.board_mut().add_nic("can", NIC_IRQ);
+        b.add_periodic_task(
+            p,
+            "sender",
+            Duration::from_ms(send_period_ms),
+            Script::periodic(vec![
+                Action::Compute(Duration::from_us(100)),
+                Action::SendMbox {
+                    mbox: tx,
+                    bytes: 8,
+                    tag: wide_tag(dst, payload),
+                },
+            ]),
+        );
+        b.add_driver_task(
+            p,
+            "rx-driver",
+            Duration::from_ms(1),
+            Script::looping(vec![
+                Action::RecvMbox(rx),
+                Action::Compute(Duration::from_us(50)),
+            ]),
+        );
+        (b.build(), tx, rx)
+    }
+
+    fn add_app_node(
+        t: &mut Topology,
+        seg: SegmentId,
+        name: &str,
+        period_ms: u64,
+        payload: u32,
+        dst: Option<NodeId>,
+        prio: u32,
+    ) -> NodeId {
+        let (k, tx, rx) = make_node(period_ms, payload, dst);
+        t.add_node(seg, name, k, tx, rx, NIC_IRQ, prio)
+    }
+
+    /// Two segments, one gateway, one sender each way. Global ids are
+    /// assigned in registration order: a0=0, b0=1, gateway NICs 2, 3.
+    fn two_segment_topology(workers: usize) -> (Topology, NodeId, NodeId) {
+        let mut t = Topology::new().with_workers(workers);
+        let sa = t.add_segment(1_000_000);
+        let sb = t.add_segment(1_000_000);
+        let a0 = add_app_node(&mut t, sa, "a0", 10, 7, Some(NodeId(1)), 10);
+        let b0 = add_app_node(&mut t, sb, "b0", 10, 9, Some(NodeId(0)), 20);
+        t.add_gateway(sa, sb, GatewayConfig::default());
+        (t, a0, b0)
+    }
+
+    #[test]
+    fn frames_cross_one_gateway_both_ways() {
+        let (mut t, a0, b0) = two_segment_topology(1);
+        t.run_until(Time::from_ms(60));
+        let gw = t.gateway_stats(GatewayId(0));
+        assert!(gw.forwarded >= 8, "gateway stats {gw:?}");
+        assert_eq!(gw.dropped_overflow, 0);
+        let rx_task = emeralds_sim::ThreadId(1);
+        assert_eq!(t.node(a0).kernel.tcb(rx_task).last_read, 9);
+        assert_eq!(t.node(b0).kernel.tcb(rx_task).last_read, 7);
+        let report = t.conservation();
+        assert!(report.holds(), "ledger {report:?}");
+        assert_eq!(t.no_route_drops(), 0);
+        // Cross-segment latency includes the forwarding delay.
+        let total = t.total_stats();
+        assert!(total.frames_delivered >= 8);
+        assert!(
+            total.mean_latency().unwrap() >= GatewayConfig::default().latency,
+            "latency {:?}",
+            total.mean_latency()
+        );
+    }
+
+    #[test]
+    fn multi_hop_line_routes_end_to_end() {
+        // s0 — gw — s1 — gw — s2; the sender on s0 addresses a sink on
+        // s2, so every frame crosses two gateways.
+        let mut t = Topology::new();
+        let s0 = t.add_segment(1_000_000);
+        let s1 = t.add_segment(1_000_000);
+        let s2 = t.add_segment(1_000_000);
+        let src = add_app_node(&mut t, s0, "src", 10, 5, Some(NodeId(1)), 10);
+        let sink = add_app_node(&mut t, s2, "sink", 1000, 1, Some(NodeId(0)), 20);
+        // A mostly-quiet node keeps s1 populated (self-addressed so the
+        // exact conservation ledger applies; see ConservationReport).
+        add_app_node(&mut t, s1, "mid", 1000, 2, Some(NodeId(2)), 30);
+        t.add_gateway(s0, s1, GatewayConfig::default());
+        t.add_gateway(s1, s2, GatewayConfig::default());
+        t.run_until(Time::from_ms(80));
+        assert_eq!(src.index(), 0);
+        assert_eq!(sink.index(), 1);
+        let rx_task = emeralds_sim::ThreadId(1);
+        assert_eq!(t.node(sink).kernel.tcb(rx_task).last_read, 5);
+        assert!(t.gateway_stats(GatewayId(0)).forwarded >= 5);
+        assert!(t.gateway_stats(GatewayId(1)).forwarded >= 5);
+        let report = t.conservation();
+        assert!(report.holds(), "ledger {report:?}");
+    }
+
+    #[test]
+    fn gateway_overflow_drops_are_charged_and_conserved() {
+        // Capacity 1 and a slow forwarding clock against a fast
+        // sender: the forwarding buffer must overflow, the drops land
+        // in `frames_lost_gateway`, and the ledger still balances.
+        let mut t = Topology::new();
+        let sa = t.add_segment(1_000_000);
+        let sb = t.add_segment(1_000_000);
+        add_app_node(&mut t, sa, "blaster", 1, 3, Some(NodeId(1)), 10);
+        add_app_node(&mut t, sb, "sink", 1000, 1, Some(NodeId(0)), 20);
+        t.add_gateway(
+            sa,
+            sb,
+            GatewayConfig {
+                latency: Duration::from_ms(5),
+                capacity: 1,
+                prio: 1,
+            },
+        );
+        t.run_until(Time::from_ms(60));
+        let gw = t.gateway_stats(GatewayId(0));
+        assert!(gw.dropped_overflow > 0, "gateway stats {gw:?}");
+        let total = t.total_stats();
+        assert!(total.frames_lost_gateway > 0);
+        assert!(total.frames_lost_gateway >= gw.dropped_overflow);
+        let report = t.conservation();
+        assert!(report.holds(), "ledger {report:?}");
+    }
+
+    #[test]
+    fn unroutable_destinations_drop_at_capture() {
+        // Two segments with NO gateway: the cross-addressed frame has
+        // nowhere to go and must be dropped as `no_route`.
+        let mut t = Topology::new();
+        let sa = t.add_segment(1_000_000);
+        let sb = t.add_segment(1_000_000);
+        add_app_node(&mut t, sa, "a0", 10, 7, Some(NodeId(1)), 10);
+        add_app_node(&mut t, sb, "b0", 1000, 1, Some(NodeId(0)), 20);
+        t.run_until(Time::from_ms(30));
+        assert!(t.no_route_drops() > 0);
+        let total = t.total_stats();
+        assert_eq!(total.frames_lost_gateway, t.no_route_drops());
+        assert!(t.conservation().holds());
+    }
+
+    #[test]
+    fn outer_worker_count_is_invisible() {
+        let horizon = Time::from_ms(50);
+        let (mut base, ..) = two_segment_topology(1);
+        base.run_until(horizon);
+        for workers in [2, 4] {
+            let (mut t, ..) = two_segment_topology(workers);
+            t.run_until(horizon);
+            assert_eq!(t.total_stats(), base.total_stats(), "workers={workers}");
+            assert_eq!(t.metrics(), base.metrics(), "workers={workers}");
+            assert_eq!(
+                t.gateway_stats(GatewayId(0)),
+                base.gateway_stats(GatewayId(0)),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_carry_segment_and_gateway_placement() {
+        let (mut t, ..) = two_segment_topology(1);
+        t.run_until(Time::from_ms(20));
+        let m = t.metrics();
+        assert_eq!(m.node_count(), 4); // two apps + two bridge NICs
+        let a0 = m.nodes.iter().find(|n| n.name == "a0").unwrap();
+        assert_eq!(a0.segment, Some(0));
+        assert_eq!(a0.gateway, None);
+        let gwb = m.nodes.iter().find(|n| n.name == "gw0.s1").unwrap();
+        assert_eq!(gwb.segment, Some(1));
+        assert_eq!(gwb.gateway, Some(0));
+        let json = m.to_json();
+        assert!(json.contains("\"segment\": 1"));
+        assert!(json.contains("\"gateway\": 0"));
+        assert!(json.contains("\"gateway\": null"));
+        assert!(m.render().contains("seg 1 gw 0"));
+    }
+
+    #[test]
+    fn split_run_matches_single_call() {
+        let (mut split, ..) = two_segment_topology(1);
+        // Land the split on an outer-epoch boundary so both runs see
+        // the same barrier grid.
+        split.set_inter_lookahead(Duration::from_ms(1));
+        split.run_until(Time::from_ms(20));
+        split.run_until(Time::from_ms(40));
+        let (mut whole, ..) = two_segment_topology(1);
+        whole.set_inter_lookahead(Duration::from_ms(1));
+        whole.run_until(Time::from_ms(40));
+        assert_eq!(split.total_stats(), whole.total_stats());
+        assert_eq!(split.metrics(), whole.metrics());
+    }
+}

@@ -1,0 +1,191 @@
+//! Two-level (hierarchical) conservative-lookahead execution.
+//!
+//! [`crate::run_epochs`] advances a flat set of nodes under one shared
+//! lookahead window. A *bridged* topology — several bus segments joined
+//! by store-and-forward gateways — has two very different interaction
+//! latencies: nodes on one segment interact within one bus-frame time,
+//! but traffic can only cross a gateway after its forwarding latency.
+//! That gap is exploitable lookahead: each segment's sub-executive may
+//! run an entire *inter-segment* epoch (one gateway latency) of its own
+//! fine-grained *intra-segment* epochs without observing any input from
+//! another segment.
+//!
+//! [`run_two_level`] is that composition: the outer engine is
+//! [`run_epochs`] over [`EpochGroup`]s (one per segment), each group's
+//! `advance_group` runs its own serial inner epoch loop, and the outer
+//! exchange moves frames between groups at inter-segment barriers. The
+//! determinism argument stacks: inner loops are serial per group and
+//! touch only group-local state, groups share nothing between outer
+//! barriers, and the outer exchange is serial in group order — so the
+//! result is bit-for-bit identical for any outer worker count.
+
+use crate::cluster::{run_epochs, EpochConfig, EpochNode, EpochStats};
+use crate::time::Time;
+
+/// A self-contained sub-executive (e.g. one bus segment and its nodes)
+/// that can advance its own virtual clock to an inter-group barrier
+/// without external input. Implementations must be deterministic: the
+/// post-state may depend only on the pre-state and the horizon.
+pub trait EpochGroup: Send {
+    /// Advances the group's local clock to `horizon`, running its own
+    /// inner epoch loop, and returns that loop's cost accounting.
+    fn advance_group(&mut self, horizon: Time) -> EpochStats;
+}
+
+/// Cost accounting of one [`run_two_level`] call, split by level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TwoLevelStats {
+    /// The outer (inter-group) engine: barriers are inter-group
+    /// exchanges, serial nanoseconds are gateway-transfer time.
+    pub outer: EpochStats,
+    /// Summed inner (intra-group) loops across every group and epoch.
+    pub inner: EpochStats,
+}
+
+impl TwoLevelStats {
+    /// Accumulates another call's stats (for split runs).
+    pub fn merge(&mut self, other: &TwoLevelStats) {
+        self.outer.merge(&other.outer);
+        self.inner.merge(&other.inner);
+    }
+}
+
+/// Adapter: lets the outer [`run_epochs`] drive a group as a node
+/// while collecting the inner loops' stats.
+struct GroupCell<G> {
+    group: G,
+    inner: EpochStats,
+}
+
+impl<G: EpochGroup> EpochNode for GroupCell<G> {
+    fn advance_to(&mut self, horizon: Time) {
+        let s = self.group.advance_group(horizon);
+        self.inner.merge(&s);
+    }
+}
+
+/// Advances `groups` from `from` to `horizon` in outer epochs of
+/// `cfg.lookahead` (the inter-group latency), running each group's own
+/// inner epoch loop in parallel between outer barriers and invoking
+/// `exchange` serially at every barrier with in-order access to all
+/// groups. The exchange may return a next-barrier proposal exactly as
+/// in [`run_epochs`].
+///
+/// # Panics
+///
+/// Panics on a zero outer lookahead or a non-advancing proposal.
+pub fn run_two_level<G, X>(
+    groups: &mut Vec<G>,
+    from: Time,
+    horizon: Time,
+    cfg: &EpochConfig,
+    exchange: &mut X,
+) -> TwoLevelStats
+where
+    G: EpochGroup,
+    X: FnMut(&mut [&mut G], Time) -> Option<Time>,
+{
+    let mut cells: Vec<GroupCell<G>> = groups
+        .drain(..)
+        .map(|group| GroupCell {
+            group,
+            inner: EpochStats::default(),
+        })
+        .collect();
+    let outer = run_epochs(&mut cells, from, horizon, cfg, &mut |cells, at| {
+        let mut refs: Vec<&mut G> = cells.iter_mut().map(|c| &mut c.group).collect();
+        exchange(&mut refs, at)
+    });
+    let mut inner = EpochStats::default();
+    for cell in cells {
+        inner.merge(&cell.inner);
+        groups.push(cell.group);
+    }
+    TwoLevelStats { outer, inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    /// A toy group: a serial inner loop over `ticks`-sized steps that
+    /// logs every inner boundary, plus an inbox of values handed over
+    /// at outer exchanges.
+    struct Probe {
+        cursor: Time,
+        step: Duration,
+        boundaries: Vec<Time>,
+        inbox: u64,
+    }
+
+    impl EpochGroup for Probe {
+        fn advance_group(&mut self, horizon: Time) -> EpochStats {
+            let mut stats = EpochStats::default();
+            while self.cursor < horizon {
+                self.cursor = horizon.min(self.cursor + self.step);
+                self.boundaries.push(self.cursor);
+                stats.barriers += 1;
+            }
+            stats
+        }
+    }
+
+    fn run(workers: usize, n: usize) -> Vec<(Vec<Time>, u64)> {
+        let mut groups: Vec<Probe> = (0..n)
+            .map(|i| Probe {
+                cursor: Time::ZERO,
+                step: Duration::from_us(10 + i as u64),
+                boundaries: Vec::new(),
+                inbox: 0,
+            })
+            .collect();
+        let cfg = EpochConfig {
+            lookahead: Duration::from_us(100),
+            workers,
+        };
+        let mut round = 0u64;
+        let stats = run_two_level(
+            &mut groups,
+            Time::ZERO,
+            Time::from_us(450),
+            &cfg,
+            &mut |groups, at| {
+                round += 1;
+                for g in groups.iter_mut() {
+                    g.inbox += at.as_ns() + round;
+                }
+                None
+            },
+        );
+        assert_eq!(stats.outer.barriers, 5);
+        assert!(stats.inner.barriers > 0);
+        groups
+            .into_iter()
+            .map(|g| (g.boundaries, g.inbox))
+            .collect()
+    }
+
+    #[test]
+    fn inner_loops_advance_between_outer_barriers() {
+        let out = run(1, 2);
+        // Group 0 steps 10 µs at a time inside 100 µs outer epochs:
+        // every inner boundary lands on a multiple of 10 µs and the
+        // last one is the 450 µs horizon.
+        assert_eq!(out[0].0.len(), 45);
+        assert_eq!(*out[0].0.last().unwrap(), Time::from_us(450));
+        // Group 1 (11 µs steps) truncates each inner loop at the outer
+        // barrier, so boundaries include every outer barrier instant.
+        for k in 1..=4u64 {
+            assert!(out[1].0.contains(&Time::from_us(k * 100)));
+        }
+    }
+
+    #[test]
+    fn outer_worker_count_does_not_change_results() {
+        let base = run(1, 5);
+        for workers in [2, 4] {
+            assert_eq!(run(workers, 5), base, "workers={workers}");
+        }
+    }
+}

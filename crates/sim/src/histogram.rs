@@ -41,11 +41,14 @@ impl DurationHistogram {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. The running total saturates at
+    /// [`Duration::MAX`] instead of panicking, so a histogram fed
+    /// pathological samples still reports `count`/`max` exactly and
+    /// `mean` as a lower bound.
     pub fn record(&mut self, d: Duration) {
         self.buckets[Self::bucket_of(d)] += 1;
         self.count += 1;
-        self.total += d;
+        self.total = self.total.saturating_add(d);
         self.max = self.max.max(d);
     }
 
@@ -95,7 +98,7 @@ impl DurationHistogram {
             *a += b;
         }
         self.count += other.count;
-        self.total += other.total;
+        self.total = self.total.saturating_add(other.total);
         self.max = self.max.max(other.max);
     }
 }
@@ -155,6 +158,40 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.max(), us(500));
+    }
+
+    #[test]
+    fn near_max_accumulation_saturates_instead_of_panicking() {
+        // Two samples near u64::MAX nanoseconds would overflow a
+        // checked total; the accumulator must saturate and every
+        // summary must stay well-defined.
+        let huge = Duration::from_ns(u64::MAX - 7);
+        let mut h = DurationHistogram::new();
+        h.record(huge);
+        h.record(huge);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), huge);
+        // Saturated total: the mean is a lower bound, never zero or
+        // garbage above max.
+        assert!(h.mean() >= Duration::from_ns(u64::MAX / 2));
+        assert!(h.mean() <= h.max());
+        assert_eq!(h.quantile_bound(0.99), huge);
+        // Merging two saturated histograms must not panic either.
+        let mut other = DurationHistogram::new();
+        other.record(huge);
+        h.merge(&other);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), huge);
+    }
+
+    #[test]
+    fn empty_quantile_edges_are_zero() {
+        let h = DurationHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile_bound(0.0), Duration::ZERO);
+        assert_eq!(h.quantile_bound(1.0), Duration::ZERO);
     }
 
     #[test]

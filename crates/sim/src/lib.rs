@@ -27,6 +27,7 @@
 pub mod account;
 pub mod cluster;
 pub mod event;
+pub mod hierarchy;
 pub mod histogram;
 pub mod ids;
 pub mod rng;
@@ -36,6 +37,7 @@ pub mod trace;
 pub use account::{Accounting, OverheadKind};
 pub use cluster::{run_epochs, EpochConfig, EpochNode, EpochStats};
 pub use event::EventQueue;
+pub use hierarchy::{run_two_level, EpochGroup, TwoLevelStats};
 pub use histogram::DurationHistogram;
 pub use ids::{
     CvId, DevId, EventId, IrqLine, MboxId, NodeId, ProcId, RegionId, SemId, StateId, ThreadId,

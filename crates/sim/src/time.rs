@@ -160,6 +160,14 @@ impl Duration {
         Duration(self.0.saturating_sub(rhs.0))
     }
 
+    /// Saturating addition: clamps at [`Duration::MAX`] instead of
+    /// panicking. For lifetime accumulators (histogram totals) that
+    /// must survive pathological inputs; `+`/`+=` stay checked so
+    /// genuine virtual-time bugs still trap.
+    pub fn saturating_add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+
     /// Checked multiplication by an integer factor.
     pub fn checked_mul(self, k: u64) -> Option<Duration> {
         self.0.checked_mul(k).map(Duration)

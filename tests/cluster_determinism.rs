@@ -399,6 +399,71 @@ fn adaptive_and_fixed_cadence_runs_bit_identical() {
     );
 }
 
+/// Adaptive lookahead must stay simulation-invisible **under an
+/// active fault plan**: a quiet-bus stretch may never leap past a
+/// scheduled fault instant — a babble onset, a fail-stop window
+/// boundary, or a bus-off recovery — or the fault lands on a different
+/// barrier and the error machinery diverges. This pins bit-parity of
+/// adaptive vs fixed cadence (traces, metrics, bus stats, per-node NIC
+/// stats) across fault seeds, while still requiring the stretch to
+/// collapse at least some barriers.
+#[test]
+fn adaptive_and_fixed_cadence_agree_under_faults() {
+    let horizon = Time::from_ms(80);
+    for fault_seed in [0xFA11u64, 0x0DDB, 0xBEEF] {
+        let plan = FaultPlan::random(fault_seed, 6, horizon, 0.05, 0.5, 0.5);
+        assert!(!plan.is_empty(), "seed {fault_seed:#x} injected nothing");
+        let run = |adaptive: bool| {
+            let mut c = ring_cluster(2);
+            c.set_fault_plan(&plan);
+            c.set_adaptive(adaptive);
+            c.run_until(horizon);
+            let hashes: Vec<u64> = c
+                .nodes()
+                .iter()
+                .map(|n| hash_of(&n.kernel.trace().to_jsonl()))
+                .collect();
+            let node_stats: Vec<_> = c.nodes().iter().map(|n| n.stats.clone()).collect();
+            (
+                hashes,
+                c.metrics(),
+                *c.stats(),
+                node_stats,
+                c.exec_stats().barriers,
+            )
+        };
+        let fixed = run(false);
+        let adaptive = run(true);
+        assert!(
+            fixed.2.error_frames > 0 || fixed.2.frames_lost_offline > 0,
+            "seed {fault_seed:#x} left no fault signal: {:?}",
+            fixed.2
+        );
+        assert_eq!(
+            adaptive.0, fixed.0,
+            "trace hashes diverged under seed {fault_seed:#x}"
+        );
+        assert_eq!(
+            adaptive.1, fixed.1,
+            "metrics diverged under seed {fault_seed:#x}"
+        );
+        assert_eq!(
+            adaptive.2, fixed.2,
+            "bus stats diverged under seed {fault_seed:#x}"
+        );
+        assert_eq!(
+            adaptive.3, fixed.3,
+            "node stats diverged under seed {fault_seed:#x}"
+        );
+        assert!(
+            adaptive.4 <= fixed.4,
+            "adaptive mode added barriers under faults: {} > {}",
+            adaptive.4,
+            fixed.4
+        );
+    }
+}
+
 /// A stretched epoch is truncated at the horizon: driving a quiet
 /// cluster to a horizon on neither the lookahead grid nor any timer
 /// expiry lands the cursor exactly there, and resuming to a further

@@ -22,8 +22,8 @@ use emeralds::core::kernel::{Kernel, KernelBuilder, KernelConfig};
 use emeralds::core::script::{Action, Operand, Script};
 use emeralds::core::SchedPolicy;
 use emeralds::faults::FaultPlan;
-use emeralds::fieldbus::{addressed_tag, Network};
-use emeralds::sim::{Duration, IrqLine, MboxId, SimRng, StateId, ThreadId, Time};
+use emeralds::fieldbus::{addressed_tag, Cluster, Network};
+use emeralds::sim::{Duration, IrqLine, MboxId, NodeId, SimRng, StateId, ThreadId, Time};
 
 /// The frame-conservation invariant, checked wherever a network is
 /// observed at rest.
@@ -236,6 +236,130 @@ fn busoff_silences_babbler_until_recovery() {
         let start = rng.int_in(200, 1500);
         check_busoff_contains(period, start);
     }
+}
+
+/// Frame conservation must hold *at the failure boundary itself*, not
+/// just at a quiescent horizon: a babbler driven to bus-off with real
+/// frames still queued behind it, and later silenced by recovery, may
+/// not leak a single frame. The ledger is checked at every 250 us
+/// observation point straddling babble onset, the bus-off instant,
+/// the queued-frame purge, and recovery.
+#[test]
+fn busoff_boundary_conserves_queued_and_inflight_frames() {
+    let mut rng = SimRng::seeded(0xB0FF0);
+    for case in 0..8u64 {
+        let babble_period = rng.int_in(40, 120);
+        let babble_start = rng.int_in(200, 1500);
+        let mut net = Network::new(1_000_000);
+        let (k0, tx0, rx0, irq0) = shell_node(64, 8);
+        let (k1, tx1, rx1, irq1) = shell_node(8, 64);
+        let babbler = net.add_node("babbler", k0, tx0, rx0, irq0, 10);
+        let sink = net.add_node("sink", k1, tx1, rx1, irq1, 20);
+        net.set_fault_plan(&FaultPlan::new(case + 1).babble(
+            babbler,
+            Time::from_us(babble_start),
+            Duration::from_ms(20),
+            Duration::from_us(babble_period),
+        ));
+        // A backlog of real frames sits queued while the babble storm
+        // drives the controller to bus-off around them.
+        for i in 0..12u32 {
+            assert!(net.node_mut(babbler).kernel.external_mbox_push(
+                tx0,
+                Message {
+                    bytes: 8,
+                    tag: addressed_tag(Some(sink), i),
+                    sender: ThreadId(0),
+                }
+            ));
+        }
+        let mut t = Time::ZERO;
+        let mut saw_busoff = false;
+        while t < Time::from_ms(50) {
+            t += Duration::from_us(250);
+            net.run_until(t);
+            saw_busoff |= net.node_stats(babbler).is_bus_off();
+            assert_frames_conserved(&net, &format!("case {case} at {t:?}"));
+        }
+        assert!(saw_busoff, "case {case} never reached bus-off");
+        assert!(net.stats.bus_off_recoveries >= 1, "case {case}");
+        // The purge at the bus-off boundary charged the queued frames.
+        assert!(
+            net.node_stats(babbler).tx_dropped > 0 || net.stats.frames_delivered >= 12,
+            "case {case}: queued frames neither dropped nor delivered: {:?}",
+            net.stats
+        );
+    }
+}
+
+/// The parallel cluster executive must uphold the same ledger across
+/// randomized fault schedules and staggered observation horizons —
+/// fail-stop outages purging pending frames, babble storms, bus-off
+/// recoveries — at any worker count.
+#[test]
+fn parallel_executive_conserves_frames_across_fault_boundaries() {
+    let mut rng = SimRng::seeded(0xC0A5E);
+    for case in 0..8u64 {
+        let seed = rng.int_in(1, u64::MAX - 1);
+        let workers = *[1usize, 2, 4].get(case as usize % 3).unwrap();
+        let horizon = Time::from_ms(60);
+        let plan = FaultPlan::random(seed, 4, horizon, 0.05, 0.6, 0.6);
+        let mut c = Cluster::new(1_000_000).with_workers(workers);
+        for i in 0..4u32 {
+            let (k, tx, rx, irq) = traffic_node(i, NodeId((i + 1) % 4));
+            c.add_node(format!("n{i}"), k, tx, rx, irq, i + 1);
+        }
+        c.set_fault_plan(&plan);
+        // Staggered horizons: the run is interrupted mid-outage and
+        // mid-recovery, and the ledger must balance at every rest.
+        for step in [7u64, 19, 33, 41, 60] {
+            c.run_until(Time::from_ms(step));
+            let s = c.stats();
+            assert_eq!(
+                s.frames_sent,
+                s.frames_delivered + s.frames_dropped + s.frames_in_flight,
+                "cluster leak (case {case}, workers {workers}, {step} ms): {s:?}"
+            );
+        }
+    }
+}
+
+/// A node with real periodic traffic for the cluster-side ledger
+/// sweep.
+fn traffic_node(i: u32, dst: NodeId) -> (Kernel, MboxId, MboxId, IrqLine) {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::RmQueue,
+        record_trace: false,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process(format!("traffic{i}"));
+    let tx = b.add_mailbox(8);
+    let rx = b.add_mailbox(16);
+    let line = IrqLine(2);
+    b.board_mut().add_nic("can", line);
+    b.add_periodic_task(
+        p,
+        "tx",
+        Duration::from_us(3_000 + 700 * u64::from(i)),
+        Script::periodic(vec![
+            Action::Compute(Duration::from_us(80)),
+            Action::SendMbox {
+                mbox: tx,
+                bytes: 8,
+                tag: addressed_tag(Some(dst), i),
+            },
+        ]),
+    );
+    b.add_driver_task(
+        p,
+        "nicdrv",
+        Duration::from_ms(2),
+        Script::looping(vec![
+            Action::RecvMbox(rx),
+            Action::Compute(Duration::from_us(40)),
+        ]),
+    );
+    (b.build(), tx, rx, line)
 }
 
 /// A writer node publishing into a state-message variable on a
