@@ -123,9 +123,15 @@ fn main() {
             if let Some(baseline) = svalue("--baseline") {
                 match std::fs::read_to_string(&baseline) {
                     Ok(text) => {
+                        let (status, dead_gate) = scale_expt::gate_status(&text);
+                        println!("{status}");
                         let (lines, regressed) = scale_expt::check_baseline(&runs, &text, 2.0);
                         for l in &lines {
                             println!("{l}");
+                        }
+                        if dead_gate {
+                            eprintln!("scale wall-clock gate is dead vs {baseline}: {status}");
+                            std::process::exit(1);
                         }
                         if regressed {
                             eprintln!("scale experiment regressed vs {baseline}");

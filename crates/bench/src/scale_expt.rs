@@ -50,23 +50,26 @@ pub struct ScaleParams {
 }
 
 impl ScaleParams {
-    /// The committed-baseline sweep: 8–128 nodes, 300 ms horizon.
+    /// The committed-baseline sweep: 8–128 nodes, 300 ms horizon,
+    /// workers 1–16 (the scaling study; counts past the host's cores
+    /// measure the oversubscribed regime the hybrid barrier parks in).
     pub fn full() -> ScaleParams {
         ScaleParams {
             nodes: vec![8, 16, 32, 64, 128],
             quiet_nodes: vec![8, 16, 64],
-            workers: vec![1, 4],
+            workers: vec![1, 2, 4, 8, 16],
             horizon: Time::from_ms(300),
             seed: 0x5CA1E,
         }
     }
 
-    /// CI smoke shape: one small cluster, short horizon.
+    /// CI smoke shape: one small cluster, short horizon, worker
+    /// counts a default 4-core CI runner can actually host.
     pub fn quick() -> ScaleParams {
         ScaleParams {
             nodes: vec![8],
             quiet_nodes: vec![8],
-            workers: vec![1, 4],
+            workers: vec![1, 2, 4],
             horizon: Time::from_ms(60),
             seed: 0x5CA1E,
         }
@@ -631,6 +634,54 @@ pub fn check_baseline(runs: &[ScaleRun], baseline_json: &str, factor: f64) -> (V
     (lines, regressed)
 }
 
+/// The wall-clock gate's arming verdict for this runner against a
+/// committed baseline: a status line for CI's step summary, plus
+/// whether the combination is a *dead gate* — the baseline was
+/// recorded on a multi-core host (so its wall-clock numbers encode
+/// real parallel speedups) while this runner has one core and would
+/// silently skip the wall-clock layer. CI fails on a dead gate so
+/// perf coverage cannot rot invisibly.
+pub fn gate_status(baseline_json: &str) -> (String, bool) {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    gate_status_for(host, baseline_host_parallelism(baseline_json))
+}
+
+/// Host-independent core of [`gate_status`], split out so tests can
+/// pin every verdict regardless of where they run.
+fn gate_status_for(host: usize, base_host: usize) -> (String, bool) {
+    if host > 1 {
+        (
+            format!(
+                "wall-clock gate ARMED (host_parallelism={host}); baseline host_parallelism={base_host}"
+            ),
+            false,
+        )
+    } else if base_host > 1 {
+        (
+            format!(
+                "wall-clock gate DISARMED (host_parallelism=1); baseline host_parallelism={base_host} > 1 — dead gate, the committed parallel speedups are unverifiable here"
+            ),
+            true,
+        )
+    } else {
+        (
+            "wall-clock gate DISARMED (host_parallelism=1); baseline host_parallelism=1, nothing to verify".to_string(),
+            false,
+        )
+    }
+}
+
+/// `host_parallelism` recorded in a committed baseline's header line;
+/// 1 for baselines predating the field.
+fn baseline_host_parallelism(json: &str) -> usize {
+    json.lines()
+        .find_map(|l| field_f64(l, "host_parallelism"))
+        .map(|v| v as usize)
+        .unwrap_or(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -692,6 +743,27 @@ mod tests {
         let shrunk_json = to_json(&params, &shrunk);
         let (lines, regressed) = check_baseline(&runs, &shrunk_json, 2.0);
         assert!(regressed, "{lines:?}");
+    }
+
+    #[test]
+    fn gate_status_flags_dead_gate_only_on_mismatch() {
+        let (line, dead) = gate_status_for(8, 4);
+        assert!(!dead);
+        assert!(line.starts_with("wall-clock gate ARMED (host_parallelism=8)"));
+
+        let (line, dead) = gate_status_for(1, 4);
+        assert!(dead, "{line}");
+        assert!(line.starts_with("wall-clock gate DISARMED (host_parallelism=1)"));
+
+        let (line, dead) = gate_status_for(1, 1);
+        assert!(!dead, "{line}");
+        assert!(line.contains("DISARMED"));
+
+        assert_eq!(
+            baseline_host_parallelism("{\n\"host_parallelism\": 4,\n\"runs\": [\n"),
+            4
+        );
+        assert_eq!(baseline_host_parallelism("{\n\"runs\": [\n"), 1);
     }
 
     #[test]

@@ -95,6 +95,13 @@ pub struct ClusterNode {
     inbox: Vec<StagedRx>,
     /// Delivery tallies owed to the global bus stats.
     outcome: RxOutcome,
+    /// TX messages drained from this node's NIC mailbox at the end of
+    /// its own advance — the sharded half of the TX harvest. Pops run
+    /// node-local with the kernel clock already at the barrier
+    /// instant, so only the bus-global decisions (frame construction
+    /// order, fault judgement, arbitration) remain serial; the
+    /// exchange consumes this buffer in node order.
+    staged_tx: Vec<emeralds_core::ipc::Message>,
 }
 
 impl ClusterNode {
@@ -122,6 +129,7 @@ impl ClusterNode {
             gate: None,
             inbox: Vec::new(),
             outcome: RxOutcome::default(),
+            staged_tx: Vec::new(),
         }
     }
 
@@ -175,6 +183,16 @@ impl EpochNode for ClusterNode {
         match self.gate.as_mut() {
             Some(gate) => gate.drive(&mut self.kernel, horizon),
             None => self.kernel.advance_to(horizon),
+        }
+        // Sharded TX harvest: pop the NIC mailbox here, on this
+        // node's own worker, instead of under the serial exchange.
+        // The kernel clock sits exactly at the upcoming barrier, so a
+        // pop — and any parked sender it unblocks — observes the same
+        // instant a serial in-barrier harvest would, and pop order
+        // (hence frame order) is the kernel's own FIFO either way.
+        let tx = self.tx_mbox;
+        while let Some(msg) = self.kernel.external_mbox_pop(tx) {
+            self.staged_tx.push(msg);
         }
     }
 }
@@ -296,12 +314,14 @@ impl BusState {
     }
 
     /// The serial barrier step: roll up, recover, stage deliveries,
-    /// harvest, babble, arbitrate. Runs in node order on one thread,
-    /// so every fault decision here is deterministic for any worker
-    /// count. Per-receiver work (mailbox push, replica DMA, IRQ latch)
-    /// is *not* done here — it is staged into node inboxes and applied
-    /// by each node's own worker at the top of the next advance,
-    /// keeping the serial section down to bus-global decisions.
+    /// consume the sharded TX harvest, babble, arbitrate. Runs in
+    /// node order on one thread, so every fault decision here is
+    /// deterministic for any worker count. Per-node kernel work is
+    /// *not* done here — receptions (mailbox push, replica DMA, IRQ
+    /// latch) are staged into node inboxes and applied by each node's
+    /// own worker at the top of the next advance, and TX-mailbox pops
+    /// already ran in each node's advance epilogue — keeping the
+    /// serial section down to frame arbitration and routing.
     pub(crate) fn exchange(&mut self, nodes: &mut [&mut ClusterNode], now: Time) {
         // 0. Fold the previous epoch's node-local delivery tallies
         //    into the global stats. The fields are order-independent
@@ -334,15 +354,17 @@ impl BusState {
             self.stage(nodes, frame, done);
         }
 
-        // 2. Harvest TX mailboxes in node order. Frames posted during
-        //    the elapsed epoch are stamped at this barrier — the
-        //    conservative end of the window. An offline node's posts
-        //    (and its already-pending frames) are lost.
+        // 2. Consume the TX messages each node's own advance drained
+        //    from its NIC mailbox (the sharded harvest), in node
+        //    order. Frames posted during the elapsed epoch are
+        //    stamped at this barrier — the conservative end of the
+        //    window. An offline node's posts (and its already-pending
+        //    frames) are lost.
         for i in 0..nodes.len() {
             let offline = self.node_offline(nodes, i, now);
+            let mut staged = std::mem::take(&mut nodes[i].staged_tx);
             let node = &mut nodes[i];
-            let tx = node.tx_mbox;
-            while let Some(msg) = node.kernel.external_mbox_pop(tx) {
+            for msg in staged.drain(..) {
                 self.stats.frames_sent += 1;
                 if offline {
                     node.stats.tx_dropped += 1;
@@ -358,6 +380,7 @@ impl BusState {
                 self.pending.push((frame.prio, self.seq, frame));
                 self.seq += 1;
             }
+            nodes[i].staged_tx = staged; // hand the capacity back
             if offline {
                 self.purge_pending(nodes, i);
             }
@@ -545,8 +568,11 @@ impl BusState {
     /// Adaptive lookahead: after an exchange at `now`, propose the
     /// next barrier. Returns `None` (fixed cadence, `now + L`) unless
     /// the bus is *provably quiet*: nothing pending arbitration,
-    /// nothing in flight, nothing staged for delivery, and every
-    /// kernel idle (no current thread).
+    /// nothing staged for delivery or harvest, and every kernel idle
+    /// (no current thread). Frames already *in flight* do not pin the
+    /// cadence — a granted frame's completion instant is fixed at
+    /// grant time, so its staging barrier (the first grid point at or
+    /// after completion) merely joins the bound set below.
     ///
     /// An idle kernel acts next at its earliest timer/board event; a
     /// quiet bus can also be disturbed by the *fault schedule* — a
@@ -568,6 +594,14 @@ impl BusState {
     ///   their instant. The stretch must stop there — skipping it
     ///   would complete a recovery at a later barrier than fixed
     ///   cadence and record a different recovery latency.
+    /// - **In-flight completions** are staged by the same at-or-after
+    ///   comparison (`done <= now`), so the earliest completion folds
+    ///   into the at-or class: the stretch jumps straight to the grid
+    ///   point where fixed cadence would stage the frame, and every
+    ///   grid barrier skipped in between (empty pending queue, idle
+    ///   kernels, no due staging) is provably a no-op. Receiver
+    ///   liveness at that barrier is identical too, because every
+    ///   instant that can change it bounds the stretch above.
     ///
     /// Hence fixed and adaptive runs produce bit-identical results,
     /// with or without an active fault plan; only the barrier count
@@ -582,12 +616,12 @@ impl BusState {
         if !self.adaptive {
             return None;
         }
-        if !self.pending.is_empty() || !self.in_flight.is_empty() {
+        if !self.pending.is_empty() {
             return None;
         }
         if nodes
             .iter()
-            .any(|n| !n.inbox.is_empty() || n.kernel.current().is_some())
+            .any(|n| !n.inbox.is_empty() || !n.staged_tx.is_empty() || n.kernel.current().is_some())
         {
             return None;
         }
@@ -615,6 +649,12 @@ impl BusState {
             if let Some(since) = n.stats.bus_off_since {
                 fold(&mut at_or, since + recovery);
             }
+        }
+        // `in_flight` is completion-ordered, so the front frame is
+        // the earliest staging obligation; the barrier it binds
+        // re-evaluates everything behind it.
+        if let Some(&(done, _)) = self.in_flight.front() {
+            fold(&mut at_or, done);
         }
         let l = self.lookahead.as_ns();
         let grid = |k: u64| k.checked_mul(l).map(|ns| origin + Duration::from_ns(ns));

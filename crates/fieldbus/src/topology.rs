@@ -52,7 +52,13 @@
 //! outer barriers, and the capture/inject exchange walks segments and
 //! gateways in registration order on one thread — so results are
 //! bit-for-bit identical for any outer worker count
-//! (`tests/topology_determinism.rs` pins 1/4/host).
+//! (`tests/topology_determinism.rs` pins 1/4/host plus any counts
+//! named in `EMERALDS_WORKERS`).
+//!
+//! Each segment's inner loop reuses the single-bus adaptive grid rule
+//! unchanged — including batching across in-flight-only grid points —
+//! because a frame parked in `remote_out` awaits the *outer* barrier
+//! regardless of how few inner barriers the stretch leaves standing.
 
 use std::collections::VecDeque;
 

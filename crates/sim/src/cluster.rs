@@ -32,51 +32,150 @@
 //! node type; this crate stays free of kernel types.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use crate::time::{Duration, Time};
 
-/// A sense-reversing barrier that spins briefly before yielding.
+/// A hybrid sense-reversing barrier: spin briefly, then park.
 ///
 /// Epochs are short (one bus-frame time of virtual work, typically a
 /// few microseconds of host work per node), so the engine crosses a
-/// barrier every few microseconds. `std::sync::Barrier` parks threads
-/// through a futex — wakeup latency alone can exceed an entire epoch's
-/// work. Spinning keeps hot workers hot; the yield fallback keeps the
-/// engine livable on oversubscribed or single-core hosts.
-struct SpinBarrier {
+/// barrier every few microseconds of host time. `std::sync::Barrier`
+/// parks threads through a futex unconditionally — wakeup latency
+/// alone can exceed an entire epoch's work — while a pure spin
+/// barrier burns whole scheduler quanta when workers outnumber cores
+/// (every multi-worker row of the pre-hybrid `BENCH_scale.json`
+/// baseline lost to serial for exactly that reason). This barrier
+/// spins for a budget sized to the worker/core ratio and then parks
+/// on a condvar: hot workers stay hot, oversubscribed ones hand their
+/// core over after a few microseconds instead of a scheduler quantum.
+///
+/// The protocol is a *fused* leader/follower crossing rather than a
+/// symmetric `wait()`: the leader (the calling thread, worker 0)
+/// collects follower arrivals, runs the serial exchange while the
+/// followers sit at the barrier, publishes the next epoch, and
+/// releases them — one generation flip per epoch, half the crossings
+/// of the classic publish→[A]→advance→[B] scheme.
+///
+/// Lost-wakeup freedom: both park sites publish their intent
+/// (`sleepers` / `leader_parked`) *before* re-checking the wake
+/// condition under the mutex, and both wake sites update the
+/// condition *before* reading the intent flag — the classic Dekker
+/// store/load pattern, `SeqCst` on those four accesses, so at least
+/// one side always observes the other; notification happens under the
+/// same mutex the sleeper re-checks under.
+struct HybridBarrier {
     parties: usize,
+    /// Spin iterations before parking.
+    spin: u32,
     arrived: AtomicUsize,
-    generation: AtomicUsize,
+    generation: AtomicU64,
+    /// Followers parked (or about to park) on `follower_cv`; lets the
+    /// leader skip the mutex+notify syscall when everyone is spinning.
+    sleepers: AtomicUsize,
+    /// The leader is parked (or about to park) on `leader_cv`.
+    leader_parked: AtomicBool,
+    mutex: Mutex<()>,
+    follower_cv: Condvar,
+    leader_cv: Condvar,
 }
 
-impl SpinBarrier {
-    fn new(parties: usize) -> SpinBarrier {
-        SpinBarrier {
+impl HybridBarrier {
+    fn new(parties: usize, spin: u32) -> HybridBarrier {
+        HybridBarrier {
             parties,
+            spin,
             arrived: AtomicUsize::new(0),
-            generation: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            leader_parked: AtomicBool::new(false),
+            mutex: Mutex::new(()),
+            follower_cv: Condvar::new(),
+            leader_cv: Condvar::new(),
         }
     }
 
-    fn wait(&self) {
-        let gen = self.generation.load(Ordering::Acquire);
-        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
-            self.arrived.store(0, Ordering::Release);
-            self.generation
-                .store(gen.wrapping_add(1), Ordering::Release);
+    /// Follower: record arrival at the current barrier and wake the
+    /// leader if it already parked waiting for the stragglers.
+    fn follower_arrive(&self) {
+        let n = self.arrived.fetch_add(1, Ordering::SeqCst) + 1;
+        if n == self.parties - 1 && self.leader_parked.load(Ordering::SeqCst) {
+            // The leader re-checks `arrived` under this mutex before
+            // waiting, so notifying under it cannot slip between its
+            // re-check and its park.
+            drop(self.mutex.lock().expect("barrier poisoned"));
+            self.leader_cv.notify_one();
+        }
+    }
+
+    /// Follower: wait until the leader opens the generation after
+    /// `gen`.
+    fn follower_wait(&self, gen: u64) {
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::SeqCst) == gen {
+            spins += 1;
+            if spins <= self.spin {
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut guard = self.mutex.lock().expect("barrier poisoned");
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            while self.generation.load(Ordering::SeqCst) == gen {
+                guard = self.follower_cv.wait(guard).expect("barrier poisoned");
+            }
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
             return;
         }
+    }
+
+    /// Leader: wait until every follower has arrived at this barrier.
+    fn leader_collect(&self) {
+        let waiting_for = self.parties - 1;
         let mut spins = 0u32;
-        while self.generation.load(Ordering::Acquire) == gen {
+        while self.arrived.load(Ordering::SeqCst) != waiting_for {
             spins += 1;
-            if spins < 512 {
+            if spins <= self.spin {
                 std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
+                continue;
             }
+            let mut guard = self.mutex.lock().expect("barrier poisoned");
+            self.leader_parked.store(true, Ordering::SeqCst);
+            while self.arrived.load(Ordering::SeqCst) != waiting_for {
+                guard = self.leader_cv.wait(guard).expect("barrier poisoned");
+            }
+            self.leader_parked.store(false, Ordering::SeqCst);
+            return;
         }
+    }
+
+    /// Leader: reset the arrival count and open the next generation,
+    /// waking any parked followers.
+    fn leader_release(&self) {
+        self.arrived.store(0, Ordering::SeqCst);
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // Serialize with a follower between its generation
+            // re-check and its park, so the notification cannot be
+            // missed.
+            drop(self.mutex.lock().expect("barrier poisoned"));
+            self.follower_cv.notify_all();
+        }
+    }
+}
+
+/// Spin budget before a barrier waiter parks. With enough cores for
+/// every worker, generous spinning wins (parking costs a futex round
+/// trip per epoch); oversubscribed, spinning only delays the thread
+/// that owns the core, so park almost immediately.
+fn spin_budget(workers: usize) -> u32 {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if workers > cores {
+        64
+    } else {
+        4096
     }
 }
 
@@ -202,17 +301,22 @@ where
     // Workers own disjoint strided subsets during an epoch, and the
     // exchange takes every lock between barriers, so locks are never
     // contended — they only launder the aliasing for the borrow
-    // checker. The calling thread doubles as worker 0 (and runs the
-    // exchange), so exactly `workers` threads exist: on a host with as
-    // many free cores as workers, nobody is oversubscribed. Two
-    // barrier crossings per epoch:
+    // checker. The calling thread doubles as worker 0, acts as the
+    // barrier *leader*, and runs the serial exchange inside the
+    // crossing itself, so each epoch costs exactly one generation
+    // flip:
     //
-    //   publish end → [A] → advance strides → [B] → exchange (worker 0
-    //   only; the rest spin toward the next A)
+    //   leader: release (publish end) → advance stride 0 → collect →
+    //           exchange → release the next epoch …
+    //   follower: wait → advance stride → arrive → wait …
+    //
+    // Combined with the adaptive grid rule (the exchange's
+    // next-barrier proposal), one flip can carry the whole fleet
+    // across many provably-quiet grid points at once — epoch batching.
     let cells: Vec<Mutex<N>> = nodes.drain(..).map(Mutex::new).collect();
     let epoch_end_ns = AtomicU64::new(0);
     let done = AtomicBool::new(false);
-    let barrier = SpinBarrier::new(workers);
+    let barrier = HybridBarrier::new(workers, spin_budget(workers));
     let advance_stride = |w: usize, end: Time| {
         let mut i = w;
         while i < cells.len() {
@@ -226,14 +330,18 @@ where
             let epoch_end_ns = &epoch_end_ns;
             let done = &done;
             let advance_stride = &advance_stride;
-            s.spawn(move || loop {
-                barrier.wait(); // A: epoch published
-                if done.load(Ordering::Acquire) {
-                    break;
+            s.spawn(move || {
+                let mut gen = 0u64;
+                loop {
+                    barrier.follower_wait(gen); // epoch published
+                    gen += 1;
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let end = Time::from_ns(epoch_end_ns.load(Ordering::Acquire));
+                    advance_stride(w, end);
+                    barrier.follower_arrive();
                 }
-                let end = Time::from_ns(epoch_end_ns.load(Ordering::Acquire));
-                advance_stride(w, end);
-                barrier.wait(); // B: every node advanced
             });
         }
         let mut cur = from;
@@ -241,9 +349,9 @@ where
         while cur < horizon {
             let end = horizon.min(hint.take().unwrap_or(cur + cfg.lookahead));
             epoch_end_ns.store(end.as_ns(), Ordering::Release);
-            barrier.wait(); // A
+            barrier.leader_release(); // open the epoch
             advance_stride(0, end);
-            barrier.wait(); // B
+            barrier.leader_collect(); // every follower advanced
             let mut guards: Vec<_> = cells
                 .iter()
                 .map(|c| c.lock().expect("node poisoned"))
@@ -259,7 +367,7 @@ where
             cur = end;
         }
         done.store(true, Ordering::Release);
-        barrier.wait(); // final A: release workers into shutdown
+        barrier.leader_release(); // release followers into shutdown
     });
     nodes.extend(
         cells
@@ -458,5 +566,97 @@ mod tests {
             &cfg,
             &mut |_, _| None,
         );
+    }
+
+    /// Drives a barrier through `epochs` fused crossings exactly the
+    /// way `run_epochs` does, counting follower work items. Any lost
+    /// wakeup deadlocks (the scope never joins); any double release
+    /// breaks the count.
+    fn drive_barrier(parties: usize, spin: u32, epochs: u64) -> u64 {
+        let barrier = HybridBarrier::new(parties, spin);
+        let total = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 1..parties {
+                let barrier = &barrier;
+                let total = &total;
+                s.spawn(move || {
+                    let mut gen = 0u64;
+                    loop {
+                        barrier.follower_wait(gen);
+                        gen += 1;
+                        if gen > epochs {
+                            break;
+                        }
+                        total.fetch_add(1, Ordering::Relaxed);
+                        barrier.follower_arrive();
+                    }
+                });
+            }
+            for _ in 0..epochs {
+                barrier.leader_release();
+                barrier.leader_collect();
+            }
+            barrier.leader_release(); // shutdown generation
+        });
+        total.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn hybrid_barrier_stress_no_lost_wakeups() {
+        // A spin budget far below a park-free crossing forces the
+        // park/wake path thousands of times; 10k crossings must all
+        // complete with every follower seen at every one.
+        let epochs = 10_000;
+        assert_eq!(drive_barrier(4, 64, epochs), 3 * epochs);
+    }
+
+    #[test]
+    fn hybrid_barrier_oversubscribed_parks_correctly() {
+        // Far more parties than any test runner has cores, with a
+        // zero spin budget: every wait parks, every release must wake
+        // parked threads, in both directions (followers and leader).
+        let epochs = 200;
+        assert_eq!(drive_barrier(16, 0, epochs), 15 * epochs);
+    }
+
+    #[test]
+    fn hybrid_barrier_wakes_follower_parked_long_before_release() {
+        let barrier = HybridBarrier::new(2, 0);
+        let woke = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let b = &barrier;
+            let woke = &woke;
+            s.spawn(move || {
+                b.follower_wait(0);
+                woke.store(true, Ordering::SeqCst);
+                b.follower_arrive();
+            });
+            // Long enough that the follower is definitely parked, not
+            // mid-spin, when the release happens.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert!(!woke.load(Ordering::SeqCst), "follower ran early");
+            barrier.leader_release();
+            barrier.leader_collect();
+            assert!(woke.load(Ordering::SeqCst));
+            barrier.leader_release(); // shutdown
+        });
+    }
+
+    #[test]
+    fn hybrid_barrier_wakes_leader_parked_on_late_arrival() {
+        let barrier = HybridBarrier::new(2, 0);
+        std::thread::scope(|s| {
+            let b = &barrier;
+            s.spawn(move || {
+                b.follower_wait(0);
+                // Arrive long after the leader parked in collect.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                b.follower_arrive();
+                b.follower_wait(1); // shutdown generation
+            });
+            barrier.leader_release();
+            barrier.leader_collect();
+            barrier.leader_release(); // shutdown
+        });
     }
 }

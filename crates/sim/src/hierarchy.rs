@@ -18,6 +18,12 @@
 //! touch only group-local state, groups share nothing between outer
 //! barriers, and the outer exchange is serial in group order — so the
 //! result is bit-for-bit identical for any outer worker count.
+//!
+//! Both levels inherit [`run_epochs`]'s synchronization machinery
+//! wholesale: outer workers cross the hybrid spin-then-park barrier
+//! once per inter-segment epoch (the fused leader/follower crossing),
+//! and each segment's inner loop batches provably-quiet grid points
+//! through its own bus's adaptive next-barrier proposals.
 
 use crate::cluster::{run_epochs, EpochConfig, EpochNode, EpochStats};
 use crate::time::Time;

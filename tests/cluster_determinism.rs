@@ -7,6 +7,12 @@
 //! pin that promise, plus the degenerate end of it: a single-node
 //! cluster (epoch-split execution) must match a plain
 //! `Kernel::run_until` over the same horizon.
+//!
+//! The comparison set defaults to 4 and `available_parallelism`
+//! workers (against a 1-worker base) and can be extended through the
+//! `EMERALDS_WORKERS` environment variable — a comma-separated list of
+//! extra counts — which CI's determinism matrix uses to pin parity at
+//! the counts its runners actually have.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -24,6 +30,27 @@ fn hash_of(s: &str) -> u64 {
     let mut h = DefaultHasher::new();
     s.hash(&mut h);
     h.finish()
+}
+
+/// Worker counts to compare against the 1-worker base: 4 and the
+/// host's parallelism, plus anything listed in `EMERALDS_WORKERS`
+/// (comma-separated).
+fn worker_counts() -> Vec<usize> {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![4, host];
+    if let Ok(extra) = std::env::var("EMERALDS_WORKERS") {
+        counts.extend(
+            extra
+                .split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok()),
+        );
+    }
+    counts.retain(|&w| w >= 1);
+    counts.sort_unstable();
+    counts.dedup();
+    counts
 }
 
 /// A traced node that sends an addressed frame on a jittered period,
@@ -99,10 +126,7 @@ fn traces_and_metrics_identical_across_worker_counts() {
     assert!(base.stats().frames_delivered > 20, "{:?}", base.stats());
     assert!(base.metrics().jobs_completed > 100);
 
-    let host = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    for workers in [4, host] {
+    for workers in worker_counts() {
         let mut c = ring_cluster(workers);
         c.run_until(horizon);
         let hashes: Vec<u64> = c
@@ -134,9 +158,6 @@ fn traces_and_metrics_identical_across_worker_counts() {
 #[test]
 fn faulted_runs_identical_across_worker_counts() {
     let horizon = Time::from_ms(80);
-    let host = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     for fault_seed in [0xFA11u64, 0x0DDB] {
         let plan = FaultPlan::random(fault_seed, 6, horizon, 0.05, 0.5, 0.5);
         assert!(!plan.is_empty(), "seed {fault_seed:#x} injected nothing");
@@ -161,7 +182,7 @@ fn faulted_runs_identical_across_worker_counts() {
             "seed {fault_seed:#x} left no fault signal: {:?}",
             base.2
         );
-        for workers in [4, host] {
+        for workers in worker_counts() {
             let other = run(workers);
             assert_eq!(
                 other.0, base.0,
@@ -290,10 +311,7 @@ fn staleness_metrics_identical_across_worker_counts() {
         base.2
     );
 
-    let host = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    for workers in [4, host] {
+    for workers in worker_counts() {
         let other = run(workers);
         assert_eq!(
             other.0, base.0,

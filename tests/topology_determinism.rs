@@ -25,6 +25,28 @@ fn hash_of(s: &str) -> u64 {
     h.finish()
 }
 
+/// Outer worker counts to compare against the 1-worker base: 4 and
+/// the host's parallelism, plus anything listed in `EMERALDS_WORKERS`
+/// (comma-separated) — CI's determinism matrix sets that to pin
+/// parity at the counts its runners actually have.
+fn worker_counts() -> Vec<usize> {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![4, host];
+    if let Ok(extra) = std::env::var("EMERALDS_WORKERS") {
+        counts.extend(
+            extra
+                .split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok()),
+        );
+    }
+    counts.retain(|&w| w >= 1);
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
 /// A traced node sending wide-addressed frames to a (global) peer on
 /// a jittered period, draining its RX mailbox.
 fn traced_node(i: usize, dst: NodeId, rng: &mut SimRng) -> (Kernel, MboxId, MboxId) {
@@ -126,10 +148,7 @@ fn traces_and_ledgers_identical_across_outer_worker_counts() {
     assert!(report.holds(), "ledger {report:?}");
     assert_eq!(base.no_route_drops(), 0);
 
-    let host = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    for workers in [4, host] {
+    for workers in worker_counts() {
         let mut t = line_topology(workers);
         t.run_until(horizon);
         let obs = observe(&t);
