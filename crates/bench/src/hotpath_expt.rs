@@ -28,7 +28,7 @@
 use emeralds_core::kernel::{KernelBuilder, KernelConfig};
 use emeralds_core::script::{Action, Operand, Script};
 use emeralds_core::timerq::TimerQueue;
-use emeralds_core::{Kernel, SchedPolicy};
+use emeralds_core::{Kernel, LockChoice, SchedPolicy};
 use emeralds_sim::{Duration, SimRng, StateId, Time};
 
 /// Experiment shape.
@@ -107,6 +107,44 @@ pub struct HotpathReport {
     // State-message reads.
     pub statemsg_reads: u64,
     pub statemsg_retries: u64,
+
+    // Locking-policy A/B: the same scenario replayed under EMERALDS PI
+    // and under SRP/ceiling scheduling.
+    pub policy_ab: Vec<PolicyAbRow>,
+}
+
+/// One locking policy's run of an A/B scenario, reduced to the
+/// counters the two policies compete on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PolicySide {
+    pub deadline_misses: u64,
+    pub context_switches: u64,
+    pub jobs_completed: u64,
+    pub sem_acquired: u64,
+    /// Acquires that found the lock held and blocked in `acquire_sem`.
+    pub sem_contended: u64,
+    /// Grants made directly to a blocked waiter (PI lock passing;
+    /// structurally zero under SRP, where acquire never blocks).
+    pub sem_handed_over: u64,
+    /// §6.2 early inheritances (PI's context-switch elimination).
+    pub early_inherits: u64,
+    /// SRP job starts deferred by the system ceiling (SRP's entire
+    /// blocking, concentrated before the job runs).
+    pub ceiling_defers: u64,
+}
+
+/// One A/B scenario: an identical workload run under both locking
+/// policies, plus the SRP-only ceiling diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PolicyAbRow {
+    pub scenario: &'static str,
+    pub pi: PolicySide,
+    pub srp: PolicySide,
+    pub srp_ceiling_pushes: u64,
+    pub srp_max_stack_depth: u64,
+    /// Times an SRP acquire found the lock held anyway — the ceiling
+    /// analysis guarantees this is zero on a validated graph.
+    pub srp_unexpected_blocks: u64,
 }
 
 /// The kernel workload: a mix that exercises all four hot paths —
@@ -201,6 +239,135 @@ fn build_workload(seed: u64, dispatch_cache: bool) -> Kernel {
         );
     }
     b.build()
+}
+
+/// Builds one locking-policy A/B scenario. The scripts are
+/// SRP-feasible by construction (mutexes only, properly nested, no
+/// blocking inside a critical section) so the identical configuration
+/// builds under both policies and the comparison is apples-to-apples:
+///
+/// - `uncontended` — three rate-separated tasks, each on a private
+///   mutex: the policies' bookkeeping with zero conflicts.
+/// - `contended` — a short critical section shared between a 3 ms
+///   task and a phased 9 ms task whose 1 ms section the fast task
+///   regularly lands in.
+/// - `longblock` — the paper's Figure-7 shape: a 2 ms task whose tiny
+///   critical section collides with a 20 ms task holding the same
+///   lock for 1.5 ms. PI answers with early inheritance and lock
+///   hand-over; SRP never lets the collision start, deferring the
+///   fast task's release at the ceiling.
+fn build_policy_scenario(scenario: &str, lock: LockChoice) -> Kernel {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::RmQueue,
+        record_trace: false,
+        lock,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process("policy-ab");
+    match scenario {
+        "uncontended" => {
+            for (i, period_us) in [1_000u64, 1_700, 2_900].into_iter().enumerate() {
+                let m = b.add_mutex();
+                b.add_periodic_task(
+                    p,
+                    format!("solo{i}"),
+                    Duration::from_us(period_us),
+                    Script::periodic(vec![
+                        Action::AcquireSem(m),
+                        Action::Compute(Duration::from_us(30)),
+                        Action::ReleaseSem(m),
+                        Action::Compute(Duration::from_us(20)),
+                    ]),
+                );
+            }
+        }
+        "contended" => {
+            let m = b.add_mutex();
+            b.add_periodic_task_phased(
+                p,
+                "share-hi",
+                Duration::from_ms(3),
+                Duration::from_ms(3),
+                Duration::from_us(500),
+                Script::periodic(vec![
+                    Action::AcquireSem(m),
+                    Action::Compute(Duration::from_us(100)),
+                    Action::ReleaseSem(m),
+                ]),
+            );
+            b.add_periodic_task(
+                p,
+                "share-lo",
+                Duration::from_ms(9),
+                Script::periodic(vec![
+                    Action::AcquireSem(m),
+                    Action::Compute(Duration::from_ms(1)),
+                    Action::ReleaseSem(m),
+                    Action::Compute(Duration::from_us(200)),
+                ]),
+            );
+        }
+        "longblock" => {
+            let m = b.add_mutex();
+            b.add_periodic_task_phased(
+                p,
+                "fast",
+                Duration::from_ms(2),
+                Duration::from_ms(2),
+                Duration::from_us(500),
+                Script::periodic(vec![
+                    Action::AcquireSem(m),
+                    Action::Compute(Duration::from_us(50)),
+                    Action::ReleaseSem(m),
+                    Action::Compute(Duration::from_us(100)),
+                ]),
+            );
+            b.add_periodic_task(
+                p,
+                "holder",
+                Duration::from_ms(20),
+                Script::periodic(vec![
+                    Action::AcquireSem(m),
+                    Action::Compute(Duration::from_us(1_500)),
+                    Action::ReleaseSem(m),
+                ]),
+            );
+        }
+        other => panic!("unknown policy scenario {other}"),
+    }
+    b.build()
+}
+
+/// Reduces a finished run to the policy-comparison counters.
+fn policy_side(k: &Kernel) -> PolicySide {
+    let m = k.metrics();
+    PolicySide {
+        deadline_misses: m.deadline_misses,
+        context_switches: m.context_switches,
+        jobs_completed: m.tasks.iter().map(|t| t.jobs_completed).sum(),
+        sem_acquired: m.counters.sem_acquired,
+        sem_contended: m.counters.sem_contended,
+        sem_handed_over: m.counters.sem_handed_over,
+        early_inherits: m.counters.early_inherits,
+        ceiling_defers: m.counters.ceiling_defers,
+    }
+}
+
+/// Runs one scenario under both policies to the same horizon.
+fn policy_ab_row(scenario: &'static str, horizon: Time) -> PolicyAbRow {
+    let mut pi = build_policy_scenario(scenario, LockChoice::Pi);
+    pi.run_until(horizon);
+    let mut srp = build_policy_scenario(scenario, LockChoice::Srp);
+    srp.run_until(horizon);
+    let stats = srp.srp_stats().expect("SRP kernel reports SRP stats");
+    PolicyAbRow {
+        scenario,
+        pi: policy_side(&pi),
+        srp: policy_side(&srp),
+        srp_ceiling_pushes: srp.counters().ceiling_pushes,
+        srp_max_stack_depth: stats.max_stack_depth as u64,
+        srp_unexpected_blocks: stats.unexpected_blocks,
+    }
 }
 
 /// The original timer structure, reimplemented for an honest
@@ -321,6 +488,10 @@ pub fn run(params: &HotpathParams) -> HotpathReport {
         sem_fast_acquires: after.sem_fast_acquires(),
         statemsg_reads: c.statemsg_reads,
         statemsg_retries: c.statemsg_retries,
+        policy_ab: ["uncontended", "contended", "longblock"]
+            .into_iter()
+            .map(|s| policy_ab_row(s, params.horizon))
+            .collect(),
     }
 }
 
@@ -384,6 +555,33 @@ pub fn render(r: &HotpathReport) -> String {
             "DIVERGED"
         },
     ));
+    s.push_str("locking policy A/B (same scenario under PI and SRP):\n");
+    s.push_str(
+        "scenario      policy  misses  ctxsw   jobs  acquired  blocked  handover  early-inh  defers\n",
+    );
+    for row in &r.policy_ab {
+        let line = |s: &mut String, policy: &str, side: &PolicySide| {
+            s.push_str(&format!(
+                "{:<12}  {:<6} {:>7} {:>6} {:>6} {:>9} {:>8} {:>9} {:>10} {:>7}\n",
+                row.scenario,
+                policy,
+                side.deadline_misses,
+                side.context_switches,
+                side.jobs_completed,
+                side.sem_acquired,
+                side.sem_contended,
+                side.sem_handed_over,
+                side.early_inherits,
+                side.ceiling_defers,
+            ));
+        };
+        line(&mut s, "pi", &row.pi);
+        line(&mut s, "srp", &row.srp);
+        s.push_str(&format!(
+            "{:<12}  srp ceiling: pushes {} max-depth {} unexpected-blocks {}\n",
+            "", row.srp_ceiling_pushes, row.srp_max_stack_depth, row.srp_unexpected_blocks,
+        ));
+    }
     s
 }
 
@@ -391,7 +589,7 @@ pub fn render(r: &HotpathReport) -> String {
 /// deterministic, so the committed file regenerates byte-identically
 /// on any host.
 pub fn to_json(params: &HotpathParams, r: &HotpathReport) -> String {
-    format!(
+    let mut s = format!(
         "{{\n\
          \"experiment\": \"hotpath\",\n\
          \"horizon_ms\": {},\n\
@@ -409,8 +607,8 @@ pub fn to_json(params: &HotpathParams, r: &HotpathReport) -> String {
          \"sem_early_inherits\": {},\n\
          \"sem_fast_acquires\": {},\n\
          \"statemsg_reads\": {},\n\
-         \"statemsg_retries\": {}\n\
-         }}\n",
+         \"statemsg_retries\": {},\n\
+         \"policy_ab\": [",
         params.horizon.as_ms_f64(),
         params.seed,
         r.select_calls,
@@ -427,7 +625,39 @@ pub fn to_json(params: &HotpathParams, r: &HotpathReport) -> String {
         r.sem_fast_acquires,
         r.statemsg_reads,
         r.statemsg_retries,
-    )
+    );
+    let side_json = |side: &PolicySide| {
+        format!(
+            "{{\"deadline_misses\": {}, \"context_switches\": {}, \"jobs_completed\": {}, \
+             \"sem_acquired\": {}, \"sem_contended\": {}, \"sem_handed_over\": {}, \
+             \"early_inherits\": {}, \"ceiling_defers\": {}}}",
+            side.deadline_misses,
+            side.context_switches,
+            side.jobs_completed,
+            side.sem_acquired,
+            side.sem_contended,
+            side.sem_handed_over,
+            side.early_inherits,
+            side.ceiling_defers,
+        )
+    };
+    for (i, row) in r.policy_ab.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n{{\"scenario\": \"{}\", \"pi\": {}, \"srp\": {}, \"srp_ceiling_pushes\": {}, \
+             \"srp_max_stack_depth\": {}, \"srp_unexpected_blocks\": {}}}",
+            row.scenario,
+            side_json(&row.pi),
+            side_json(&row.srp),
+            row.srp_ceiling_pushes,
+            row.srp_max_stack_depth,
+            row.srp_unexpected_blocks,
+        ));
+    }
+    s.push_str("\n]\n}\n");
+    s
 }
 
 /// Deterministic CI gate: each cut must actually cut, and neither may
@@ -483,6 +713,76 @@ pub fn gate(r: &HotpathReport) -> (Vec<String>, bool) {
             r.statemsg_reads, r.statemsg_retries
         ),
     );
+    check(
+        r.policy_ab.len() == 3,
+        format!("all three policy A/B scenarios ran ({})", r.policy_ab.len()),
+    );
+    for row in &r.policy_ab {
+        let sc = row.scenario;
+        check(
+            row.srp_unexpected_blocks == 0,
+            format!(
+                "{sc}: SRP acquire never blocks on a validated graph ({} unexpected)",
+                row.srp_unexpected_blocks
+            ),
+        );
+        check(
+            row.srp.sem_handed_over == 0 && row.srp.sem_contended == 0,
+            format!(
+                "{sc}: SRP needs no lock hand-over ({} handed over, {} blocked)",
+                row.srp.sem_handed_over, row.srp.sem_contended
+            ),
+        );
+        check(
+            row.pi.deadline_misses == row.srp.deadline_misses,
+            format!(
+                "{sc}: both policies meet the same deadlines (pi {} vs srp {})",
+                row.pi.deadline_misses, row.srp.deadline_misses
+            ),
+        );
+        check(
+            row.srp_ceiling_pushes > 0,
+            format!(
+                "{sc}: SRP ceiling stack exercised ({} pushes)",
+                row.srp_ceiling_pushes
+            ),
+        );
+        match sc {
+            "uncontended" => check(
+                row.pi.sem_contended == 0 && row.pi.early_inherits == 0,
+                format!(
+                    "{sc}: PI sees no contention either ({} blocked, {} early inherits)",
+                    row.pi.sem_contended, row.pi.early_inherits
+                ),
+            ),
+            "contended" | "longblock" => {
+                check(
+                    row.pi.sem_handed_over + row.pi.early_inherits > 0,
+                    format!(
+                        "{sc}: PI contention machinery engaged ({} hand-overs, {} early inherits)",
+                        row.pi.sem_handed_over, row.pi.early_inherits
+                    ),
+                );
+                check(
+                    row.srp.ceiling_defers > 0,
+                    format!(
+                        "{sc}: SRP deferred conflicting releases ({} defers)",
+                        row.srp.ceiling_defers
+                    ),
+                );
+                if sc == "longblock" {
+                    check(
+                        row.srp.context_switches <= row.pi.context_switches,
+                        format!(
+                            "{sc}: SRP needs no extra context switches (srp {} vs pi {})",
+                            row.srp.context_switches, row.pi.context_switches
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
     (lines, failed)
 }
 
@@ -522,8 +822,45 @@ mod tests {
             "timer_walks_legacy",
             "sem_fast_acquires",
             "statemsg_retries",
+            "policy_ab",
+            "srp_ceiling_pushes",
+            "ceiling_defers",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
+    }
+
+    /// The A/B rows must show each policy fighting contention with its
+    /// own weapon — PI with early inheritance and hand-over, SRP with
+    /// ceiling deferral and *zero* in-lock blocking — while agreeing
+    /// on the outcome that matters (deadlines).
+    #[test]
+    fn policy_ab_rows_show_rival_mechanisms() {
+        let r = run(&HotpathParams::quick());
+        assert_eq!(r.policy_ab.len(), 3);
+        for row in &r.policy_ab {
+            assert_eq!(row.srp_unexpected_blocks, 0, "{}", row.scenario);
+            assert_eq!(row.srp.sem_contended, 0, "{}", row.scenario);
+            assert_eq!(
+                row.pi.deadline_misses, row.srp.deadline_misses,
+                "{}",
+                row.scenario
+            );
+            // Bookkeeping parity: both policies grant the same number
+            // of critical sections on the shared horizon.
+            assert_eq!(
+                row.pi.sem_acquired, row.srp.sem_acquired,
+                "{}",
+                row.scenario
+            );
+        }
+        let long = &r.policy_ab[2];
+        assert_eq!(long.scenario, "longblock");
+        assert!(long.pi.early_inherits > 0, "PI should early-inherit");
+        assert!(
+            long.srp.ceiling_defers > 0,
+            "SRP should defer at the ceiling"
+        );
+        assert!(long.srp_max_stack_depth >= 1);
     }
 }

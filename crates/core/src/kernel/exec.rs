@@ -447,55 +447,16 @@ impl Kernel {
         self.finish_unblock_with_hint(tid, hint);
     }
 
-    /// The §6.2 decision point: wake the thread, or — when its next
-    /// lock target is already held — inherit early and keep it
-    /// blocked; when the target is free, admit it to the pre-lock
-    /// queue (§6.3.1).
+    /// The policy decision point for a completing blocking call: under
+    /// PI, the §6.2 early-inheritance check (wake, or inherit early and
+    /// stay blocked, or join the pre-lock queue); under SRP, the
+    /// ceiling admission test (wake, or defer until a ceiling pop).
     pub(crate) fn finish_unblock_with_hint(
         &mut self,
         tid: ThreadId,
         hint: Option<emeralds_sim::SemId>,
     ) {
-        if self.cfg.sem_scheme == crate::sync::SemScheme::Emeralds {
-            if let Some(s) = hint {
-                if self.sems[s.index()].is_mutex() {
-                    // The hint check itself is semaphore bookkeeping.
-                    self.charge(OverheadKind::Semaphore, self.cfg.cost.sem_logic);
-                    if !self.sems[s.index()].available() {
-                        let holder = self.sems[s.index()]
-                            .holder
-                            .expect("locked mutex has holder");
-                        let boosted = self.do_priority_inheritance(s, tid);
-                        let key = self.prio_key(tid);
-                        let keys: Vec<u128> = self.sems[s.index()]
-                            .waiters
-                            .iter()
-                            .map(|&w| self.prio_key(w))
-                            .collect();
-                        let waiters = &mut self.sems[s.index()];
-                        let pos = keys.iter().position(|&k| k > key).unwrap_or(keys.len());
-                        waiters.waiters.insert(pos, tid);
-                        self.tcbs.get_mut(tid).state = ThreadState::Blocked(BlockReason::Sem(s));
-                        self.record(TraceEvent::EarlyInherit {
-                            waiter: tid,
-                            holder,
-                            sem: s,
-                        });
-                        // The thread stays blocked, so the only way
-                        // scheduler state changed is a holder boost:
-                        // invoke the scheduler only then.
-                        if boosted {
-                            self.reschedule();
-                        }
-                        return;
-                    }
-                    self.sems[s.index()].prelock_add(tid);
-                    self.record(TraceEvent::PreLockAdmit { tid, sem: s });
-                }
-            }
-        }
-        self.make_ready(tid);
-        self.reschedule();
+        self.with_policy(|p, k| p.unblock_with_hint(k, tid, hint));
     }
 
     /// Services all deliverable interrupts.

@@ -48,8 +48,8 @@ impl MissCause {
     }
 }
 
-/// Live event counters, one per kernel service. Updated by
-/// [`Kernel::record`] on every event, independent of whether the trace
+/// Live event counters, one per kernel service. Updated by the
+/// kernel's `record` on every event, independent of whether the trace
 /// stores it, so they are exact for arbitrarily long runs.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServiceCounters {
@@ -84,6 +84,15 @@ pub struct ServiceCounters {
     pub prelock_blocks: u64,
     pub priority_inherits: u64,
     pub priority_restores: u64,
+    /// SRP policy: entries pushed on the system-ceiling stack.
+    pub ceiling_pushes: u64,
+    /// SRP policy: entries popped off the system-ceiling stack.
+    pub ceiling_pops: u64,
+    /// SRP policy: job starts deferred by the system ceiling — the
+    /// protocol's entire blocking, concentrated before the job runs.
+    pub ceiling_defers: u64,
+    /// SRP policy: deferred tasks admitted after a ceiling pop.
+    pub ceiling_admits: u64,
 
     // --- IPC ---
     pub mbox_sends: u64,
@@ -138,6 +147,10 @@ impl ServiceCounters {
             TraceEvent::PreLockBlock { .. } => self.prelock_blocks += 1,
             TraceEvent::PriorityInherit { .. } => self.priority_inherits += 1,
             TraceEvent::PriorityRestore { .. } => self.priority_restores += 1,
+            TraceEvent::CeilingPush { .. } => self.ceiling_pushes += 1,
+            TraceEvent::CeilingPop { .. } => self.ceiling_pops += 1,
+            TraceEvent::CeilingDefer { .. } => self.ceiling_defers += 1,
+            TraceEvent::CeilingAdmit { .. } => self.ceiling_admits += 1,
             TraceEvent::MboxSend { .. } => self.mbox_sends += 1,
             TraceEvent::MboxRecv { .. } => self.mbox_recvs += 1,
             TraceEvent::StateWrite { .. } => self.statemsg_writes += 1,
@@ -198,6 +211,10 @@ impl ServiceCounters {
             ("prelock_blocks", self.prelock_blocks),
             ("priority_inherits", self.priority_inherits),
             ("priority_restores", self.priority_restores),
+            ("ceiling_pushes", self.ceiling_pushes),
+            ("ceiling_pops", self.ceiling_pops),
+            ("ceiling_defers", self.ceiling_defers),
+            ("ceiling_admits", self.ceiling_admits),
             ("mbox_sends", self.mbox_sends),
             ("mbox_recvs", self.mbox_recvs),
             ("statemsg_writes", self.statemsg_writes),

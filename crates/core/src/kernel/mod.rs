@@ -15,11 +15,13 @@ mod metrics;
 mod sem_ops;
 #[cfg(test)]
 mod tests;
+mod validate;
 
 pub use metrics::{
     ClusterMetrics, KernelMetrics, MissCause, MissReport, NodeFaultSummary, NodeMetrics,
     ServiceCounters, TaskMetrics, TaskSnapshot, MAX_MISS_REPORTS,
 };
+pub use validate::ConfigError;
 
 use emeralds_hal::{Board, BoardConfig, Clock, CostModel, Perms};
 use emeralds_sim::{
@@ -33,7 +35,8 @@ use crate::parser;
 use crate::proc::Process;
 use crate::sched::{SchedPolicy, SchedulerImpl};
 use crate::script::{Script, ScriptKind};
-use crate::sync::{CondVar, SemScheme, Semaphore};
+use crate::sync::policy::{make_policy, LockChoice, LockPolicy};
+use crate::sync::{CondVar, SemScheme, Semaphore, SrpStats};
 use crate::tcb::{QueueAssign, Tcb, TcbTable, Timing};
 use crate::timerq::TimerQueue;
 
@@ -44,6 +47,11 @@ pub struct KernelConfig {
     pub policy: SchedPolicy,
     /// Semaphore implementation (§6) — the central ablation switch.
     pub sem_scheme: SemScheme,
+    /// Locking policy: EMERALDS PI semaphores, or SRP/ceiling
+    /// scheduling as the classic rival. Under SRP the builder computes
+    /// static resource ceilings offline and rejects infeasible graphs
+    /// (see [`ConfigError`]).
+    pub lock: LockChoice,
     /// Per-primitive virtual-time prices.
     pub cost: CostModel,
     /// Record the full event trace (disable for long experiment runs).
@@ -70,6 +78,7 @@ impl Default for KernelConfig {
                 boundaries: vec![0],
             },
             sem_scheme: SemScheme::Emeralds,
+            lock: LockChoice::Pi,
             cost: CostModel::mc68040_25mhz(),
             record_trace: true,
             trace_ring: None,
@@ -155,6 +164,10 @@ pub struct Kernel {
     /// `sem_acquire` calls that took the uncontended fast path (free
     /// permit, no waiters, no pre-lock members, no early grant).
     pub(crate) sem_fast_acquires: u64,
+    /// The locking policy (PI or SRP). `Option` only so policy calls
+    /// can borrow the kernel mutably alongside the policy — see
+    /// [`Kernel::with_policy`]; it is always `Some` between calls.
+    pub(crate) lock_policy: Option<Box<dyn LockPolicy>>,
 }
 
 impl Kernel {
@@ -202,6 +215,38 @@ impl Kernel {
             self.timers.insert_walks,
             self.timers.expirations,
         )
+    }
+
+    /// Runs a closure with the locking policy and the kernel borrowed
+    /// simultaneously (the policy is taken out for the duration, so
+    /// policy methods must not re-enter a semaphore syscall).
+    pub(crate) fn with_policy<R>(
+        &mut self,
+        f: impl FnOnce(&mut dyn LockPolicy, &mut Kernel) -> R,
+    ) -> R {
+        let mut p = self
+            .lock_policy
+            .take()
+            .expect("re-entrant locking-policy call");
+        let r = f(p.as_mut(), self);
+        self.lock_policy = Some(p);
+        r
+    }
+
+    /// Which locking policy this kernel runs.
+    pub fn lock_choice(&self) -> LockChoice {
+        self.lock_policy
+            .as_ref()
+            .expect("policy present between calls")
+            .choice()
+    }
+
+    /// SRP runtime statistics (`None` under the PI policy).
+    pub fn srp_stats(&self) -> Option<SrpStats> {
+        self.lock_policy
+            .as_ref()
+            .expect("policy present between calls")
+            .srp_stats()
     }
 
     /// Drops the memoized dispatch decision. Must be called by every
@@ -372,6 +417,9 @@ pub struct KernelBuilder {
     event_count: usize,
     irq_actions: Vec<IrqAction>,
     next_region_base: u64,
+    /// Explicit `next_sem` hint overrides: `(task index, action index,
+    /// hint)`. Validated against the parser at build time.
+    hint_overrides: Vec<(usize, usize, Option<SemId>)>,
 }
 
 impl KernelBuilder {
@@ -390,7 +438,26 @@ impl KernelBuilder {
             event_count: 0,
             irq_actions: vec![IrqAction::None; emeralds_hal::irq::MAX_IRQ_LINES],
             next_region_base: 0x1_0000,
+            hint_overrides: Vec::new(),
         }
+    }
+
+    /// Selects the locking policy (default [`LockChoice::Pi`]). Under
+    /// [`LockChoice::Srp`] the build computes static resource ceilings
+    /// from the task/resource graph and rejects infeasible
+    /// configurations — see [`ConfigError`].
+    pub fn lock_policy(&mut self, choice: LockChoice) -> &mut KernelBuilder {
+        self.cfg.lock = choice;
+        self
+    }
+
+    /// Overrides the §6.2.1 parser-computed `next_sem` hint for one
+    /// blocking action of `task`. `None` disables early inheritance at
+    /// that call; `Some(s)` must name the semaphore the task actually
+    /// acquires next (the build rejects anything else — a wrong hint
+    /// would corrupt the pre-lock protocol on a real system too).
+    pub fn override_hint(&mut self, task: ThreadId, action: usize, hint: Option<SemId>) {
+        self.hint_overrides.push((task.index(), action, hint));
     }
 
     /// Adds a protected process.
@@ -615,16 +682,34 @@ impl KernelBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if any CSD boundary exceeds the task count, or a pool is
-    /// exhausted.
-    pub fn build(mut self) -> Kernel {
+    /// Panics on any configuration [`try_build`](Self::try_build)
+    /// rejects (the panic message is the [`ConfigError`] rendering), or
+    /// if a pool is exhausted.
+    pub fn build(self) -> Kernel {
+        match self.try_build() {
+            Ok(k) => k,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Finalizes the kernel, returning a typed [`ConfigError`] instead
+    /// of panicking on an invalid configuration: CSD boundaries beyond
+    /// the task count, scripts referencing unknown kernel objects,
+    /// invalid `next_sem` hint overrides, and — under
+    /// [`LockChoice::Srp`] — infeasible or deadlock-prone resource
+    /// graphs.
+    pub fn try_build(mut self) -> Result<Kernel, ConfigError> {
         let n = self.tasks.len();
         if let SchedPolicy::Csd { boundaries } = &self.cfg.policy {
-            assert!(
-                boundaries.iter().all(|&b| b <= n),
-                "CSD boundary beyond task count"
-            );
+            if let Some(&b) = boundaries.iter().find(|&&b| b > n) {
+                return Err(ConfigError::CsdBoundary {
+                    boundary: b,
+                    tasks: n,
+                });
+            }
         }
+        self.validate_scripts()?;
+        self.validate_hint_overrides()?;
 
         // RM priority = rank by sort_period.
         let order = self.rm_order();
@@ -632,6 +717,13 @@ impl KernelBuilder {
         for (rank, tid) in order.iter().enumerate() {
             rm_prio[tid.index()] = rank as u32;
         }
+
+        // SRP: static resource ceilings from the task/resource graph,
+        // with build-time rejection of infeasible shapes.
+        let ceilings = match self.cfg.lock {
+            LockChoice::Pi => vec![None; self.sems.len()],
+            LockChoice::Srp => self.srp_ceiling_table(&rm_prio)?,
+        };
 
         let mut pools = PoolSet::small_memory_defaults();
         let mut tcbs = TcbTable::new();
@@ -657,6 +749,11 @@ impl KernelBuilder {
                 queue,
             );
             tcb.hints = parser::compute_hints(&spec.script);
+            for &(ti, ai, h) in &self.hint_overrides {
+                if ti == i {
+                    tcb.hints[ai] = h;
+                }
+            }
             pools.tcbs.alloc();
             self.procs[spec.proc.index()].add_thread(tid);
             match spec.timing {
@@ -739,6 +836,7 @@ impl KernelBuilder {
         }
 
         let pending_send = vec![None; n];
+        let lock_policy = Some(make_policy(self.cfg.lock, ceilings));
         let mut kernel = Kernel {
             cfg: self.cfg,
             clock: Clock::new(),
@@ -767,9 +865,10 @@ impl KernelBuilder {
             select_calls: 0,
             select_evals: 0,
             sem_fast_acquires: 0,
+            lock_policy,
         };
         // Event-driven tasks are ready at boot: dispatch one.
         kernel.reschedule();
-        kernel
+        Ok(kernel)
     }
 }

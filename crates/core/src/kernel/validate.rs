@@ -1,0 +1,271 @@
+//! Typed configuration validation for [`KernelBuilder`].
+//!
+//! Everything here runs at *configuration time*, before a kernel
+//! exists: a rejected build costs a [`ConfigError`], never a
+//! half-constructed kernel. [`KernelBuilder::try_build`] surfaces the
+//! error; [`KernelBuilder::build`] panics with its rendering for
+//! callers that treat misconfiguration as a program bug.
+//!
+//! Under [`LockChoice::Srp`] the checks extend to the task/resource
+//! graph: resource ceilings only exist for graphs where critical
+//! sections are properly nested, never span a blocking call or a job
+//! boundary, and the lock order is acyclic. The graph analysis itself
+//! lives offline in `emeralds_sched` ([`srp_ceilings`]); this module
+//! maps scripts into [`SrpTaskProfile`]s and the analysis verdict into
+//! [`ConfigError::SrpGraph`].
+
+use emeralds_sched::{srp_ceilings, SrpEvent, SrpGraphError, SrpTaskProfile};
+use emeralds_sim::{CvId, SemId, ThreadId};
+
+use crate::kernel::KernelBuilder;
+use crate::parser;
+use crate::script::Action;
+use crate::sync::policy::LockChoice;
+
+/// A configuration the builder refuses to turn into a kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A CSD partition boundary points past the last task.
+    CsdBoundary {
+        /// The offending boundary (a task-count prefix length).
+        boundary: usize,
+        /// How many tasks the configuration actually has.
+        tasks: usize,
+    },
+    /// A script action references a semaphore that was never added.
+    UnknownSemaphore {
+        task: ThreadId,
+        /// Index of the offending action in the task's script.
+        action: usize,
+        sem: SemId,
+    },
+    /// A script action references a condition variable that was never
+    /// added.
+    UnknownCondVar {
+        task: ThreadId,
+        action: usize,
+        cv: CvId,
+    },
+    /// A hint override targets a missing action, or one that is not a
+    /// hint-carrying blocking call.
+    InvalidHintTarget { task: ThreadId, action: usize },
+    /// A `next_sem` hint override names a semaphore the task does not
+    /// acquire next after that call — on a real system such a hint
+    /// would early-inherit (and pre-lock-queue) a lock the task is not
+    /// about to take.
+    InvalidHint {
+        task: ThreadId,
+        action: usize,
+        /// What the override claimed.
+        hinted: SemId,
+        /// What the §6.2.1 parser computes for that call (`None`: the
+        /// next blocking call is not an `acquire_sem`).
+        expected: Option<SemId>,
+    },
+    /// SRP admits only mutexes: a counting semaphore has no single
+    /// holder, so no resource ceiling is sound for it.
+    SrpCountingSem {
+        task: ThreadId,
+        action: usize,
+        sem: SemId,
+    },
+    /// SRP forbids condition variables: `cond_wait` blocks while
+    /// holding the guard, which breaks the no-blocking-inside-a-
+    /// critical-section premise of the ceiling analysis.
+    SrpCondVar { task: ThreadId, action: usize },
+    /// The task/resource graph itself is infeasible under SRP
+    /// (lock-order cycle, non-LIFO nesting, blocking while holding,
+    /// section left open at job end, ...).
+    SrpGraph(SrpGraphError),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::CsdBoundary { boundary, tasks } => write!(
+                f,
+                "CSD boundary beyond task count: boundary {boundary} with {tasks} task(s)"
+            ),
+            ConfigError::UnknownSemaphore { task, action, sem } => write!(
+                f,
+                "task {task} action {action} references unknown semaphore {sem}"
+            ),
+            ConfigError::UnknownCondVar { task, action, cv } => write!(
+                f,
+                "task {task} action {action} references unknown condition variable {cv}"
+            ),
+            ConfigError::InvalidHintTarget { task, action } => write!(
+                f,
+                "hint override targets task {task} action {action}, which is not a \
+                 hint-carrying blocking call"
+            ),
+            ConfigError::InvalidHint {
+                task,
+                action,
+                hinted,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "task {task} action {action}: next_sem hint names {hinted}, but "
+                )?;
+                match expected {
+                    Some(e) => write!(f, "the task's next acquire after that call is {e}"),
+                    None => write!(
+                        f,
+                        "the task never acquires a semaphore before its next blocking call"
+                    ),
+                }
+            }
+            ConfigError::SrpCountingSem { task, action, sem } => write!(
+                f,
+                "SRP: task {task} action {action} uses counting semaphore {sem}; \
+                 ceilings are only defined for mutexes"
+            ),
+            ConfigError::SrpCondVar { task, action } => write!(
+                f,
+                "SRP: task {task} action {action} uses a condition variable, which \
+                 blocks while holding its guard"
+            ),
+            ConfigError::SrpGraph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<SrpGraphError> for ConfigError {
+    fn from(e: SrpGraphError) -> ConfigError {
+        ConfigError::SrpGraph(e)
+    }
+}
+
+impl KernelBuilder {
+    /// Checks every script action against the kernel objects that were
+    /// actually added, and — under SRP — against the primitives the
+    /// ceiling analysis can model.
+    pub(super) fn validate_scripts(&self) -> Result<(), ConfigError> {
+        let srp = self.cfg.lock == LockChoice::Srp;
+        for (i, spec) in self.tasks.iter().enumerate() {
+            let task = ThreadId(i as u32);
+            for (action, a) in spec.script.actions.iter().enumerate() {
+                match a {
+                    Action::AcquireSem(s) | Action::ReleaseSem(s) => {
+                        self.check_sem(task, action, *s, srp)?;
+                    }
+                    Action::CondWait(cv, guard) => {
+                        self.check_sem(task, action, *guard, false)?;
+                        self.check_cv(task, action, *cv)?;
+                        if srp {
+                            return Err(ConfigError::SrpCondVar { task, action });
+                        }
+                    }
+                    Action::CondSignal(cv) => {
+                        self.check_cv(task, action, *cv)?;
+                        if srp {
+                            return Err(ConfigError::SrpCondVar { task, action });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_sem(
+        &self,
+        task: ThreadId,
+        action: usize,
+        sem: SemId,
+        srp: bool,
+    ) -> Result<(), ConfigError> {
+        let Some(s) = self.sems.get(sem.index()) else {
+            return Err(ConfigError::UnknownSemaphore { task, action, sem });
+        };
+        if srp && !s.is_mutex() {
+            return Err(ConfigError::SrpCountingSem { task, action, sem });
+        }
+        Ok(())
+    }
+
+    fn check_cv(&self, task: ThreadId, action: usize, cv: CvId) -> Result<(), ConfigError> {
+        if cv.index() >= self.cvs.len() {
+            return Err(ConfigError::UnknownCondVar { task, action, cv });
+        }
+        Ok(())
+    }
+
+    /// Checks explicit `next_sem` hint overrides against the §6.2.1
+    /// parser: an override must target a hint-carrying blocking call
+    /// and either disable the hint (`None`) or agree with the
+    /// semaphore the task acquires next. Anything else is the
+    /// configuration bug the parser exists to prevent.
+    pub(super) fn validate_hint_overrides(&self) -> Result<(), ConfigError> {
+        for &(ti, action, hint) in &self.hint_overrides {
+            let task = ThreadId(ti as u32);
+            let Some(spec) = self.tasks.get(ti) else {
+                return Err(ConfigError::InvalidHintTarget { task, action });
+            };
+            let target_ok = spec
+                .script
+                .actions
+                .get(action)
+                .is_some_and(|a| a.is_hintable_block());
+            if !target_ok {
+                return Err(ConfigError::InvalidHintTarget { task, action });
+            }
+            if let Some(hinted) = hint {
+                if hinted.index() >= self.sems.len() {
+                    return Err(ConfigError::UnknownSemaphore {
+                        task,
+                        action,
+                        sem: hinted,
+                    });
+                }
+                let expected = parser::compute_hints(&spec.script)[action];
+                if expected != Some(hinted) {
+                    return Err(ConfigError::InvalidHint {
+                        task,
+                        action,
+                        hinted,
+                        expected,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Maps the scripts into per-task SRP profiles (preemption level =
+    /// RM/DM rank; acquire/release/block event streams) and runs the
+    /// offline ceiling analysis.
+    pub(super) fn srp_ceiling_table(
+        &self,
+        rm_prio: &[u32],
+    ) -> Result<Vec<Option<u32>>, ConfigError> {
+        let profiles: Vec<SrpTaskProfile> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let events = spec
+                    .script
+                    .actions
+                    .iter()
+                    .filter_map(|a| match a {
+                        Action::AcquireSem(s) => Some(SrpEvent::Acquire(s.index())),
+                        Action::ReleaseSem(s) => Some(SrpEvent::Release(s.index())),
+                        a if a.can_block() => Some(SrpEvent::Block),
+                        _ => None,
+                    })
+                    .collect();
+                SrpTaskProfile {
+                    level: rm_prio[i],
+                    events,
+                }
+            })
+            .collect();
+        Ok(srp_ceilings(self.sems.len(), &profiles)?)
+    }
+}

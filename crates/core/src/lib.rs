@@ -61,8 +61,8 @@ pub mod sync;
 pub mod tcb;
 pub mod timerq;
 
-pub use kernel::{IrqAction, Kernel, KernelBuilder, KernelConfig};
+pub use kernel::{ConfigError, IrqAction, Kernel, KernelBuilder, KernelConfig};
 pub use sched::SchedPolicy;
 pub use script::{Action, Operand, Script};
 pub use stats::{KernelReport, TaskReport};
-pub use sync::SemScheme;
+pub use sync::{LockChoice, SemScheme, SrpStats};

@@ -5,7 +5,9 @@
 //! the scheduler and the TCB table.
 
 pub mod condvar;
+pub mod policy;
 pub mod sem;
 
 pub use condvar::CondVar;
+pub use policy::{LockChoice, LockPolicy, PiPolicy, SrpPolicy, SrpStats};
 pub use sem::{SemScheme, Semaphore};

@@ -375,6 +375,230 @@ fn response_time(
     }
 }
 
+// --- Stack Resource Policy: offline ceiling computation (§SRP) ---
+//
+// The rival to the paper's run-time priority-inheritance protocol:
+// compute a static *ceiling* per resource from the task/resource graph
+// (which tasks lock which resources), prove the graph free of the
+// shapes that could deadlock or block unboundedly, and let the kernel
+// enforce a single system-ceiling stack at run time. Everything here
+// is policy-agnostic graph analysis — the kernel hands us abstract
+// lock/unlock/block event sequences, one per task, and gets back
+// either the ceiling table or a typed rejection.
+
+/// One abstract locking-relevant step of a task body, in program
+/// order. Produced by the kernel builder from a task's action script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SrpEvent {
+    /// The task locks resource `r` (and holds it until the matching
+    /// release).
+    Acquire(usize),
+    /// The task unlocks resource `r`.
+    Release(usize),
+    /// The task makes a blocking call that is *not* a resource
+    /// acquisition (event wait, sleep, IPC receive, ...).
+    Block,
+}
+
+/// One task's locking profile: its preemption level and the ordered
+/// locking-relevant events of one job/iteration of its body.
+#[derive(Clone, Debug)]
+pub struct SrpTaskProfile {
+    /// Static preemption level; **lower value = higher level** (the
+    /// RM/DM rank order, which is also the relative-deadline order the
+    /// SRP admission test needs under EDF).
+    pub level: u32,
+    /// Locking events in program order.
+    pub events: Vec<SrpEvent>,
+}
+
+/// Why an SRP resource graph was rejected at configuration time.
+/// Every variant names the offending task/resource indices so the
+/// builder can map them back to names and ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SrpGraphError {
+    /// A task acquires a resource it already holds: guaranteed
+    /// self-deadlock under single-owner locking.
+    AcquireWhileHeld { task: usize, resource: usize },
+    /// A task releases a resource it does not hold.
+    ReleaseNotHeld { task: usize, resource: usize },
+    /// Releases are not properly nested (LIFO): the system-ceiling
+    /// stack requires critical sections to nest like a stack.
+    NonNestedRelease { task: usize, resource: usize },
+    /// A job ends (or a loop iteration wraps) still holding a
+    /// resource: the critical section is unbounded.
+    HeldAtEnd { task: usize, resource: usize },
+    /// A task makes a non-lock blocking call while holding a resource:
+    /// under SRP a job must run to release without self-suspending, or
+    /// the single-blocking bound is lost.
+    BlockWhileHolding { task: usize, holding: usize },
+    /// The resource order graph has a cycle (some task acquires `b`
+    /// while holding `a` and, transitively, vice versa): deadlock-prone
+    /// under any policy that does not serialize the whole cycle.
+    LockOrderCycle { resources: Vec<usize> },
+}
+
+impl core::fmt::Display for SrpGraphError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SrpGraphError::AcquireWhileHeld { task, resource } => write!(
+                f,
+                "SRP: task {task} acquires resource {resource} while already holding it"
+            ),
+            SrpGraphError::ReleaseNotHeld { task, resource } => write!(
+                f,
+                "SRP: task {task} releases resource {resource} it does not hold"
+            ),
+            SrpGraphError::NonNestedRelease { task, resource } => write!(
+                f,
+                "SRP: task {task} releases resource {resource} out of nesting (LIFO) order"
+            ),
+            SrpGraphError::HeldAtEnd { task, resource } => write!(
+                f,
+                "SRP: task {task} ends its job still holding resource {resource}"
+            ),
+            SrpGraphError::BlockWhileHolding { task, holding } => write!(
+                f,
+                "SRP: task {task} makes a blocking call while holding resource {holding}"
+            ),
+            SrpGraphError::LockOrderCycle { resources } => {
+                write!(f, "SRP: resource lock-order cycle: ")?;
+                for (i, r) in resources.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Computes the SRP ceiling table for `resources` resources from the
+/// task profiles, validating the graph on the way.
+///
+/// The ceiling of a resource is the **minimum** preemption-level value
+/// (= highest level) among the tasks that acquire it; `None` for a
+/// resource no task acquires. Rejections are typed ([`SrpGraphError`])
+/// and cover exactly the shapes that would break the SRP guarantees:
+/// improper nesting, self-deadlock, blocking inside a critical
+/// section, and lock-order cycles.
+pub fn srp_ceilings(
+    resources: usize,
+    tasks: &[SrpTaskProfile],
+) -> Result<Vec<Option<u32>>, SrpGraphError> {
+    let mut ceilings: Vec<Option<u32>> = vec![None; resources];
+    // Resource order edges: `order[a]` holds every `b` some task
+    // acquires while holding `a`.
+    let mut order: Vec<Vec<usize>> = vec![Vec::new(); resources];
+    for (ti, t) in tasks.iter().enumerate() {
+        let mut held: Vec<usize> = Vec::new();
+        for ev in &t.events {
+            match *ev {
+                SrpEvent::Acquire(r) => {
+                    if held.contains(&r) {
+                        return Err(SrpGraphError::AcquireWhileHeld {
+                            task: ti,
+                            resource: r,
+                        });
+                    }
+                    for &h in &held {
+                        if !order[h].contains(&r) {
+                            order[h].push(r);
+                        }
+                    }
+                    held.push(r);
+                    let c = ceilings[r].get_or_insert(t.level);
+                    *c = (*c).min(t.level);
+                }
+                SrpEvent::Release(r) => match held.last() {
+                    Some(&top) if top == r => {
+                        held.pop();
+                    }
+                    Some(_) if held.contains(&r) => {
+                        return Err(SrpGraphError::NonNestedRelease {
+                            task: ti,
+                            resource: r,
+                        });
+                    }
+                    _ => {
+                        return Err(SrpGraphError::ReleaseNotHeld {
+                            task: ti,
+                            resource: r,
+                        });
+                    }
+                },
+                SrpEvent::Block => {
+                    if let Some(&h) = held.first() {
+                        return Err(SrpGraphError::BlockWhileHolding {
+                            task: ti,
+                            holding: h,
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(&h) = held.first() {
+            return Err(SrpGraphError::HeldAtEnd {
+                task: ti,
+                resource: h,
+            });
+        }
+    }
+    if let Some(cycle) = find_cycle(&order) {
+        return Err(SrpGraphError::LockOrderCycle { resources: cycle });
+    }
+    Ok(ceilings)
+}
+
+/// Finds one cycle in the resource order graph (iterative DFS with
+/// three-color marking); returns the cycle path closed on itself.
+fn find_cycle(order: &[Vec<usize>]) -> Option<Vec<usize>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut mark = vec![Mark::White; order.len()];
+    let mut path: Vec<usize> = Vec::new();
+    for start in 0..order.len() {
+        if mark[start] != Mark::White {
+            continue;
+        }
+        // Stack of (node, next edge index to try).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        mark[start] = Mark::Grey;
+        path.push(start);
+        while let Some(&mut (node, ref mut edge)) = stack.last_mut() {
+            if let Some(&next) = order[node].get(*edge) {
+                *edge += 1;
+                match mark[next] {
+                    Mark::Grey => {
+                        // Cycle: slice the current path from `next`.
+                        let from = path.iter().position(|&n| n == next).expect("grey on path");
+                        let mut cycle: Vec<usize> = path[from..].to_vec();
+                        cycle.push(next);
+                        return Some(cycle);
+                    }
+                    Mark::White => {
+                        mark[next] = Mark::Grey;
+                        path.push(next);
+                        stack.push((next, 0));
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                mark[node] = Mark::Black;
+                path.pop();
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -625,5 +849,148 @@ mod tests {
         };
         let out = edf_test_with(&[a, b], limits);
         assert_ne!(out, TestOutcome::Schedulable);
+    }
+
+    // --- SRP ceiling analysis ---
+
+    use SrpEvent::{Acquire, Block, Release};
+
+    fn profile(level: u32, events: Vec<SrpEvent>) -> SrpTaskProfile {
+        SrpTaskProfile { level, events }
+    }
+
+    #[test]
+    fn ceilings_are_min_level_of_users() {
+        let tasks = [
+            profile(0, vec![Acquire(0), Release(0)]),
+            profile(2, vec![Acquire(0), Release(0), Acquire(1), Release(1)]),
+            profile(5, vec![Acquire(1), Release(1)]),
+        ];
+        let c = srp_ceilings(3, &tasks).unwrap();
+        assert_eq!(c, vec![Some(0), Some(2), None]);
+    }
+
+    #[test]
+    fn nested_sections_allowed_when_lifo() {
+        let tasks = [profile(
+            1,
+            vec![Acquire(0), Acquire(1), Release(1), Release(0)],
+        )];
+        let c = srp_ceilings(2, &tasks).unwrap();
+        assert_eq!(c, vec![Some(1), Some(1)]);
+    }
+
+    #[test]
+    fn non_lifo_release_rejected() {
+        let tasks = [profile(
+            1,
+            vec![Acquire(0), Acquire(1), Release(0), Release(1)],
+        )];
+        assert_eq!(
+            srp_ceilings(2, &tasks),
+            Err(SrpGraphError::NonNestedRelease {
+                task: 0,
+                resource: 0
+            })
+        );
+    }
+
+    #[test]
+    fn self_deadlock_rejected() {
+        let tasks = [profile(0, vec![Acquire(0), Acquire(0)])];
+        assert_eq!(
+            srp_ceilings(1, &tasks),
+            Err(SrpGraphError::AcquireWhileHeld {
+                task: 0,
+                resource: 0
+            })
+        );
+    }
+
+    #[test]
+    fn release_without_hold_rejected() {
+        let tasks = [profile(0, vec![Release(0)])];
+        assert_eq!(
+            srp_ceilings(1, &tasks),
+            Err(SrpGraphError::ReleaseNotHeld {
+                task: 0,
+                resource: 0
+            })
+        );
+    }
+
+    #[test]
+    fn held_at_job_end_rejected() {
+        let tasks = [profile(0, vec![Acquire(0)])];
+        assert_eq!(
+            srp_ceilings(1, &tasks),
+            Err(SrpGraphError::HeldAtEnd {
+                task: 0,
+                resource: 0
+            })
+        );
+    }
+
+    #[test]
+    fn blocking_inside_critical_section_rejected() {
+        let tasks = [profile(0, vec![Acquire(0), Block, Release(0)])];
+        assert_eq!(
+            srp_ceilings(1, &tasks),
+            Err(SrpGraphError::BlockWhileHolding {
+                task: 0,
+                holding: 0
+            })
+        );
+    }
+
+    #[test]
+    fn lock_order_cycle_rejected() {
+        // Task 0: A then B nested; task 1: B then A nested — the
+        // classic deadlock-prone shape.
+        let tasks = [
+            profile(0, vec![Acquire(0), Acquire(1), Release(1), Release(0)]),
+            profile(1, vec![Acquire(1), Acquire(0), Release(0), Release(1)]),
+        ];
+        let err = srp_ceilings(2, &tasks).unwrap_err();
+        let SrpGraphError::LockOrderCycle { resources } = err else {
+            panic!("expected cycle, got {err:?}");
+        };
+        // The cycle closes on itself and visits both resources.
+        assert_eq!(resources.first(), resources.last());
+        assert!(resources.contains(&0) && resources.contains(&1));
+    }
+
+    #[test]
+    fn three_resource_cycle_found_through_chain() {
+        // 0 -> 1 (task 0), 1 -> 2 (task 1), 2 -> 0 (task 2).
+        let tasks = [
+            profile(0, vec![Acquire(0), Acquire(1), Release(1), Release(0)]),
+            profile(1, vec![Acquire(1), Acquire(2), Release(2), Release(1)]),
+            profile(2, vec![Acquire(2), Acquire(0), Release(0), Release(2)]),
+        ];
+        assert!(matches!(
+            srp_ceilings(3, &tasks),
+            Err(SrpGraphError::LockOrderCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn blocking_outside_critical_sections_is_fine() {
+        let tasks = [profile(3, vec![Block, Acquire(0), Release(0), Block])];
+        assert_eq!(srp_ceilings(1, &tasks).unwrap(), vec![Some(3)]);
+    }
+
+    #[test]
+    fn graph_error_display_is_descriptive() {
+        let e = SrpGraphError::BlockWhileHolding {
+            task: 4,
+            holding: 2,
+        };
+        assert!(e.to_string().contains("task 4"));
+        assert!(e.to_string().contains("holding resource 2"));
+        let c = SrpGraphError::LockOrderCycle {
+            resources: vec![0, 1, 0],
+        };
+        assert_eq!(c.to_string(), "SRP: resource lock-order cycle: 0 -> 1 -> 0");
     }
 }

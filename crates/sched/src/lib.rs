@@ -33,7 +33,10 @@ pub mod partition;
 pub mod task;
 pub mod workload;
 
-pub use analysis::{csd_test, edf_test, rm_test, InflatedTask, TestOutcome};
+pub use analysis::{
+    csd_test, edf_test, rm_test, srp_ceilings, InflatedTask, SrpEvent, SrpGraphError,
+    SrpTaskProfile, TestOutcome,
+};
 pub use breakdown::{breakdown_utilization, BreakdownOptions, SchedulerConfig};
 pub use overhead::{CsdShape, OverheadModel};
 pub use partition::{Partition, SearchStrategy};

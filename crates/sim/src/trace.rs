@@ -62,6 +62,26 @@ pub enum TraceEvent {
     /// EMERALDS scheme: pre-lock queue members were blocked because one
     /// of them took the lock.
     PreLockBlock { tid: ThreadId, sem: SemId },
+    /// SRP: an acquire pushed `sem` onto the system-ceiling stack;
+    /// `ceiling` is the resource's static preemption-level ceiling
+    /// (lower value = higher level).
+    CeilingPush {
+        tid: ThreadId,
+        sem: SemId,
+        ceiling: u32,
+    },
+    /// SRP: a release popped `sem` from the system-ceiling stack.
+    CeilingPop {
+        tid: ThreadId,
+        sem: SemId,
+        ceiling: u32,
+    },
+    /// SRP: a waking task's preemption level did not beat the system
+    /// ceiling; its start is deferred until the ceiling drops.
+    CeilingDefer { tid: ThreadId, ceiling: u32 },
+    /// SRP: a previously deferred task was admitted after a ceiling
+    /// pop.
+    CeilingAdmit { tid: ThreadId },
     /// A message was copied into a mailbox.
     MboxSend {
         tid: ThreadId,
@@ -380,6 +400,16 @@ fn describe(e: &TraceEvent) -> String {
         }
         PreLockAdmit { tid, sem } => format!("{tid} admitted to pre-lock queue of {sem}"),
         PreLockBlock { tid, sem } => format!("{tid} re-blocked by pre-lock queue of {sem}"),
+        CeilingPush { tid, sem, ceiling } => {
+            format!("{tid} pushed {sem} on ceiling stack (ceiling {ceiling})")
+        }
+        CeilingPop { tid, sem, ceiling } => {
+            format!("{tid} popped {sem} off ceiling stack (ceiling {ceiling})")
+        }
+        CeilingDefer { tid, ceiling } => {
+            format!("{tid} deferred by system ceiling {ceiling}")
+        }
+        CeilingAdmit { tid } => format!("{tid} admitted past the system ceiling"),
         MboxSend { tid, mbox, bytes } => format!("{tid} sent {bytes}B to {mbox}"),
         MboxRecv { tid, mbox, bytes } => format!("{tid} received {bytes}B from {mbox}"),
         StateWrite { tid, var, seq } => format!("{tid} wrote {var} (seq {seq})"),
@@ -496,6 +526,28 @@ fn event_to_json(out: &mut String, at: Time, e: &TraceEvent) {
         PreLockBlock { tid, sem } => {
             kind(out, "prelock_block");
             out.push_str(&format!(",\"tid\":{},\"sem\":{}", tid.0, sem.0));
+        }
+        CeilingPush { tid, sem, ceiling } => {
+            kind(out, "ceiling_push");
+            out.push_str(&format!(
+                ",\"tid\":{},\"sem\":{},\"ceiling\":{ceiling}",
+                tid.0, sem.0
+            ));
+        }
+        CeilingPop { tid, sem, ceiling } => {
+            kind(out, "ceiling_pop");
+            out.push_str(&format!(
+                ",\"tid\":{},\"sem\":{},\"ceiling\":{ceiling}",
+                tid.0, sem.0
+            ));
+        }
+        CeilingDefer { tid, ceiling } => {
+            kind(out, "ceiling_defer");
+            out.push_str(&format!(",\"tid\":{},\"ceiling\":{ceiling}", tid.0));
+        }
+        CeilingAdmit { tid } => {
+            kind(out, "ceiling_admit");
+            out.push_str(&format!(",\"tid\":{}", tid.0));
         }
         MboxSend { tid, mbox, bytes } => {
             kind(out, "mbox_send");

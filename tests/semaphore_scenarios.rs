@@ -282,3 +282,155 @@ fn early_inheritance_event_order() {
         "T2 never blocks inside acquire_sem under the EMERALDS scheme"
     );
 }
+
+/// Builds the fixed ceiling-vs-PI pin scenario: a high-priority task
+/// woken into a lock held by a low-priority task, with a waker in
+/// between. Identical builder input for both policies.
+fn policy_pin_scenario(lock: emeralds::core::LockChoice) -> Kernel {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::RmQueue,
+        sem_scheme: SemScheme::Emeralds,
+        lock,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process("app");
+    let s = b.add_mutex();
+    let e = b.add_event();
+    // high = t0: woken at ~3 ms, wants the lock low holds.
+    b.add_periodic_task(
+        p,
+        "high",
+        ms(100),
+        Script::periodic(vec![
+            Action::WaitEvent(e),
+            Action::AcquireSem(s),
+            Action::Compute(us(200)),
+            Action::ReleaseSem(s),
+        ]),
+    );
+    // waker = t1.
+    b.add_periodic_task(
+        p,
+        "waker",
+        ms(120),
+        Script::periodic(vec![Action::SleepFor(ms(3)), Action::SignalEvent(e)]),
+    );
+    // low = t2: grabs the lock at t = 0, holds it for 5 ms.
+    b.add_periodic_task(
+        p,
+        "low",
+        ms(400),
+        Script::periodic(vec![
+            Action::AcquireSem(s),
+            Action::Compute(ms(5)),
+            Action::ReleaseSem(s),
+            Action::Compute(us(100)),
+        ]),
+    );
+    b.build()
+}
+
+/// Compact rendering of every locking-protocol event in the trace.
+fn locking_events(k: &Kernel) -> Vec<String> {
+    k.trace()
+        .events()
+        .iter()
+        .filter_map(|(_, e)| match e {
+            TraceEvent::Syscall { tid, name } if name.ends_with("_sem") => {
+                Some(format!("{name}:{tid}"))
+            }
+            TraceEvent::SemAcquired { tid, sem } => Some(format!("acquired:{tid}:{sem}")),
+            TraceEvent::SemReleased { tid, sem } => Some(format!("released:{tid}:{sem}")),
+            TraceEvent::SemBlocked { tid, sem, .. } => Some(format!("blocked:{tid}:{sem}")),
+            TraceEvent::EarlyInherit { waiter, holder, .. } => {
+                Some(format!("early_inherit:{waiter}->{holder}"))
+            }
+            TraceEvent::PreLockAdmit { tid, sem } => Some(format!("prelock:{tid}:{sem}")),
+            TraceEvent::PreLockBlock { tid, sem } => Some(format!("prelock_block:{tid}:{sem}")),
+            TraceEvent::PriorityInherit { holder, donor } => {
+                Some(format!("inherit:{donor}->{holder}"))
+            }
+            TraceEvent::PriorityRestore { holder } => Some(format!("restore:{holder}")),
+            TraceEvent::CeilingPush { tid, sem, ceiling } => {
+                Some(format!("push:{tid}:{sem}@{ceiling}"))
+            }
+            TraceEvent::CeilingPop { tid, sem, ceiling } => {
+                Some(format!("pop:{tid}:{sem}@{ceiling}"))
+            }
+            TraceEvent::CeilingDefer { tid, ceiling } => Some(format!("defer:{tid}@{ceiling}")),
+            TraceEvent::CeilingAdmit { tid } => Some(format!("admit:{tid}")),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The contended-acquire sequence, event by event, under both
+/// policies: PI resolves the inversion with early inheritance and a
+/// hand-over; SRP never lets the high task contend at all — its wake
+/// is deferred until the ceiling pops, after which every acquire is
+/// free. One scenario, two protocols, both pinned.
+#[test]
+fn ceiling_vs_pi_scenario_pins() {
+    let mut pi = policy_pin_scenario(emeralds::core::LockChoice::Pi);
+    let mut srp = policy_pin_scenario(emeralds::core::LockChoice::Srp);
+    pi.run_until(Time::from_ms(10));
+    srp.run_until(Time::from_ms(10));
+    assert_eq!(
+        locking_events(&pi),
+        vec![
+            // t=0: low's end-of-job hint admits it to S0's pre-lock
+            // queue; it then takes the lock and starts its 5 ms
+            // section.
+            "prelock:T2:S0",
+            "acquire_sem:T2",
+            "acquired:T2:S0",
+            // t=3ms: the event wakes high — §6.2 early inheritance:
+            // low is boosted and high stays blocked, never entering
+            // acquire_sem.
+            "inherit:T0->T2",
+            "early_inherit:T0->T2",
+            // t=5ms: low releases; inheritance is undone and the lock
+            // handed straight to high, whose acquire call then merely
+            // discovers the grant.
+            "release_sem:T2",
+            "restore:T2",
+            "released:T2:S0",
+            "acquired:T0:S0",
+            "acquire_sem:T0",
+            "release_sem:T0",
+            "released:T0:S0",
+        ],
+        "PI sequence"
+    );
+    assert_eq!(
+        locking_events(&srp),
+        vec![
+            // t=0: low takes the free lock and pushes S0's ceiling
+            // (0: high also uses S0), raising the system ceiling.
+            "acquire_sem:T2",
+            "acquired:T2:S0",
+            "push:T2:S0@0",
+            // t=3ms: the waker's sleep expires, but its preemption
+            // level (1) does not beat the system ceiling (0): the wake
+            // itself is deferred, so the signal — and hence high's
+            // whole contended acquire — never happens inside low's
+            // critical section. SRP needs no inheritance because it
+            // never lets the conflict start.
+            "defer:T1@0",
+            // t=5ms: low releases and pops the ceiling; the deferred
+            // waker is admitted, signals, and high then takes the lock
+            // uncontended with its own push/pop pair.
+            "release_sem:T2",
+            "released:T2:S0",
+            "pop:T2:S0@0",
+            "admit:T1",
+            "acquire_sem:T0",
+            "acquired:T0:S0",
+            "push:T0:S0@0",
+            "release_sem:T0",
+            "released:T0:S0",
+            "pop:T0:S0@0",
+        ],
+        "SRP sequence"
+    );
+}
