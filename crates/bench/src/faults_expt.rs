@@ -223,7 +223,10 @@ fn state_consumer_node(i: usize, rng: &mut SimRng) -> (Kernel, MboxId, MboxId, S
 ///
 /// Panics when `n < 2` or `n` is odd.
 pub fn build_state_cluster(n: usize, seed: u64, workers: usize) -> Cluster {
-    assert!(n >= 2 && n % 2 == 0, "node count must be even and >= 2");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "node count must be even and >= 2"
+    );
     let mut rng = SimRng::seeded(seed);
     let mut c = Cluster::new(1_000_000).with_workers(workers);
     let half = n / 2;

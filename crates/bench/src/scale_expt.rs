@@ -205,7 +205,10 @@ fn consumer_node(i: usize, rng: &mut SimRng) -> (Kernel, MboxId, MboxId) {
 ///
 /// Panics when `n < 2` or `n` is odd.
 pub fn build_cluster(n: usize, seed: u64, workers: usize) -> Cluster {
-    assert!(n >= 2 && n % 2 == 0, "node count must be even and >= 2");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "node count must be even and >= 2"
+    );
     let mut rng = SimRng::seeded(seed);
     let mut c = Cluster::new(1_000_000).with_workers(workers);
     let half = n / 2;
@@ -309,7 +312,10 @@ fn quiet_consumer_node(i: usize, rng: &mut SimRng) -> (Kernel, MboxId, MboxId) {
 ///
 /// Panics when `n < 2` or `n` is odd.
 pub fn build_quiet_cluster(n: usize, seed: u64, workers: usize) -> Cluster {
-    assert!(n >= 2 && n % 2 == 0, "node count must be even and >= 2");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "node count must be even and >= 2"
+    );
     let mut rng = SimRng::seeded(seed ^ 0x9_1E7);
     let mut c = Cluster::new(1_000_000).with_workers(workers);
     let half = n / 2;

@@ -725,27 +725,6 @@ impl MissReport {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// A cluster rollup over zero nodes (or nodes with zero state-age
-    /// samples) must render and serialize without panicking: every
-    /// histogram summary degrades to zero, never divides by the count.
-    #[test]
-    fn empty_rollup_renders_without_panicking() {
-        let c = ClusterMetrics::from_nodes(Vec::new());
-        assert_eq!(c.node_count(), 0);
-        assert_eq!(c.state_age.count(), 0);
-        assert_eq!(c.state_age.mean(), Duration::ZERO);
-        let text = c.render();
-        assert!(text.contains("nodes 0"));
-        let json = c.to_json();
-        assert!(json.contains("\"node_count\": 0"));
-        assert!(json.contains("\"state_age\": {\"count\": 0, \"mean_ns\": 0"));
-    }
-}
-
 impl Kernel {
     /// Live per-service counters (cheap to read at any time).
     pub fn counters(&self) -> &ServiceCounters {
@@ -848,5 +827,26 @@ impl Kernel {
             window,
             dropped_before_window: self.trace.dropped(),
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cluster rollup over zero nodes (or nodes with zero state-age
+    /// samples) must render and serialize without panicking: every
+    /// histogram summary degrades to zero, never divides by the count.
+    #[test]
+    fn empty_rollup_renders_without_panicking() {
+        let c = ClusterMetrics::from_nodes(Vec::new());
+        assert_eq!(c.node_count(), 0);
+        assert_eq!(c.state_age.count(), 0);
+        assert_eq!(c.state_age.mean(), Duration::ZERO);
+        let text = c.render();
+        assert!(text.contains("nodes 0"));
+        let json = c.to_json();
+        assert!(json.contains("\"node_count\": 0"));
+        assert!(json.contains("\"state_age\": {\"count\": 0, \"mean_ns\": 0"));
     }
 }

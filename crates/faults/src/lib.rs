@@ -32,6 +32,14 @@
 //! - **Frame corruption** ([`FaultPlan::corruption`]): each bus grant
 //!   independently corrupts with probability `p`, consuming an error
 //!   frame's bus time and triggering automatic retransmission.
+//!
+//! A fourth species targets the *topology* layer rather than a node:
+//! **gateway fail-stop** ([`FaultPlan::gateway_fail_stop`]), compiled
+//! by [`GatewayFaultClock`]. A down gateway forwards nothing, its
+//! buffered frames are lost (charged to the originating segments), and
+//! the topology executive deterministically re-routes surviving
+//! traffic over the remaining gateway graph — or counts a partition
+//! when no path survives (DESIGN.md §16).
 
 use emeralds_sim::{Duration, NodeId, SimRng, Time};
 
@@ -65,6 +73,20 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+/// One scheduled *gateway* fail-stop: the bridge between two segments
+/// halts for `outage`, then restarts. While down it forwards nothing
+/// and its buffered frames are lost; the topology executive re-routes
+/// surviving traffic around it (DESIGN.md §16).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GatewayFault {
+    /// Gateway index, in topology registration order.
+    pub gateway: u32,
+    /// Virtual instant the outage begins.
+    pub at: Time,
+    /// How long the gateway stays down.
+    pub outage: Duration,
+}
+
 /// A complete, explicit description of every fault injected into one
 /// run. Plans are data: print one, commit one, replay one.
 #[derive(Clone, Debug, PartialEq)]
@@ -75,6 +97,10 @@ pub struct FaultPlan {
     pub corruption: f64,
     /// Scheduled node faults, in no particular order.
     pub events: Vec<FaultEvent>,
+    /// Scheduled gateway fail-stops, in no particular order. Only the
+    /// topology executive consumes these; single-segment executives
+    /// ignore them.
+    pub gateway_events: Vec<GatewayFault>,
 }
 
 impl FaultPlan {
@@ -84,6 +110,7 @@ impl FaultPlan {
             seed,
             corruption: 0.0,
             events: Vec::new(),
+            gateway_events: Vec::new(),
         }
     }
 
@@ -135,6 +162,22 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a gateway fail-stop: `gateway` (topology registration
+    /// index) halts at `at` for `outage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero outage.
+    pub fn gateway_fail_stop(mut self, gateway: u32, at: Time, outage: Duration) -> FaultPlan {
+        assert!(!outage.is_zero(), "zero gateway outage");
+        self.gateway_events.push(GatewayFault {
+            gateway,
+            at,
+            outage,
+        });
+        self
+    }
+
     /// Generates a random plan: each of `nodes` suffers a fail-stop
     /// with probability `fail_stop_p` and a babble window with
     /// probability `babble_p`, placed inside the middle of `[0,
@@ -170,12 +213,101 @@ impl FaultPlan {
 
     /// True when the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.corruption == 0.0
+        self.events.is_empty() && self.gateway_events.is_empty() && self.corruption == 0.0
     }
 
     /// Largest node index referenced by any event, if any.
     pub fn max_node(&self) -> Option<usize> {
         self.events.iter().map(|e| e.node.index()).max()
+    }
+
+    /// Largest gateway index referenced by any gateway event, if any.
+    pub fn max_gateway(&self) -> Option<u32> {
+        self.gateway_events.iter().map(|e| e.gateway).max()
+    }
+}
+
+/// Sorts outage windows and merges overlaps into a disjoint list.
+fn merge_windows(mut wins: Vec<(Time, Time)>) -> Vec<(Time, Time)> {
+    wins.sort();
+    let mut merged: Vec<(Time, Time)> = Vec::with_capacity(wins.len());
+    for &(s, e) in &wins {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
+}
+
+/// Compiled gateway fail-stop schedule: the topology executive's
+/// counterpart of [`FaultClock`], queried only at outer barriers (the
+/// serial inter-segment exchange), so every judgment is a pure
+/// function of the plan and the barrier instant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GatewayFaultClock {
+    /// Per-gateway sorted, disjoint outage windows `[start, end)`.
+    gateways: Vec<Vec<(Time, Time)>>,
+}
+
+impl GatewayFaultClock {
+    /// Compiles a plan's gateway events for a topology of `gateways`
+    /// bridges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an event references a gateway index `>= gateways`.
+    pub fn new(plan: &FaultPlan, gateways: usize) -> GatewayFaultClock {
+        if let Some(max) = plan.max_gateway() {
+            assert!(
+                (max as usize) < gateways,
+                "fault plan references gateway {max} of {gateways}"
+            );
+        }
+        let mut per: Vec<Vec<(Time, Time)>> = vec![Vec::new(); gateways];
+        for ev in &plan.gateway_events {
+            per[ev.gateway as usize].push((ev.at, ev.at + ev.outage));
+        }
+        GatewayFaultClock {
+            gateways: per.into_iter().map(merge_windows).collect(),
+        }
+    }
+
+    /// Number of gateways the clock was compiled for.
+    pub fn len(&self) -> usize {
+        self.gateways.len()
+    }
+
+    /// True when compiled for zero gateways.
+    pub fn is_empty(&self) -> bool {
+        self.gateways.is_empty()
+    }
+
+    /// Is `gateway` inside a fail-stop outage at `at`?
+    pub fn is_down(&self, gateway: usize, at: Time) -> bool {
+        self.gateways[gateway]
+            .iter()
+            .any(|&(s, e)| s <= at && at < e)
+    }
+
+    /// The gateway's outage windows, sorted and disjoint.
+    pub fn windows(&self, gateway: usize) -> &[(Time, Time)] {
+        &self.gateways[gateway]
+    }
+
+    /// The earliest outage boundary (start or end) of *any* gateway
+    /// strictly after `after`. Aliveness is judged at outer barriers,
+    /// so an adaptive outer stretch must place a barrier at the first
+    /// outer grid point at-or-after each boundary — the same rule
+    /// [`FaultClock::next_outage_boundary_after`] imposes on the inner
+    /// engines.
+    pub fn next_boundary_after(&self, after: Time) -> Option<Time> {
+        self.gateways
+            .iter()
+            .flat_map(|wins| wins.iter())
+            .flat_map(|&(s, e)| [s, e])
+            .filter(|&t| t > after)
+            .min()
     }
 }
 
@@ -240,15 +372,7 @@ impl FaultClock {
         // executives can binary-search and the fail-stop gate walks a
         // disjoint list.
         for nf in &mut per {
-            nf.down.sort();
-            let mut merged: Vec<(Time, Time)> = Vec::with_capacity(nf.down.len());
-            for &(s, e) in &nf.down {
-                match merged.last_mut() {
-                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
-                    _ => merged.push((s, e)),
-                }
-            }
-            nf.down = merged;
+            nf.down = merge_windows(std::mem::take(&mut nf.down));
             nf.babble.sort_by_key(|w| w.from);
         }
         FaultClock {
@@ -449,6 +573,43 @@ mod tests {
         // …and consuming the window's ticks exhausts it.
         assert_eq!(fc.babble_due(1, Time::from_ms(31)), 2);
         assert_eq!(fc.next_babble_instant(), None);
+    }
+
+    #[test]
+    fn gateway_windows_merge_and_query() {
+        let plan = FaultPlan::new(2)
+            .gateway_fail_stop(1, Time::from_ms(10), ms(5))
+            .gateway_fail_stop(1, Time::from_ms(12), ms(10))
+            .gateway_fail_stop(0, Time::from_ms(40), ms(2));
+        assert_eq!(plan.max_gateway(), Some(1));
+        assert!(!plan.is_empty());
+        let gc = GatewayFaultClock::new(&plan, 3);
+        assert_eq!(gc.len(), 3);
+        assert_eq!(
+            gc.windows(1),
+            &[(Time::from_ms(10), Time::from_ms(22))] // merged
+        );
+        assert!(gc.is_down(1, Time::from_ms(15)));
+        assert!(!gc.is_down(1, Time::from_ms(22))); // end-exclusive
+        assert!(!gc.is_down(2, Time::from_ms(15)));
+        // Boundaries across *all* gateways, in order.
+        assert_eq!(gc.next_boundary_after(Time::ZERO), Some(Time::from_ms(10)));
+        assert_eq!(
+            gc.next_boundary_after(Time::from_ms(10)),
+            Some(Time::from_ms(22))
+        );
+        assert_eq!(
+            gc.next_boundary_after(Time::from_ms(22)),
+            Some(Time::from_ms(40))
+        );
+        assert_eq!(gc.next_boundary_after(Time::from_ms(42)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "references gateway")]
+    fn gateway_clock_rejects_out_of_range_indices() {
+        let plan = FaultPlan::new(1).gateway_fail_stop(4, Time::from_ms(1), ms(1));
+        GatewayFaultClock::new(&plan, 4);
     }
 
     #[test]

@@ -133,6 +133,13 @@ impl ClusterNode {
         }
     }
 
+    /// Installs (or clears) this node's fail-stop gate. The topology
+    /// executive uses this when splitting a global fault plan across
+    /// segments; [`Cluster::set_fault_plan`] sets its own directly.
+    pub(crate) fn set_gate(&mut self, gate: Option<FailStopGate>) {
+        self.gate = gate;
+    }
+
     /// Applies every staged reception. Runs on the node's own worker
     /// (or serially at the end of a `run_until`): it touches only this
     /// node's kernel and stats, so it is data-race-free and
@@ -290,6 +297,12 @@ impl BusState {
         self.seq += 1;
     }
 
+    /// Installs a compiled fault schedule (the topology executive's
+    /// per-segment split; [`Cluster::set_fault_plan`] sets its own).
+    pub(crate) fn set_faults(&mut self, fc: FaultClock) {
+        self.faults = Some(fc);
+    }
+
     /// Is `node` off the bus at `at` (fail-stop outage or bus-off)?
     fn node_offline(&self, nodes: &[&mut ClusterNode], node: usize, at: Time) -> bool {
         nodes[node].stats.is_bus_off() || self.faults.as_ref().is_some_and(|f| f.is_down(node, at))
@@ -443,6 +456,7 @@ impl BusState {
                 queued_at: now,
                 garbage: false,
                 state: Some(payload),
+                origin_seg: None,
             };
             self.pending.push((frame.prio, self.seq, frame));
             self.seq += 1;
@@ -533,6 +547,13 @@ impl BusState {
                 .filter(|&i| i != frame.src.index())
                 .collect(),
         };
+        if frame.dst.is_none() {
+            // Broadcast fan-out resolves here: one sent frame becomes
+            // `listeners` staged outcomes, and the counter pair keeps
+            // the conservation ledger exact (see `BusStats`).
+            self.stats.bcast_resolved += 1;
+            self.stats.bcast_fanout += targets.len() as u64;
+        }
         for t in targets {
             if self.node_offline(nodes, t, done) {
                 // A dead receiver hears nothing.
@@ -616,46 +637,7 @@ impl BusState {
         if !self.adaptive {
             return None;
         }
-        if !self.pending.is_empty() {
-            return None;
-        }
-        if nodes
-            .iter()
-            .any(|n| !n.inbox.is_empty() || !n.staged_tx.is_empty() || n.kernel.current().is_some())
-        {
-            return None;
-        }
-        // Earliest instant of each barrier-placement class above.
-        let mut strict: Option<Time> = None;
-        let mut at_or: Option<Time> = None;
-        let fold = |slot: &mut Option<Time>, t: Time| {
-            *slot = Some(slot.map_or(t, |m| m.min(t)));
-        };
-        for n in nodes.iter() {
-            if let Some(t) = n.kernel.next_external_time() {
-                fold(&mut strict, t);
-            }
-        }
-        if let Some(f) = self.faults.as_ref() {
-            if let Some(t) = f.next_babble_instant() {
-                fold(&mut strict, t);
-            }
-            if let Some(t) = f.next_outage_boundary_after(now) {
-                fold(&mut at_or, t);
-            }
-        }
-        let recovery = self.error_cfg.recovery_time(self.bitrate_bps);
-        for n in nodes.iter() {
-            if let Some(since) = n.stats.bus_off_since {
-                fold(&mut at_or, since + recovery);
-            }
-        }
-        // `in_flight` is completion-ordered, so the front frame is
-        // the earliest staging obligation; the barrier it binds
-        // re-evaluates everything behind it.
-        if let Some(&(done, _)) = self.in_flight.front() {
-            fold(&mut at_or, done);
-        }
+        let (strict, at_or) = self.quiet_classes(nodes.iter().map(|n| &**n), now)?;
         let l = self.lookahead.as_ns();
         let grid = |k: u64| k.checked_mul(l).map(|ns| origin + Duration::from_ns(ns));
         // No bound at all: nothing will ever happen again, run
@@ -680,6 +662,61 @@ impl BusState {
             return None;
         }
         Some(target)
+    }
+
+    /// The quietness test shared by both adaptive rules (the inner
+    /// grid rule above and the topology's outer-cadence rule): `None`
+    /// when the bus cannot prove the next window empty — frames
+    /// pending arbitration, staged deliveries or harvests, or a
+    /// running kernel. Otherwise the earliest instant of each
+    /// barrier-placement class — `(strict, at_or)`, with the class
+    /// semantics of [`BusState::next_barrier_proposal`] — at which
+    /// anything on this bus can act again (`None` entries = never).
+    pub(crate) fn quiet_classes<'a>(
+        &self,
+        nodes: impl Iterator<Item = &'a ClusterNode> + Clone,
+        now: Time,
+    ) -> Option<(Option<Time>, Option<Time>)> {
+        if !self.pending.is_empty() {
+            return None;
+        }
+        if nodes
+            .clone()
+            .any(|n| !n.inbox.is_empty() || !n.staged_tx.is_empty() || n.kernel.current().is_some())
+        {
+            return None;
+        }
+        let mut strict: Option<Time> = None;
+        let mut at_or: Option<Time> = None;
+        let fold = |slot: &mut Option<Time>, t: Time| {
+            *slot = Some(slot.map_or(t, |m| m.min(t)));
+        };
+        for n in nodes.clone() {
+            if let Some(t) = n.kernel.next_external_time() {
+                fold(&mut strict, t);
+            }
+        }
+        if let Some(f) = self.faults.as_ref() {
+            if let Some(t) = f.next_babble_instant() {
+                fold(&mut strict, t);
+            }
+            if let Some(t) = f.next_outage_boundary_after(now) {
+                fold(&mut at_or, t);
+            }
+        }
+        let recovery = self.error_cfg.recovery_time(self.bitrate_bps);
+        for n in nodes {
+            if let Some(since) = n.stats.bus_off_since {
+                fold(&mut at_or, since + recovery);
+            }
+        }
+        // `in_flight` is completion-ordered, so the front frame is
+        // the earliest staging obligation; the barrier it binds
+        // re-evaluates everything behind it.
+        if let Some(&(done, _)) = self.in_flight.front() {
+            fold(&mut at_or, done);
+        }
+        Some((strict, at_or))
     }
 
     /// End-of-run flush, shared by [`Cluster::run_until`] and the

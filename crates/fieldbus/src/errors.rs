@@ -260,7 +260,7 @@ mod tests {
         let mut at = Time::ZERO;
         let mut entered = false;
         for _ in 0..32 {
-            at = at + Duration::from_us(100);
+            at += Duration::from_us(100);
             if s.on_tx_error(at) {
                 entered = true;
                 break;

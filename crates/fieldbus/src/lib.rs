@@ -32,7 +32,10 @@ pub mod topology;
 
 pub use cluster::{Cluster, ClusterNode};
 pub use errors::{CanErrorState, ErrorConfig, FailStopGate, NodeStats};
-pub use topology::{GatewayConfig, GatewayId, GatewayStats, SegmentId, Topology};
+pub use topology::{
+    ClassSplit, ConservationReport, GatewayConfig, GatewayId, GatewayPolicy, GatewayStats,
+    SegmentId, TopoEvent, TopoEventKind, Topology, TopologyConfigError,
+};
 
 use std::collections::VecDeque;
 
@@ -115,6 +118,13 @@ pub struct Frame {
     /// *overwrites* this payload in place instead of queueing behind
     /// it (§7: the bus carries the freshest value, never history).
     pub state: Option<StatePayload>,
+    /// Segment the frame originated on, in a bridged topology: stamped
+    /// at the frame's *first* gateway capture and preserved across
+    /// hops (unlike `src`, which is rewritten to the far-side bridge
+    /// NIC at each injection), so multi-hop gateway drops charge the
+    /// source segment. `None` on single-bus executives and for frames
+    /// that never left their home segment.
+    pub origin_seg: Option<u32>,
 }
 
 /// One node: a kernel plus its NIC wiring.
@@ -171,11 +181,24 @@ pub struct BusStats {
     /// (fail-stop outage or bus-off) at either end.
     pub frames_lost_offline: u64,
     /// Of `frames_dropped`: losses at a store-and-forward gateway in a
-    /// bridged topology (forwarding buffer overflow, or no route to the
-    /// destination segment). Charged to the segment the frame was
-    /// captured from, so the cross-segment conservation invariant
-    /// stays exact (see `topology`).
+    /// bridged topology (forwarding buffer overflow, no route to the
+    /// destination segment, or buffered frames lost to a gateway
+    /// fail-stop). Charged to the segment the frame *originated* on,
+    /// so the cross-segment conservation invariant stays exact (see
+    /// `topology`).
     pub frames_lost_gateway: u64,
+    // --- Broadcast fan-out bookkeeping (exact conservation) ---
+    /// Broadcasts whose fan-out has been resolved: the frame reached
+    /// the end of the wire and expanded to its listener set. Each such
+    /// frame was counted once in `frames_sent` but produces
+    /// `listeners` delivery/drop outcomes, so the conservation ledger
+    /// balances as `sent + bcast_fanout ==
+    /// delivered + dropped + in_flight + bcast_resolved`.
+    pub bcast_resolved: u64,
+    /// Total per-listener outcomes those resolved broadcasts expanded
+    /// to (the sum of each broadcast's listener count at resolve time;
+    /// a solo node's broadcast contributes zero).
+    pub bcast_fanout: u64,
 }
 
 impl BusStats {
@@ -205,6 +228,8 @@ impl BusStats {
         self.bus_off_recoveries += other.bus_off_recoveries;
         self.frames_lost_offline += other.frames_lost_offline;
         self.frames_lost_gateway += other.frames_lost_gateway;
+        self.bcast_resolved += other.bcast_resolved;
+        self.bcast_fanout += other.bcast_fanout;
     }
 }
 
@@ -550,6 +575,7 @@ impl Network {
                 queued_at: at,
                 garbage: false,
                 state: Some(payload),
+                origin_seg: None,
             });
             self.stats.frames_sent += 1;
         }
@@ -674,6 +700,13 @@ impl Network {
                 .filter(|&i| i != frame.src.index())
                 .collect(),
         };
+        if frame.dst.is_none() {
+            // Broadcast fan-out resolves here: one sent frame becomes
+            // `listeners` delivery/drop outcomes, and the pair of
+            // counters keeps the conservation ledger exact.
+            self.stats.bcast_resolved += 1;
+            self.stats.bcast_fanout += targets.len() as u64;
+        }
         for t in targets {
             if self.node_offline(t, done) {
                 // A dead receiver hears nothing.
@@ -737,6 +770,7 @@ pub(crate) fn frame_of(src: NodeId, prio: u32, msg: Message, now: Time) -> Frame
         queued_at: now,
         garbage: false,
         state: None,
+        origin_seg: None,
     }
 }
 
@@ -752,6 +786,7 @@ pub(crate) fn garbage_frame(src: NodeId, now: Time) -> Frame {
         queued_at: now,
         garbage: true,
         state: None,
+        origin_seg: None,
     }
 }
 
@@ -788,6 +823,7 @@ pub(crate) fn frame_of_wide(src: NodeId, prio: u32, msg: Message, now: Time) -> 
         queued_at: now,
         garbage: false,
         state: None,
+        origin_seg: None,
     }
 }
 

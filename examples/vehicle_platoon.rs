@@ -125,6 +125,7 @@ fn main() {
         latency: us(300),
         capacity: 16,
         prio: 5,
+        ..GatewayConfig::default()
     };
     for v in 0..VEHICLES - 1 {
         platoon.add_gateway(segments[v], segments[v + 1], v2v);

@@ -14,7 +14,8 @@ use std::hash::{Hash, Hasher};
 use emeralds::core::kernel::{Kernel, KernelBuilder, KernelConfig};
 use emeralds::core::script::{Action, Script};
 use emeralds::core::SchedPolicy;
-use emeralds::fieldbus::{wide_tag, GatewayConfig, GatewayId, SegmentId, Topology};
+use emeralds::faults::FaultPlan;
+use emeralds::fieldbus::{wide_tag, GatewayConfig, GatewayId, SegmentId, TopoEventKind, Topology};
 use emeralds::sim::{Duration, IrqLine, MboxId, NodeId, SimRng, Time};
 
 const NIC_IRQ: IrqLine = IrqLine(2);
@@ -212,4 +213,153 @@ fn split_runs_match_single_run() {
     assert_eq!(whole.metrics(), split.metrics());
     assert_eq!(whole.total_stats(), split.total_stats());
     assert_eq!(observe(&whole), observe(&split));
+}
+
+/// Brute-force min-cost reference for the route table: collapse
+/// parallel gateways to their cheapest edge, then Floyd–Warshall.
+fn brute_force_costs(n: usize, edges: &[(u32, u32, u64)]) -> Vec<Vec<Option<u64>>> {
+    let mut d: Vec<Vec<Option<u64>>> = vec![vec![None; n]; n];
+    for (s, row) in d.iter_mut().enumerate() {
+        row[s] = Some(0);
+    }
+    for &(a, b, c) in edges {
+        for (x, y) in [(a as usize, b as usize), (b as usize, a as usize)] {
+            if d[x][y].is_none_or(|cur| c < cur) {
+                d[x][y] = Some(c);
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let (Some(ik), Some(kj)) = (d[i][k], d[k][j]) else {
+                    continue;
+                };
+                if d[i][j].is_none_or(|cur| ik + kj < cur) {
+                    d[i][j] = Some(ik + kj);
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Hand-rolled property test: on random gateway graphs (parallel
+/// edges, redundant rings, disconnected islands included), the
+/// deterministic route table must agree with a brute-force
+/// shortest-path reference on both reachability and cost, and every
+/// chosen first hop must lie on an optimal path.
+#[test]
+fn route_tables_match_brute_force_on_random_graphs() {
+    let mut rng = SimRng::seeded(0xD1D5_7A2B);
+    for case in 0..80u64 {
+        let mut r = rng.derive(case);
+        let n = r.int_in(2, 6) as usize;
+        let m = r.int_in(0, 9) as usize;
+        let mut t = Topology::new();
+        let segs: Vec<SegmentId> = (0..n).map(|_| t.add_segment(1_000_000)).collect();
+        let mut edges: Vec<(u32, u32, u64)> = Vec::new();
+        for _ in 0..m {
+            let a = r.int_in(0, n as u64 - 1) as u32;
+            let mut b = r.int_in(0, n as u64 - 2) as u32;
+            if b >= a {
+                b += 1;
+            }
+            let cost = r.int_in(1, 4);
+            t.add_gateway(
+                segs[a as usize],
+                segs[b as usize],
+                GatewayConfig {
+                    cost,
+                    ..GatewayConfig::default()
+                },
+            );
+            edges.push((a, b, cost));
+        }
+        let reference = brute_force_costs(n, &edges);
+        for s in 0..n {
+            for dst in 0..n {
+                assert_eq!(
+                    t.route_cost(segs[s], segs[dst]),
+                    reference[s][dst],
+                    "case {case}: cost s{s}->s{dst} over {edges:?}"
+                );
+                if s == dst {
+                    continue;
+                }
+                match t.first_hop(segs[s], segs[dst]) {
+                    None => assert_eq!(reference[s][dst], None, "case {case}"),
+                    Some(g) => {
+                        let (a, b, cost) = edges[g.index()];
+                        assert!(
+                            a as usize == s || b as usize == s,
+                            "case {case}: first hop gw{} does not touch s{s}",
+                            g.index()
+                        );
+                        let other = if a as usize == s { b } else { a } as usize;
+                        assert_eq!(
+                            reference[other][dst].map(|c| c + cost),
+                            reference[s][dst],
+                            "case {case}: hop gw{} off the optimal path s{s}->s{dst}",
+                            g.index()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Killing the only bridge to a segment partitions the graph: the
+/// unreachable traffic is counted (`no_route`, charged to its origin
+/// segment), the ledger balances through outage and recovery, and the
+/// entire fault trajectory is bit-identical at 1/4/host outer
+/// workers.
+#[test]
+fn gateway_fail_stop_partition_is_counted_and_deterministic() {
+    let horizon = Time::from_ms(80);
+    let plan =
+        FaultPlan::new(0x9A7E).gateway_fail_stop(1, Time::from_ms(20), Duration::from_ms(30));
+    let run = |workers: usize| {
+        let mut t = line_topology(workers);
+        t.set_fault_plan(&plan);
+        t.run_until(horizon);
+        t
+    };
+    let mut base = run(1);
+    // gw1 is the only path to s2: its outage cuts s2 off both ways.
+    assert!(base.no_route_drops() > 0, "partition traffic uncounted");
+    assert_eq!(base.gateway_stats(GatewayId(1)).outages, 1);
+    assert!(base.reroutes() >= 2, "down + up rebuilds");
+    assert!(base.events().iter().any(|e| e.kind
+        == TopoEventKind::Reroute {
+            unreachable_pairs: 4
+        }));
+    assert!(base
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, TopoEventKind::GatewayDown { gateway: 1, .. })));
+    assert!(base
+        .events()
+        .iter()
+        .any(|e| e.kind == TopoEventKind::GatewayUp { gateway: 1 }));
+    // Restarted by the horizon: the partition healed and traffic
+    // resumed over the restored bridge.
+    assert_eq!(base.partitioned_pairs(), 0);
+    assert!(base.gateway_stats(GatewayId(1)).forwarded > 0);
+    let report = base.conservation();
+    assert!(report.holds(), "ledger {report:?}");
+    let base_obs = observe(&base);
+
+    for workers in worker_counts() {
+        let mut t = run(workers);
+        assert_eq!(observe(&t), base_obs, "workers={workers}");
+        assert_eq!(t.events(), base.events(), "workers={workers}");
+        assert_eq!(t.no_route_drops(), base.no_route_drops());
+        assert_eq!(t.reroutes(), base.reroutes());
+        assert_eq!(t.total_stats(), base.total_stats(), "workers={workers}");
+        assert_eq!(t.metrics(), base.metrics(), "workers={workers}");
+        assert_eq!(t.partitioned_pairs(), 0);
+        assert!(t.conservation().holds());
+    }
 }
