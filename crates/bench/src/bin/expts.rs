@@ -18,8 +18,9 @@
 //!                              # multi-node cluster scaling → BENCH_scale.json
 //! expts faults [--quick] [--nodes 8,16,...] [--out FILE] [--gate]
 //!                              # fault injection + recovery → BENCH_faults.json
-//! expts hotpath [--quick] [--out FILE] [--gate]
-//!                              # kernel hot-path work counters → BENCH_hotpath.json
+//! expts hotpath [--quick] [--out FILE] [--baseline FILE] [--gate]
+//!                              # kernel hot-path work counters + wall-clock
+//!                              # self-profile → BENCH_hotpath.json
 //! expts topo [--quick] [--out FILE] [--gate]
 //!                              # bridged multi-segment topologies → BENCH_topology.json
 //! expts all [--workloads N]    # everything above
@@ -186,10 +187,24 @@ fn main() {
             } else {
                 hotpath_expt::HotpathParams::full()
             };
+            // The wall-clock half: `--baseline BENCH_scale.json` names
+            // the committed pre-optimization throughput as the A arm.
+            let baseline = svalue("--baseline").map(|p| match std::fs::read_to_string(&p) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read baseline {p}: {e}");
+                    std::process::exit(1);
+                }
+            });
+            // Wall measurement first: the throughput run wants the
+            // leanest process state the binary ever has — the counter
+            // report below grows the heap and never shrinks it.
+            let wall = hotpath_expt::wall_profile(&params, baseline.as_deref());
             let report = hotpath_expt::run(&params);
             print!("{}", hotpath_expt::render(&report));
+            print!("{}", hotpath_expt::render_wall(&wall));
             let out = svalue("--out").unwrap_or_else(|| "BENCH_hotpath.json".into());
-            let json = hotpath_expt::to_json(&params, &report);
+            let json = hotpath_expt::to_json(&params, &report, Some(&wall));
             match std::fs::write(&out, &json) {
                 Ok(()) => println!("wrote {out}"),
                 Err(e) => {
@@ -198,11 +213,13 @@ fn main() {
                 }
             }
             if flag("--gate") {
-                let (lines, failed) = hotpath_expt::gate(&report);
+                let (mut lines, failed) = hotpath_expt::gate(&report);
+                let (wall_lines, wall_failed) = hotpath_expt::wall_gate(&wall);
+                lines.extend(wall_lines);
                 for l in &lines {
                     println!("{l}");
                 }
-                if failed {
+                if failed || wall_failed {
                     eprintln!("hotpath experiment gate failed");
                     std::process::exit(1);
                 }

@@ -513,7 +513,9 @@ fn line_workload(line: &str) -> &'static str {
 }
 
 /// Pulls a numeric field out of one `runs[]` line of the JSON above.
-fn field_f64(line: &str, key: &str) -> Option<f64> {
+/// Shared with the hotpath experiment, which reads the committed
+/// scale baseline as the "A" arm of its wall-clock A/B.
+pub(crate) fn field_f64(line: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\": ");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];

@@ -2,7 +2,8 @@
 
 use emeralds_hal::AccessKind;
 use emeralds_sim::{
-    Duration, EventId, IrqLine, MboxId, OverheadKind, StateId, ThreadId, TraceEvent,
+    Duration, EventId, HotSpot, IrqLine, MboxId, OverheadKind, StateId, Subsystem, ThreadId,
+    TraceEvent,
 };
 
 use crate::ipc::Message;
@@ -339,6 +340,7 @@ impl Kernel {
     /// Externally raises an interrupt line (fieldbus frame arrival);
     /// serviced immediately, as the controller would preempt.
     pub fn raise_external_irq(&mut self, line: IrqLine) {
+        let _span = HotSpot::enter(Subsystem::IrqBoard);
         self.board.intc.raise(line);
         self.record(TraceEvent::IrqRaised { line });
         self.service_pending_irqs();

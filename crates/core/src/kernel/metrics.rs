@@ -11,6 +11,8 @@
 //! last-K event window plus the ready-queue state whenever a deadline
 //! is missed, so a failing test prints *why*.
 
+use std::sync::Arc;
+
 use emeralds_sim::{Duration, DurationHistogram, ThreadId, Time, TraceEvent};
 
 use crate::kernel::Kernel;
@@ -51,7 +53,7 @@ impl MissCause {
 /// Live event counters, one per kernel service. Updated by the
 /// kernel's `record` on every event, independent of whether the trace
 /// stores it, so they are exact for arbitrarily long runs.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceCounters {
     // --- System calls by kind ---
     pub sys_acquire_sem: u64,
@@ -237,7 +239,7 @@ impl ServiceCounters {
 #[derive(Clone, Debug, PartialEq)]
 pub struct TaskMetrics {
     pub tid: ThreadId,
-    pub name: String,
+    pub name: Arc<str>,
     pub jobs_completed: u64,
     pub deadline_misses: u64,
     pub cpu_time: Duration,
@@ -411,7 +413,7 @@ impl NodeFaultSummary {
 /// One node's slice of a [`ClusterMetrics`] rollup.
 #[derive(Clone, Debug, PartialEq)]
 pub struct NodeMetrics {
-    pub name: String,
+    pub name: Arc<str>,
     pub metrics: KernelMetrics,
     /// Bus error/fault forensics for this node (default when the
     /// executive injects no faults).
@@ -647,7 +649,7 @@ impl ClusterMetrics {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TaskSnapshot {
     pub tid: ThreadId,
-    pub name: String,
+    pub name: Arc<str>,
     pub ready: bool,
     /// Debug rendering of the thread state (block reason included).
     pub state: String,
@@ -661,7 +663,7 @@ pub struct TaskSnapshot {
 pub struct MissReport {
     pub at: Time,
     pub tid: ThreadId,
-    pub name: String,
+    pub name: Arc<str>,
     pub job: u64,
     pub deadline: Time,
     pub release: Time,
@@ -739,7 +741,7 @@ impl Kernel {
 
     /// Snapshots every kernel counter and per-task statistic.
     pub fn metrics(&self) -> KernelMetrics {
-        let mut counters = self.counters.clone();
+        let mut counters = self.counters;
         // The wait-free state-message reader never restarts when the
         // buffer is deep enough; surface the per-variable check anyway.
         counters.statemsg_retries = self.statemsgs.iter().map(|v| v.retries()).sum();

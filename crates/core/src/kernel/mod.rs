@@ -25,8 +25,8 @@ pub use validate::ConfigError;
 
 use emeralds_hal::{Board, BoardConfig, Clock, CostModel, Perms};
 use emeralds_sim::{
-    Accounting, CvId, Duration, EventId, IrqLine, MboxId, OverheadKind, ProcId, SemId, StateId,
-    ThreadId, Time, Trace, TraceEvent,
+    Accounting, CvId, Duration, EventId, HotSpot, IrqLine, MboxId, OverheadKind, ProcId, SemId,
+    StateId, Subsystem, ThreadId, Time, Trace, TraceEvent,
 };
 
 use crate::alloc::PoolSet;
@@ -139,6 +139,9 @@ pub struct Kernel {
     pub(crate) irq_waiters: Vec<Vec<ThreadId>>,
     pub(crate) irq_actions: Vec<IrqAction>,
     pub(crate) timers: TimerQueue<TimerEvent>,
+    /// Reused buffer for the IRQ lines `Board::advance_to` raises —
+    /// the steady-state execution loop must not allocate.
+    pub(crate) irq_scratch: Vec<IrqLine>,
     pub(crate) pools: PoolSet,
     pub(crate) current: Option<ThreadId>,
     pub(crate) trace: Trace,
@@ -352,6 +355,7 @@ impl Kernel {
     /// Records a trace event at the current instant. The live service
     /// counters observe every event, even when the trace stores none.
     pub(crate) fn record(&mut self, ev: TraceEvent) {
+        let _span = HotSpot::enter(Subsystem::TraceRecord);
         self.counters.observe(&ev);
         self.trace.push(self.clock.now(), ev);
     }
@@ -735,28 +739,25 @@ impl KernelBuilder {
             (true, None) => Trace::new(),
         };
 
-        for (i, spec) in self.tasks.iter().enumerate() {
+        // Specs are consumed, not cloned: hints are computed before
+        // the script moves into its TCB.
+        for (i, spec) in std::mem::take(&mut self.tasks).into_iter().enumerate() {
             let tid = ThreadId(i as u32);
             let prio = rm_prio[i];
             let queue = self.cfg.policy.queue_of(prio);
-            let mut tcb = Tcb::new(
-                tid,
-                spec.proc,
-                spec.name.clone(),
-                spec.timing,
-                spec.script.clone(),
-                prio,
-                queue,
-            );
-            tcb.hints = parser::compute_hints(&spec.script);
+            let mut hints = parser::compute_hints(&spec.script);
             for &(ti, ai, h) in &self.hint_overrides {
                 if ti == i {
-                    tcb.hints[ai] = h;
+                    hints[ai] = h;
                 }
             }
+            let proc = spec.proc;
+            let timing = spec.timing;
+            let mut tcb = Tcb::new(tid, proc, spec.name, timing, spec.script, prio, queue);
+            tcb.hints = hints;
             pools.tcbs.alloc();
-            self.procs[spec.proc.index()].add_thread(tid);
-            match spec.timing {
+            self.procs[proc.index()].add_thread(tid);
+            match timing {
                 Timing::Periodic { phase, .. } => {
                     tcb.next_release = Time::ZERO + phase;
                     timers.arm(tcb.next_release, TimerEvent::Release(tid));
@@ -853,6 +854,7 @@ impl KernelBuilder {
             irq_waiters: vec![Vec::new(); emeralds_hal::irq::MAX_IRQ_LINES],
             irq_actions: self.irq_actions,
             timers,
+            irq_scratch: Vec::new(),
             pools,
             current: None,
             trace,

@@ -48,6 +48,34 @@
 //! assert_eq!(k.total_deadline_misses(), 0);
 //! ```
 
+// Perf-oriented lint wall for the kernel hot paths, with the pedantic
+// groups that are pure churn for this codebase allowed explicitly:
+// casts between the fixed-width sim types are ubiquitous and
+// range-checked by construction, `#[must_use]`/doc-section lints don't
+// affect generated code, and the render helpers' `push_str(&format!)`
+// idiom is clearer than `write!` chains off the hot path.
+#![warn(clippy::perf, clippy::pedantic)]
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_precision_loss,
+    clippy::cast_sign_loss,
+    clippy::cast_lossless,
+    clippy::doc_markdown,
+    clippy::enum_glob_use,
+    clippy::format_push_string,
+    clippy::items_after_statements,
+    clippy::many_single_char_names,
+    clippy::missing_errors_doc,
+    clippy::missing_panics_doc,
+    clippy::module_name_repetitions,
+    clippy::must_use_candidate,
+    clippy::redundant_closure_for_method_calls,
+    clippy::return_self_not_must_use,
+    clippy::similar_names,
+    clippy::struct_excessive_bools,
+    clippy::too_many_lines
+)]
+
 pub mod alloc;
 pub mod footprint;
 pub mod ipc;

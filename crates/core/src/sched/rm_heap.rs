@@ -11,6 +11,10 @@ use emeralds_sim::{Duration, ThreadId};
 
 use crate::tcb::TcbTable;
 
+fn prio(tcbs: &TcbTable, tid: ThreadId) -> u32 {
+    tcbs.get(tid).rm_prio
+}
+
 /// A binary min-heap of *ready* tasks keyed by RM priority.
 #[derive(Debug, Default)]
 pub struct RmHeap {
@@ -25,10 +29,6 @@ impl RmHeap {
     /// Creates an empty heap.
     pub fn new() -> Self {
         RmHeap::default()
-    }
-
-    fn prio(&self, tcbs: &TcbTable, tid: ThreadId) -> u32 {
-        tcbs.get(tid).rm_prio
     }
 
     fn set_pos(&mut self, tid: ThreadId, p: usize) {
@@ -61,7 +61,7 @@ impl RmHeap {
         while i > 0 {
             let parent = (i - 1) / 2;
             levels += 1;
-            if self.prio(tcbs, self.heap[parent]) <= self.prio(tcbs, self.heap[i]) {
+            if prio(tcbs, self.heap[parent]) <= prio(tcbs, self.heap[i]) {
                 break;
             }
             self.swap(i, parent);
@@ -92,13 +92,11 @@ impl RmHeap {
             loop {
                 let (l, r) = (2 * i + 1, 2 * i + 2);
                 let mut smallest = i;
-                if l < self.heap.len()
-                    && self.prio(tcbs, self.heap[l]) < self.prio(tcbs, self.heap[smallest])
+                if l < self.heap.len() && prio(tcbs, self.heap[l]) < prio(tcbs, self.heap[smallest])
                 {
                     smallest = l;
                 }
-                if r < self.heap.len()
-                    && self.prio(tcbs, self.heap[r]) < self.prio(tcbs, self.heap[smallest])
+                if r < self.heap.len() && prio(tcbs, self.heap[r]) < prio(tcbs, self.heap[smallest])
                 {
                     smallest = r;
                 }
@@ -112,7 +110,7 @@ impl RmHeap {
             // Sift up (removal from the middle can need either).
             while i > 0 {
                 let parent = (i - 1) / 2;
-                if self.prio(tcbs, self.heap[parent]) <= self.prio(tcbs, self.heap[i]) {
+                if prio(tcbs, self.heap[parent]) <= prio(tcbs, self.heap[i]) {
                     break;
                 }
                 levels += 1;
@@ -161,7 +159,7 @@ impl RmHeap {
         for i in 1..self.heap.len() {
             let parent = (i - 1) / 2;
             assert!(
-                self.prio(tcbs, self.heap[parent]) <= self.prio(tcbs, self.heap[i]),
+                prio(tcbs, self.heap[parent]) <= prio(tcbs, self.heap[i]),
                 "heap property violated at {i}"
             );
         }

@@ -16,7 +16,7 @@
 use emeralds_sim::{CvId, DevId, Duration, EventId, IrqLine, MboxId, SemId, StateId};
 
 /// One step of a task body.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Action {
     /// Consume CPU for the given span (application work).
     Compute(Duration),

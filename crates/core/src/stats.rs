@@ -5,6 +5,8 @@
 //! went — into one renderable structure, used by the examples and the
 //! experiment harness.
 
+use std::sync::Arc;
+
 use emeralds_sim::{Duration, ThreadId};
 
 use crate::kernel::Kernel;
@@ -14,7 +16,7 @@ use crate::tcb::Timing;
 #[derive(Clone, Debug)]
 pub struct TaskReport {
     pub tid: ThreadId,
-    pub name: String,
+    pub name: Arc<str>,
     pub period: Option<Duration>,
     pub jobs_completed: u64,
     pub deadline_misses: u64,
@@ -179,7 +181,7 @@ mod tests {
         let r = KernelReport::collect(&k);
         // "slow" is preempted by "fast" repeatedly: response/period
         // ratio is worse.
-        assert_eq!(r.tightest_task().unwrap().name, "slow");
+        assert_eq!(&*r.tightest_task().unwrap().name, "slow");
     }
 
     #[test]

@@ -310,14 +310,13 @@ impl Kernel {
                     // restore it first (the "T3" extra step), then
                     // swap with the new donor.
                     if let Some(old) = self.sems[s.index()].placeholder {
-                        if old != donor {
-                            let c = self
-                                .sched
-                                .pi_swap(holder, old, &mut self.tcbs, &self.cfg.cost);
-                            self.charge(OverheadKind::PriorityInheritance, c);
-                        } else {
+                        if old == donor {
                             return; // already placeholding
                         }
+                        let c = self
+                            .sched
+                            .pi_swap(holder, old, &mut self.tcbs, &self.cfg.cost);
+                        self.charge(OverheadKind::PriorityInheritance, c);
                     }
                     let c = self
                         .sched

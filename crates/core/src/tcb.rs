@@ -8,6 +8,8 @@
 //! implementation keeps both ready and blocked tasks in the same
 //! queue").
 
+use std::sync::Arc;
+
 use emeralds_sim::{
     CvId, Duration, DurationHistogram, EventId, IrqLine, MboxId, ProcId, SemId, ThreadId, Time,
 };
@@ -78,13 +80,18 @@ pub enum Timing {
 pub struct Tcb {
     pub id: ThreadId,
     pub proc: ProcId,
-    pub name: String,
+    /// Shared so metrics snapshots bump a refcount instead of copying
+    /// the string.
+    pub name: Arc<str>,
     pub timing: Timing,
     pub script: Script,
     /// Next-semaphore hints, parallel to `script.actions`
     /// (see [`crate::parser`]). `hints[i]` is the semaphore the task
     /// will acquire right after blocking call `i` returns.
     pub hints: Vec<Option<SemId>>,
+    /// [`crate::parser::end_of_job_hint`] of `script`, precomputed —
+    /// the release path consults it once per job.
+    pub eoj_hint: Option<SemId>,
 
     // --- Execution state ---
     pub state: ThreadState,
@@ -156,7 +163,7 @@ impl Tcb {
     pub fn new(
         id: ThreadId,
         proc: ProcId,
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         timing: Timing,
         script: Script,
         rm_prio: u32,
@@ -167,6 +174,7 @@ impl Tcb {
             Timing::EventDriven { .. } => ThreadState::Ready,
         };
         let hints = vec![None; script.actions.len()];
+        let eoj_hint = crate::parser::end_of_job_hint(&script);
         Tcb {
             id,
             proc,
@@ -174,6 +182,7 @@ impl Tcb {
             timing,
             script,
             hints,
+            eoj_hint,
             state,
             pc: 0,
             compute_left: Duration::ZERO,
@@ -339,7 +348,7 @@ mod tests {
         tab.insert(tcb(0));
         tab.insert(tcb(1));
         assert_eq!(tab.len(), 2);
-        assert_eq!(tab.get(ThreadId(1)).name, "t1");
+        assert_eq!(&*tab.get(ThreadId(1)).name, "t1");
         tab.get_mut(ThreadId(0)).job = 3;
         assert_eq!(tab.get(ThreadId(0)).job, 3);
     }

@@ -30,7 +30,7 @@
 //! comparisons) so the hot-path benchmark can state the before/after
 //! honestly.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use emeralds_sim::Time;
 
@@ -60,10 +60,16 @@ pub struct TimerQueue<E> {
     /// Sorted dispensing window: every entry with bucket index below
     /// `dispensed_until`. Nonempty whenever the queue is nonempty.
     current: VecDeque<Entry<E>>,
-    /// Calendar buckets (index = expiry ns >> BUCKET_SHIFT) holding
-    /// unsorted far entries, all with bucket >= `dispensed_until`.
-    far: BTreeMap<u64, Vec<Entry<E>>>,
+    /// Calendar buckets `(index, entries)` sorted by index
+    /// (index = expiry ns >> BUCKET_SHIFT), holding unsorted far
+    /// entries, all with bucket >= `dispensed_until`. A flat sorted
+    /// deque instead of a `BTreeMap`: periodic re-arms in steady state
+    /// then recycle capacity instead of churning tree nodes — the
+    /// kernel hot loop stays allocation-free once warmed up.
+    far: VecDeque<(u64, Vec<Entry<E>>)>,
     far_len: usize,
+    /// Emptied bucket vectors kept for reuse (capacity, not contents).
+    spare: Vec<Vec<Entry<E>>>,
     /// Exclusive bucket bound of the dispensing window.
     dispensed_until: u64,
     seq: u64,
@@ -81,8 +87,9 @@ impl<E> TimerQueue<E> {
     pub fn new() -> Self {
         TimerQueue {
             current: VecDeque::new(),
-            far: BTreeMap::new(),
+            far: VecDeque::new(),
             far_len: 0,
+            spare: Vec::new(),
             dispensed_until: 0,
             seq: 0,
             insert_walks: 0,
@@ -91,11 +98,23 @@ impl<E> TimerQueue<E> {
         }
     }
 
+    /// Bound on pooled bucket vectors — enough for every in-flight
+    /// bucket of a busy workload without letting a burst pin memory.
+    const SPARE_CAP: usize = 64;
+
+    /// Returns an emptied bucket vector to the reuse pool.
+    fn recycle(&mut self, v: Vec<Entry<E>>) {
+        debug_assert!(v.is_empty());
+        if self.spare.len() < Self::SPARE_CAP {
+            self.spare.push(v);
+        }
+    }
+
     /// Pulls the earliest far bucket into the (empty) dispensing
     /// window, sorting it once.
     fn cascade(&mut self) {
         debug_assert!(self.current.is_empty());
-        if let Some((bucket, mut v)) = self.far.pop_first() {
+        if let Some((bucket, mut v)) = self.far.pop_front() {
             self.far_len -= v.len();
             let mut cmps = 0u64;
             v.sort_by(|a, b| {
@@ -103,7 +122,8 @@ impl<E> TimerQueue<E> {
                 (a.at, a.seq).cmp(&(b.at, b.seq))
             });
             self.insert_walks += cmps;
-            self.current.extend(v);
+            self.current.extend(v.drain(..));
+            self.recycle(v);
             self.dispensed_until = bucket + 1;
         }
     }
@@ -122,10 +142,17 @@ impl<E> TimerQueue<E> {
             self.current.insert(pos, Entry { at, seq, payload });
             usize::BITS as usize - self.current.len().leading_zeros() as usize
         } else {
-            self.far
-                .entry(bucket)
-                .or_default()
-                .push(Entry { at, seq, payload });
+            // Sorted-by-bucket deque: find the bucket's slot (steady
+            // periodic re-arms land at or near the back).
+            let pos = self.far.partition_point(|(b, _)| *b < bucket);
+            match self.far.get_mut(pos) {
+                Some((b, v)) if *b == bucket => v.push(Entry { at, seq, payload }),
+                _ => {
+                    let mut v = self.spare.pop().unwrap_or_default();
+                    v.push(Entry { at, seq, payload });
+                    self.far.insert(pos, (bucket, v));
+                }
+            }
             self.far_len += 1;
             if self.current.is_empty() {
                 self.cascade();
@@ -144,7 +171,7 @@ impl<E> TimerQueue<E> {
 
     /// Pops the head if due at or before `now` — O(1) on the deque.
     pub fn pop_due(&mut self, now: Time) -> Option<(Time, E)> {
-        if self.current.front().map(|e| e.at <= now) == Some(true) {
+        if self.current.front().is_some_and(|e| e.at <= now) {
             let e = self.current.pop_front().expect("front checked above");
             self.expirations += 1;
             if self.current.is_empty() {
@@ -166,11 +193,19 @@ impl<E> TimerQueue<E> {
     pub fn cancel(&mut self, mut pred: impl FnMut(&E) -> bool) -> usize {
         let before = self.len();
         self.current.retain(|e| !pred(&e.payload));
-        for v in self.far.values_mut() {
+        for (_, v) in &mut self.far {
             v.retain(|e| !pred(&e.payload));
         }
-        self.far.retain(|_, v| !v.is_empty());
-        self.far_len = self.far.values().map(Vec::len).sum();
+        let mut i = 0;
+        while i < self.far.len() {
+            if self.far[i].1.is_empty() {
+                let (_, v) = self.far.remove(i).expect("index checked above");
+                self.recycle(v);
+            } else {
+                i += 1;
+            }
+        }
+        self.far_len = self.far.iter().map(|(_, v)| v.len()).sum();
         if self.current.is_empty() {
             self.cascade();
         }
@@ -323,7 +358,7 @@ mod tests {
         }
 
         fn pop_due(&mut self, now: Time) -> Option<(Time, u64)> {
-            if self.entries.first().map(|e| e.0 <= now) == Some(true) {
+            if self.entries.first().is_some_and(|e| e.0 <= now) {
                 let (at, _, payload) = self.entries.remove(0);
                 Some((at, payload))
             } else {

@@ -32,7 +32,8 @@ use emeralds_core::kernel::{ClusterMetrics, NodeMetrics};
 use emeralds_core::Kernel;
 use emeralds_faults::{FaultClock, FaultPlan};
 use emeralds_sim::{
-    run_epochs, Duration, EpochConfig, EpochNode, IrqLine, MboxId, NodeId, StateId, Time,
+    run_epochs_reusing, Duration, EpochConfig, EpochNode, EpochScratch, IrqLine, MboxId, NodeId,
+    StateId, Time,
 };
 
 use crate::errors::{ErrorConfig, FailStopGate, NodeStats};
@@ -77,7 +78,8 @@ pub(crate) struct RxOutcome {
 #[derive(Debug)]
 pub struct ClusterNode {
     pub id: NodeId,
-    pub name: String,
+    /// Shared so metrics rollups bump a refcount instead of copying.
+    pub name: std::sync::Arc<str>,
     pub kernel: Kernel,
     /// Application → NIC mailbox.
     pub tx_mbox: MboxId,
@@ -110,7 +112,7 @@ impl ClusterNode {
     /// [`crate::Topology`].
     pub(crate) fn new(
         id: NodeId,
-        name: String,
+        name: impl Into<std::sync::Arc<str>>,
         kernel: Kernel,
         tx_mbox: MboxId,
         rx_mbox: MboxId,
@@ -119,7 +121,7 @@ impl ClusterNode {
     ) -> ClusterNode {
         ClusterNode {
             id,
-            name,
+            name: name.into(),
             kernel,
             tx_mbox,
             rx_mbox,
@@ -250,6 +252,9 @@ pub(crate) struct BusState {
     /// destination field instead of [`crate::addressed_tag`]'s 8-bit
     /// one (bridged topologies exceed one byte of node ids).
     pub(crate) wide_tags: bool,
+    /// Reused receiver-index buffer for [`BusState::stage`]: staging a
+    /// frame in the steady state must not allocate.
+    stage_scratch: Vec<usize>,
 }
 
 impl BusState {
@@ -278,6 +283,7 @@ impl BusState {
             routing: None,
             remote_out: Vec::new(),
             wide_tags: false,
+            stage_scratch: Vec::new(),
         };
         bus.lookahead = bus.frame_time(8);
         bus
@@ -531,22 +537,23 @@ impl BusState {
     /// for the topology executive instead; broadcasts always stay
     /// segment-local.
     fn stage(&mut self, nodes: &mut [&mut ClusterNode], frame: Frame, done: Time) {
-        let targets: Vec<usize> = match frame.dst {
+        let mut targets = std::mem::take(&mut self.stage_scratch);
+        debug_assert!(targets.is_empty());
+        match frame.dst {
             Some(d) => match self.routing.as_ref() {
                 Some(r) => {
                     let local = r.local_of.get(d.index()).copied().unwrap_or(u32::MAX);
                     if local == u32::MAX {
                         self.remote_out.push((done, frame));
+                        self.stage_scratch = targets;
                         return;
                     }
-                    vec![local as usize]
+                    targets.push(local as usize);
                 }
-                None => vec![d.index()],
+                None => targets.push(d.index()),
             },
-            None => (0..nodes.len())
-                .filter(|&i| i != frame.src.index())
-                .collect(),
-        };
+            None => targets.extend((0..nodes.len()).filter(|&i| i != frame.src.index())),
+        }
         if frame.dst.is_none() {
             // Broadcast fan-out resolves here: one sent frame becomes
             // `listeners` staged outcomes, and the counter pair keeps
@@ -554,7 +561,7 @@ impl BusState {
             self.stats.bcast_resolved += 1;
             self.stats.bcast_fanout += targets.len() as u64;
         }
-        for t in targets {
+        for &t in &targets {
             if self.node_offline(nodes, t, done) {
                 // A dead receiver hears nothing.
                 nodes[t].stats.rx_dropped += 1;
@@ -584,6 +591,8 @@ impl BusState {
                 });
             }
         }
+        targets.clear();
+        self.stage_scratch = targets;
     }
 
     /// Adaptive lookahead: after an exchange at `now`, propose the
@@ -674,16 +683,10 @@ impl BusState {
     /// anything on this bus can act again (`None` entries = never).
     pub(crate) fn quiet_classes<'a>(
         &self,
-        nodes: impl Iterator<Item = &'a ClusterNode> + Clone,
+        nodes: impl Iterator<Item = &'a ClusterNode>,
         now: Time,
     ) -> Option<(Option<Time>, Option<Time>)> {
         if !self.pending.is_empty() {
-            return None;
-        }
-        if nodes
-            .clone()
-            .any(|n| !n.inbox.is_empty() || !n.staged_tx.is_empty() || n.kernel.current().is_some())
-        {
             return None;
         }
         let mut strict: Option<Time> = None;
@@ -691,9 +694,19 @@ impl BusState {
         let fold = |slot: &mut Option<Time>, t: Time| {
             *slot = Some(slot.map_or(t, |m| m.min(t)));
         };
-        for n in nodes.clone() {
+        let recovery = self.error_cfg.recovery_time(self.bitrate_bps);
+        // One pass over the nodes: any busy node vetoes the stretch
+        // outright (partially folded bounds are discarded with it);
+        // every quiet node contributes its wake instants.
+        for n in nodes {
+            if !n.inbox.is_empty() || !n.staged_tx.is_empty() || n.kernel.current().is_some() {
+                return None;
+            }
             if let Some(t) = n.kernel.next_external_time() {
                 fold(&mut strict, t);
+            }
+            if let Some(since) = n.stats.bus_off_since {
+                fold(&mut at_or, since + recovery);
             }
         }
         if let Some(f) = self.faults.as_ref() {
@@ -702,12 +715,6 @@ impl BusState {
             }
             if let Some(t) = f.next_outage_boundary_after(now) {
                 fold(&mut at_or, t);
-            }
-        }
-        let recovery = self.error_cfg.recovery_time(self.bitrate_bps);
-        for n in nodes {
-            if let Some(since) = n.stats.bus_off_since {
-                fold(&mut at_or, since + recovery);
             }
         }
         // `in_flight` is completion-ordered, so the front frame is
@@ -753,6 +760,9 @@ pub struct Cluster {
     cursor: Time,
     /// Accumulated engine cost accounting across `run_until` calls.
     exec_stats: EpochStats,
+    /// Persisted epoch-engine scratch so a warmed serial `run_until`
+    /// allocates nothing.
+    epoch_scratch: EpochScratch,
 }
 
 impl Cluster {
@@ -770,6 +780,7 @@ impl Cluster {
             workers: 1,
             cursor: Time::ZERO,
             exec_stats: EpochStats::default(),
+            epoch_scratch: EpochScratch::default(),
         }
     }
 
@@ -947,10 +958,17 @@ impl Cluster {
         };
         let origin = self.cursor;
         let bus = &mut self.bus;
-        let stats = run_epochs(&mut self.nodes, origin, horizon, &cfg, &mut |nodes, at| {
-            bus.exchange(nodes, at);
-            bus.next_barrier_proposal(nodes, at, origin, horizon)
-        });
+        let stats = run_epochs_reusing(
+            &mut self.nodes,
+            origin,
+            horizon,
+            &cfg,
+            &mut |nodes, at| {
+                bus.exchange(nodes, at);
+                bus.next_barrier_proposal(nodes, at, origin, horizon)
+            },
+            &mut self.epoch_scratch,
+        );
         self.exec_stats.merge(&stats);
         self.cursor = horizon;
         self.bus.flush_run_end(&mut self.nodes);

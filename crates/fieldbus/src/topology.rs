@@ -1065,19 +1065,25 @@ fn build_routes(n: usize, gateways: &[Gateway]) -> RouteTables {
                 }
                 let [a, b] = gw.segs;
                 for (u, v) in [(a as usize, b as usize), (b as usize, a as usize)] {
-                    let Some((cu, hu, pu)) = label[u].clone() else {
+                    let Some((cu, hu, pu)) = label[u].as_ref() else {
                         continue;
                     };
-                    let mut cand = pu;
-                    cand.push(gi as u32);
-                    let cost = cu + gw.cfg.cost;
-                    let hops = hu + 1;
+                    let cost = *cu + gw.cfg.cost;
+                    let hops = *hu + 1;
+                    // The candidate sequence is `pu ++ [gi]`; compare
+                    // it lazily and clone the path only on improvement.
+                    let cand = || pu.iter().copied().chain(std::iter::once(gi as u32));
                     let better = match &label[v] {
                         None => true,
-                        Some(l) => (cost, hops, &cand) < (l.0, l.1, &l.2),
+                        Some(l) => {
+                            (cost, hops) < (l.0, l.1)
+                                || ((cost, hops) == (l.0, l.1)
+                                    && cand().cmp(l.2.iter().copied()).is_lt())
+                        }
                     };
                     if better {
-                        label[v] = Some((cost, hops, cand));
+                        let path = cand().collect();
+                        label[v] = Some((cost, hops, path));
                         changed = true;
                     }
                 }
@@ -1534,10 +1540,10 @@ mod tests {
         t.run_until(Time::from_ms(20));
         let m = t.metrics();
         assert_eq!(m.node_count(), 4); // two apps + two bridge NICs
-        let a0 = m.nodes.iter().find(|n| n.name == "a0").unwrap();
+        let a0 = m.nodes.iter().find(|n| &*n.name == "a0").unwrap();
         assert_eq!(a0.segment, Some(0));
         assert_eq!(a0.gateway, None);
-        let gwb = m.nodes.iter().find(|n| n.name == "gw0.s1").unwrap();
+        let gwb = m.nodes.iter().find(|n| &*n.name == "gw0.s1").unwrap();
         assert_eq!(gwb.segment, Some(1));
         assert_eq!(gwb.gateway, Some(0));
         let json = m.to_json();

@@ -115,9 +115,10 @@ impl Board {
 
     /// Delivers every occurrence due at or before `now`: samples land
     /// in device registers and wired interrupt lines are latched.
-    /// Returns the lines raised.
-    pub fn advance_to(&mut self, now: Time) -> Vec<IrqLine> {
-        let mut raised = Vec::new();
+    /// Raised lines are appended to `raised`, a caller-owned scratch
+    /// buffer (the kernel hot loop reuses one across calls so the
+    /// steady state allocates nothing).
+    pub fn advance_to(&mut self, now: Time, raised: &mut Vec<IrqLine>) {
         while let Some((_, ev)) = self.schedule.pop_due(now) {
             let dev = &mut self.devices[ev.dev.index()];
             dev.deliver_sample(ev.value);
@@ -126,7 +127,6 @@ impl Board {
                 raised.push(line);
             }
         }
-        raised
     }
 
     /// Immutable access to a device.
@@ -190,8 +190,10 @@ mod tests {
         let rpm = b.add_sensor("rpm", Some(IrqLine(4)));
         b.schedule_sample(Time::from_ms(1), rpm, 900);
         assert_eq!(b.next_event_time(), Some(Time::from_ms(1)));
-        assert!(b.advance_to(Time::from_us(500)).is_empty());
-        let raised = b.advance_to(Time::from_ms(1));
+        let mut raised = Vec::new();
+        b.advance_to(Time::from_us(500), &mut raised);
+        assert!(raised.is_empty());
+        b.advance_to(Time::from_ms(1), &mut raised);
         assert_eq!(raised, vec![IrqLine(4)]);
         assert_eq!(b.device_mut(rpm).read_register(), 900);
         assert_eq!(b.intc.pending_highest(), Some(IrqLine(4)));
@@ -202,7 +204,7 @@ mod tests {
         let mut b = Board::default();
         let s = b.add_sensor("gyro", None);
         b.schedule_periodic_samples(s, Time::from_ms(1), Duration::from_ms(2), 5, |k| k as u32);
-        b.advance_to(Time::from_ms(20));
+        b.advance_to(Time::from_ms(20), &mut Vec::new());
         if let DeviceKind::Sensor(sen) = &b.device(s).kind {
             assert_eq!(sen.samples, 5);
             assert_eq!(sen.latest, 4);

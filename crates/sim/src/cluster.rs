@@ -32,10 +32,49 @@
 //! node type; this crate stays free of kernel types.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
+use crate::profile::{HotSpot, Subsystem};
 use crate::time::{Duration, Time};
+
+/// Reinterprets a scratch buffer of raw node pointers as the
+/// `&mut [&mut N]` slice the exchange closure expects, without
+/// allocating a fresh `Vec<&mut N>` per epoch.
+///
+/// # Safety
+///
+/// Caller must guarantee the pointers were collected from *distinct*
+/// elements of an exclusively borrowed collection, that the exclusive
+/// borrow is still in force, and that the returned slice is dropped
+/// before that collection is touched again.
+unsafe fn scratch_as_refs<N>(scratch: &mut Vec<*mut N>) -> &mut [&mut N] {
+    // `*mut N` and `&mut N` have identical layout for sized `N`.
+    std::slice::from_raw_parts_mut(scratch.as_mut_ptr().cast::<&mut N>(), scratch.len())
+}
+
+/// Reusable scratch for the serial path of [`run_epochs`], held by
+/// callers that split a run into many `run_until` calls (a cluster
+/// advanced to successive horizons): with the buffer persisted, a
+/// warmed steady-state call performs **zero** heap allocations — the
+/// claim the `alloc_gate` tests pin. Stores pointer-sized words, not
+/// pointers, so a held buffer never carries a live address between
+/// calls.
+#[derive(Debug, Default)]
+pub struct EpochScratch(Vec<usize>);
+
+/// Reinterprets a word buffer freshly filled with `*mut N` addresses
+/// as the `&mut [&mut N]` slice the exchange closure expects.
+///
+/// # Safety
+///
+/// Same contract as [`scratch_as_refs`]; additionally every word must
+/// have been written from a `*mut N` in this borrow's lifetime.
+unsafe fn words_as_refs<N>(words: &mut Vec<usize>) -> &mut [&mut N] {
+    // `usize`, `*mut N`, and `&mut N` have identical layout for
+    // sized `N`.
+    std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<&mut N>(), words.len())
+}
 
 /// A hybrid sense-reversing barrier: spin briefly, then park.
 ///
@@ -268,6 +307,30 @@ where
     N: EpochNode,
     X: FnMut(&mut [&mut N], Time) -> Option<Time>,
 {
+    run_epochs_reusing(
+        nodes,
+        from,
+        horizon,
+        cfg,
+        exchange,
+        &mut EpochScratch::default(),
+    )
+}
+
+/// [`run_epochs`] with a caller-held [`EpochScratch`], for callers
+/// that run many horizons and must not allocate per call once warm.
+pub fn run_epochs_reusing<N, X>(
+    nodes: &mut Vec<N>,
+    from: Time,
+    horizon: Time,
+    cfg: &EpochConfig,
+    exchange: &mut X,
+    scratch: &mut EpochScratch,
+) -> EpochStats
+where
+    N: EpochNode,
+    X: FnMut(&mut [&mut N], Time) -> Option<Time>,
+{
     assert!(!cfg.lookahead.is_zero(), "zero lookahead");
     let mut stats = EpochStats::default();
     if nodes.is_empty() || from >= horizon {
@@ -278,15 +341,29 @@ where
     if workers == 1 {
         let mut cur = from;
         let mut hint: Option<Time> = None;
+        // Reused across epochs — and, via the caller's scratch, across
+        // calls — so the steady-state loop performs no heap allocation
+        // (the profiler showed the per-epoch `Vec<&mut N>` rebuild
+        // dominating allocator traffic on busy serial runs).
+        let buf = &mut scratch.0;
         while cur < horizon {
             let end = horizon.min(hint.take().unwrap_or(cur + cfg.lookahead));
             for n in nodes.iter_mut() {
                 n.advance_to(end);
             }
-            let mut refs: Vec<&mut N> = nodes.iter_mut().collect();
-            let t_ex = Instant::now();
-            hint = exchange(&mut refs, end);
-            stats.serial_ns += t_ex.elapsed().as_nanos() as u64;
+            buf.clear();
+            buf.extend(nodes.iter_mut().map(|n| n as *mut N as usize));
+            // SAFETY: the words were just written from pointers to
+            // distinct elements of `nodes`, which this function
+            // borrows exclusively; the slice dies at the end of the
+            // exchange call, before `nodes` is touched again.
+            let refs = unsafe { words_as_refs::<N>(buf) };
+            {
+                let _span = HotSpot::enter(Subsystem::Exchange);
+                let t_ex = Instant::now();
+                hint = exchange(refs, end);
+                stats.serial_ns += t_ex.elapsed().as_nanos() as u64;
+            }
             stats.barriers += 1;
             if let Some(h) = hint {
                 assert!(h > end, "exchange proposed a non-advancing barrier");
@@ -346,20 +423,37 @@ where
         }
         let mut cur = from;
         let mut hint: Option<Time> = None;
+        // Persistent per-epoch buffers: `Mutex::lock` takes `&self`,
+        // so the guard vector borrows `cells` immutably and can be
+        // cleared and refilled every epoch without reallocating.
+        // Guards MUST be cleared (unlocked) before the next
+        // `leader_release` or the workers would deadlock on their
+        // strides.
+        let mut guards: Vec<MutexGuard<'_, N>> = Vec::with_capacity(cells.len());
+        let mut scratch: Vec<*mut N> = Vec::with_capacity(cells.len());
         while cur < horizon {
             let end = horizon.min(hint.take().unwrap_or(cur + cfg.lookahead));
             epoch_end_ns.store(end.as_ns(), Ordering::Release);
             barrier.leader_release(); // open the epoch
             advance_stride(0, end);
-            barrier.leader_collect(); // every follower advanced
-            let mut guards: Vec<_> = cells
-                .iter()
-                .map(|c| c.lock().expect("node poisoned"))
-                .collect();
-            let mut refs: Vec<&mut N> = guards.iter_mut().map(|g| &mut **g).collect();
-            let t_ex = Instant::now();
-            hint = exchange(&mut refs, end);
-            stats.serial_ns += t_ex.elapsed().as_nanos() as u64;
+            {
+                let _span = HotSpot::enter(Subsystem::Barrier);
+                barrier.leader_collect(); // every follower advanced
+            }
+            guards.extend(cells.iter().map(|c| c.lock().expect("node poisoned")));
+            scratch.clear();
+            scratch.extend(guards.iter_mut().map(|g| &mut **g as *mut N));
+            // SAFETY: the pointers address distinct nodes behind the
+            // guards held in `guards`; the slice dies at the end of
+            // the exchange call, before the guards are released.
+            let refs = unsafe { scratch_as_refs(&mut scratch) };
+            {
+                let _span = HotSpot::enter(Subsystem::Exchange);
+                let t_ex = Instant::now();
+                hint = exchange(refs, end);
+                stats.serial_ns += t_ex.elapsed().as_nanos() as u64;
+            }
+            guards.clear(); // unlock before the next epoch opens
             stats.barriers += 1;
             if let Some(h) = hint {
                 assert!(h > end, "exchange proposed a non-advancing barrier");

@@ -1,0 +1,74 @@
+//! Counting global allocator for the zero-allocation gate tests.
+//!
+//! EMERALDS' hot paths are constant-time and allocation-free by
+//! design; the host interpreter should be too once warmed up. This
+//! wrapper over the system allocator counts every allocation so a
+//! test can assert that a steady-state window performs **zero** of
+//! them — a much stronger claim than "fast".
+//!
+//! Only compiled with the `alloc-count` feature, and only *installed*
+//! by the test binaries that opt in:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: emeralds_sim::CountingAlloc = emeralds_sim::CountingAlloc;
+//! ```
+//!
+//! Counters are relaxed atomics — the gate tests are single-threaded
+//! over the window they measure, and exactness across threads is not
+//! part of the claim.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts allocations.
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the only
+// addition is relaxed counter traffic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A growth that moves is an allocation for gate purposes: the
+        // hot loop must not trigger it either.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+/// Heap allocations since process start (0 if the allocator is not
+/// installed as `#[global_allocator]`).
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Heap deallocations since process start.
+pub fn dealloc_count() -> u64 {
+    DEALLOCS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested across all allocations.
+pub fn alloc_bytes() -> u64 {
+    ALLOC_BYTES.load(Ordering::Relaxed)
+}

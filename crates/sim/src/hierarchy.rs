@@ -115,9 +115,19 @@ where
             inner: EpochStats::default(),
         })
         .collect();
+    // Reused across outer barriers: the adapter slice is rebuilt each
+    // exchange but never reallocates once warmed.
+    let mut scratch: Vec<*mut G> = Vec::with_capacity(cells.len());
     let outer = run_epochs(&mut cells, from, horizon, cfg, &mut |cells, at| {
-        let mut refs: Vec<&mut G> = cells.iter_mut().map(|c| &mut c.group).collect();
-        exchange(&mut refs, at)
+        scratch.clear();
+        scratch.extend(cells.iter_mut().map(|c| &mut c.group as *mut G));
+        // SAFETY: the pointers address distinct groups behind the
+        // exclusive `cells` slice handed to this closure; the re-cast
+        // slice dies at the end of the exchange call.
+        let refs = unsafe {
+            std::slice::from_raw_parts_mut(scratch.as_mut_ptr().cast::<&mut G>(), scratch.len())
+        };
+        exchange(refs, at)
     });
     let mut inner = EpochStats::default();
     for cell in cells {

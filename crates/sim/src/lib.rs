@@ -22,26 +22,38 @@
 //!   generic half).
 //!
 //! Everything here is deterministic: no wall-clock reads, no global
-//! state, and the RNG helpers require explicit seeds.
+//! state, and the RNG helpers require explicit seeds. The one
+//! deliberate exception is the feature-gated [`profile`] module: a
+//! wall-clock self-profiler that attributes *host* nanoseconds to
+//! kernel subsystems. It can observe but never influence the
+//! simulation — virtual time has no path to it.
 
 pub mod account;
 pub mod cluster;
+#[cfg(feature = "alloc-count")]
+pub mod count_alloc;
 pub mod event;
 pub mod hierarchy;
 pub mod histogram;
 pub mod ids;
+pub mod profile;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use account::{Accounting, OverheadKind};
-pub use cluster::{run_epochs, EpochConfig, EpochNode, EpochStats};
+pub use cluster::{
+    run_epochs, run_epochs_reusing, EpochConfig, EpochNode, EpochScratch, EpochStats,
+};
+#[cfg(feature = "alloc-count")]
+pub use count_alloc::CountingAlloc;
 pub use event::EventQueue;
 pub use hierarchy::{run_two_level, EpochGroup, TwoLevelStats};
 pub use histogram::DurationHistogram;
 pub use ids::{
     CvId, DevId, EventId, IrqLine, MboxId, NodeId, ProcId, RegionId, SemId, StateId, ThreadId,
 };
+pub use profile::{HotSpot, Subsystem, WallProfile, WallRow};
 pub use rng::SimRng;
 pub use time::{Duration, Time};
 pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,287 @@
+//! Feature-gated wall-clock self-profiler.
+//!
+//! The simulation's *virtual* cost model is exact and deterministic;
+//! what it cannot see is the *host* cost of replaying it — the
+//! nanoseconds the interpreter itself burns per dispatched event. This
+//! module attributes those nanoseconds (and, when the counting
+//! allocator is installed, heap allocations) to kernel subsystems via
+//! [`HotSpot`] RAII spans, so a profile run can rank hot paths before
+//! an optimization pass and prove the ranking afterwards.
+//!
+//! Layered gating keeps the instrument honest about its own cost:
+//!
+//! - **Compile-time**: without the `wall-profile` feature every span
+//!   is an inlined zero-sized no-op — standalone builds of the
+//!   simulation substrate pay nothing.
+//! - **Run-time**: with the feature compiled in (the bench harness
+//!   enables it workspace-wide), spans still collapse to one relaxed
+//!   atomic load until [`arm`] is called. Timed runs therefore stay
+//!   un-instrumented unless a profile was explicitly requested, and
+//!   the throughput A/B in `expts hotpath` measures the *disarmed*
+//!   configuration.
+//!
+//! Accumulators are global atomics rather than thread-locals: the
+//! epoch executive's spans (exchange, barrier) fire on scoped worker
+//! threads whose locals would die with the scope, and the relaxed
+//! `fetch_add` traffic only exists while a profile is armed.
+//!
+//! None of this can perturb virtual time: spans read the host clock
+//! and touch profiler state only — no simulation structure is
+//! reachable from here.
+
+/// A kernel subsystem a [`HotSpot`] span attributes host time to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Subsystem {
+    /// Scheduler pick + context-switch bookkeeping (`reschedule`).
+    Dispatch,
+    /// Timer-queue arm/pop work and expiry processing.
+    TimerQueue,
+    /// Trace/metrics recording (`Kernel::record` and counters).
+    TraceRecord,
+    /// Board device stepping and IRQ delivery.
+    IrqBoard,
+    /// Semaphore acquire/release paths.
+    SemOp,
+    /// The serial bus exchange at epoch barriers.
+    Exchange,
+    /// Barrier crossings of the epoch executive.
+    Barrier,
+}
+
+/// Number of profiled subsystems.
+pub const SUBSYSTEM_COUNT: usize = 7;
+
+impl Subsystem {
+    /// All subsystems, in the fixed reporting order.
+    pub const ALL: [Subsystem; SUBSYSTEM_COUNT] = [
+        Subsystem::Dispatch,
+        Subsystem::TimerQueue,
+        Subsystem::TraceRecord,
+        Subsystem::IrqBoard,
+        Subsystem::SemOp,
+        Subsystem::Exchange,
+        Subsystem::Barrier,
+    ];
+
+    /// Stable snake_case name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Subsystem::Dispatch => "dispatch",
+            Subsystem::TimerQueue => "timer_queue",
+            Subsystem::TraceRecord => "trace_record",
+            Subsystem::IrqBoard => "irq_board",
+            Subsystem::SemOp => "sem_op",
+            Subsystem::Exchange => "exchange",
+            Subsystem::Barrier => "barrier",
+        }
+    }
+
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// One subsystem's accumulated profile.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WallRow {
+    /// Spans entered while armed.
+    pub hits: u64,
+    /// Host nanoseconds spent inside those spans.
+    pub nanos: u64,
+    /// Heap allocations made inside those spans (zero unless the
+    /// counting allocator is installed).
+    pub allocs: u64,
+}
+
+/// A full profile snapshot: one row per [`Subsystem::ALL`] entry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WallProfile {
+    /// Rows indexed like [`Subsystem::ALL`].
+    pub rows: [WallRow; SUBSYSTEM_COUNT],
+}
+
+impl WallProfile {
+    /// The row for `sub`.
+    pub fn row(&self, sub: Subsystem) -> &WallRow {
+        &self.rows[sub.idx()]
+    }
+
+    /// Subsystems with their rows, in reporting order.
+    pub fn iter(&self) -> impl Iterator<Item = (Subsystem, &WallRow)> {
+        Subsystem::ALL
+            .iter()
+            .map(move |&s| (s, &self.rows[s.idx()]))
+    }
+}
+
+#[cfg(feature = "wall-profile")]
+mod imp {
+    use super::{Subsystem, WallProfile, SUBSYSTEM_COUNT};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Instant;
+
+    static ARMED: AtomicBool = AtomicBool::new(false);
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    static HITS: [AtomicU64; SUBSYSTEM_COUNT] = [ZERO; SUBSYSTEM_COUNT];
+    static NANOS: [AtomicU64; SUBSYSTEM_COUNT] = [ZERO; SUBSYSTEM_COUNT];
+    static ALLOCS: [AtomicU64; SUBSYSTEM_COUNT] = [ZERO; SUBSYSTEM_COUNT];
+
+    /// An open span; closing (dropping) it attributes the elapsed
+    /// host time to its subsystem. Zero-cost when the profiler is
+    /// disarmed: `enter` returns an inert span after one relaxed load.
+    pub struct HotSpot {
+        live: Option<(Subsystem, Instant, u64)>,
+    }
+
+    impl HotSpot {
+        #[inline(always)]
+        pub fn enter(sub: Subsystem) -> HotSpot {
+            if !ARMED.load(Ordering::Relaxed) {
+                return HotSpot { live: None };
+            }
+            HotSpot {
+                live: Some((sub, Instant::now(), super::alloc_count())),
+            }
+        }
+    }
+
+    impl Drop for HotSpot {
+        #[inline]
+        fn drop(&mut self) {
+            if let Some((sub, start, allocs0)) = self.live.take() {
+                let i = sub as usize;
+                HITS[i].fetch_add(1, Ordering::Relaxed);
+                NANOS[i].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                let da = super::alloc_count().saturating_sub(allocs0);
+                if da > 0 {
+                    ALLOCS[i].fetch_add(da, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Starts attributing span time (after zeroing the accumulators).
+    pub fn arm() {
+        reset();
+        ARMED.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops attribution; accumulated rows stay readable.
+    pub fn disarm() {
+        ARMED.store(false, Ordering::SeqCst);
+    }
+
+    /// Zeroes every accumulator.
+    pub fn reset() {
+        for i in 0..SUBSYSTEM_COUNT {
+            HITS[i].store(0, Ordering::SeqCst);
+            NANOS[i].store(0, Ordering::SeqCst);
+            ALLOCS[i].store(0, Ordering::SeqCst);
+        }
+    }
+
+    /// Snapshots the accumulated profile.
+    pub fn snapshot() -> WallProfile {
+        let mut p = WallProfile::default();
+        for i in 0..SUBSYSTEM_COUNT {
+            p.rows[i].hits = HITS[i].load(Ordering::SeqCst);
+            p.rows[i].nanos = NANOS[i].load(Ordering::SeqCst);
+            p.rows[i].allocs = ALLOCS[i].load(Ordering::SeqCst);
+        }
+        p
+    }
+}
+
+#[cfg(not(feature = "wall-profile"))]
+mod imp {
+    use super::{Subsystem, WallProfile};
+
+    /// Inert span: the `wall-profile` feature is off, so entering and
+    /// dropping compile to nothing.
+    pub struct HotSpot;
+
+    impl HotSpot {
+        #[inline(always)]
+        pub fn enter(_sub: Subsystem) -> HotSpot {
+            HotSpot
+        }
+    }
+
+    /// No-op without the `wall-profile` feature.
+    pub fn arm() {}
+    /// No-op without the `wall-profile` feature.
+    pub fn disarm() {}
+    /// No-op without the `wall-profile` feature.
+    pub fn reset() {}
+    /// Always the zero profile without the `wall-profile` feature.
+    pub fn snapshot() -> WallProfile {
+        WallProfile::default()
+    }
+}
+
+pub use imp::{arm, disarm, reset, snapshot, HotSpot};
+
+/// Total heap allocations observed by the counting allocator, zero
+/// when it is not installed (the `alloc-count` feature wires it up for
+/// the allocation-gate tests only).
+#[inline(always)]
+pub fn alloc_count() -> u64 {
+    #[cfg(feature = "alloc-count")]
+    {
+        crate::count_alloc::alloc_count()
+    }
+    #[cfg(not(feature = "alloc-count"))]
+    {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsystem_names_are_unique_and_ordered() {
+        let names: Vec<&str> = Subsystem::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), SUBSYSTEM_COUNT);
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), SUBSYSTEM_COUNT, "duplicate subsystem name");
+        assert_eq!(names[0], "dispatch");
+        assert_eq!(names[SUBSYSTEM_COUNT - 1], "barrier");
+    }
+
+    #[test]
+    fn disarmed_spans_accumulate_nothing() {
+        disarm();
+        reset();
+        {
+            let _s = HotSpot::enter(Subsystem::Dispatch);
+        }
+        let p = snapshot();
+        assert_eq!(p.row(Subsystem::Dispatch).hits, 0);
+    }
+
+    #[cfg(feature = "wall-profile")]
+    #[test]
+    fn armed_spans_attribute_time() {
+        arm();
+        {
+            let _s = HotSpot::enter(Subsystem::TimerQueue);
+            std::hint::black_box(1 + 1);
+        }
+        disarm();
+        let p = snapshot();
+        assert_eq!(p.row(Subsystem::TimerQueue).hits, 1);
+        // Spans after disarm leave the snapshot untouched.
+        {
+            let _s = HotSpot::enter(Subsystem::TimerQueue);
+        }
+        assert_eq!(snapshot().row(Subsystem::TimerQueue).hits, 1);
+        reset();
+        assert_eq!(snapshot().row(Subsystem::TimerQueue).hits, 0);
+    }
+}

@@ -203,7 +203,10 @@ impl Trace {
         self.ring_capacity
     }
 
-    /// Records `event` at `at`.
+    /// Records `event` at `at`. Counters observe every event; storage
+    /// sits behind one branch-predictable `recording` check so a
+    /// non-recording kernel pays counter arithmetic and nothing else.
+    #[inline]
     pub fn push(&mut self, at: Time, event: TraceEvent) {
         match &event {
             TraceEvent::ContextSwitch { .. } => self.context_switches += 1,
@@ -211,9 +214,17 @@ impl Trace {
             _ => {}
         }
         self.total_seen += 1;
-        if !self.recording {
-            return;
+        if self.recording {
+            self.store(at, event);
         }
+    }
+
+    /// Out-of-line storage path: append, or overwrite in ring mode.
+    /// `#[cold]` keeps the non-recording fast path of [`Trace::push`]
+    /// small enough to inline at every kernel record site.
+    #[cold]
+    #[inline(never)]
+    fn store(&mut self, at: Time, event: TraceEvent) {
         match self.ring_capacity {
             Some(cap) if self.events.len() == cap => {
                 // Overwrite the oldest slot and advance the start.

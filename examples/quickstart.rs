@@ -70,10 +70,7 @@ fn main() {
     print!("{}", report.render());
     println!(
         "tightest task: {} (worst response / period)",
-        report
-            .tightest_task()
-            .map(|t| t.name.as_str())
-            .unwrap_or("-")
+        report.tightest_task().map(|t| &*t.name).unwrap_or("-")
     );
     let _ = (control, sensor, logger, health);
 

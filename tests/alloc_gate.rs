@@ -1,0 +1,135 @@
+//! Zero-allocation gate for the interpreter hot loop.
+//!
+//! EMERALDS' own hot paths are constant-time and allocation-free; the
+//! host interpreter replaying them should be too once warmed up. This
+//! binary installs the counting global allocator (`--features
+//! alloc-count`) and asserts that after a warm-up run — which grows
+//! every pool, queue, and scratch buffer to its high-water mark — a
+//! steady-state window performs **zero** heap allocations:
+//!
+//! - a single-kernel `Kernel::advance_to` window mixing timer
+//!   releases, dispatches, and uncontended semaphore traffic;
+//! - a quiet-bus cluster stretch, where the epoch executive proves
+//!   idleness and crosses barriers without staging a frame.
+//!
+//! Any new allocation on these paths (a `clone` in the dispatch loop,
+//! a fresh `Vec` per epoch, a far-bucket promotion that outgrows the
+//! timer queue's spare pool) fails the gate with an exact count.
+
+#![cfg(feature = "alloc-count")]
+
+use emeralds::core::kernel::{KernelBuilder, KernelConfig};
+use emeralds::core::script::{Action, Script};
+use emeralds::core::{Kernel, SchedPolicy};
+use emeralds::fieldbus::Cluster;
+use emeralds::sim::count_alloc;
+use emeralds::sim::{Duration, IrqLine, Time};
+
+#[global_allocator]
+static ALLOC: emeralds::sim::CountingAlloc = emeralds::sim::CountingAlloc;
+
+const NIC_IRQ: IrqLine = IrqLine(2);
+
+/// A busy single-node workload: dense periodic releases (timer and
+/// scheduler pressure) plus a lone-holder mutex, so the measured
+/// window crosses every kernel hot path the profiler instruments.
+fn busy_kernel() -> Kernel {
+    let mut b = KernelBuilder::new(KernelConfig {
+        policy: SchedPolicy::Csd {
+            boundaries: vec![2],
+        },
+        record_trace: false,
+        ..KernelConfig::default()
+    });
+    let p = b.add_process("gate");
+    let m = b.add_mutex();
+    b.add_periodic_task(
+        p,
+        "locker",
+        Duration::from_ms(2),
+        Script::periodic(vec![
+            Action::AcquireSem(m),
+            Action::Compute(Duration::from_us(50)),
+            Action::ReleaseSem(m),
+        ]),
+    );
+    for f in 0..6u64 {
+        b.add_periodic_task(
+            p,
+            format!("ctl{f}"),
+            Duration::from_us(700 + 150 * f),
+            Script::compute_only(Duration::from_us(25)),
+        );
+    }
+    b.build()
+}
+
+#[test]
+fn steady_state_kernel_window_allocates_nothing() {
+    let mut k = busy_kernel();
+    // Warm-up: first jobs grow the ready queues, timer buckets, and
+    // IRQ scratch to their high-water marks.
+    k.run_until(Time::from_ms(50));
+    let before = count_alloc::alloc_count();
+    k.advance_to(Time::from_ms(100));
+    let delta = count_alloc::alloc_count() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state Kernel::advance_to made {delta} heap allocations"
+    );
+    // The window did real work, not nothing.
+    assert!(k.metrics().context_switches > 0);
+}
+
+/// Four quiet nodes: one sparse control task and an event-driven NIC
+/// driver each, no frames ever sent — the epoch executive's pure
+/// barrier/lookahead path.
+fn quiet_cluster() -> Cluster {
+    let mut c = Cluster::new(1_000_000).with_workers(1);
+    for i in 0..4usize {
+        let mut b = KernelBuilder::new(KernelConfig {
+            policy: SchedPolicy::Csd {
+                boundaries: vec![1],
+            },
+            record_trace: false,
+            ..KernelConfig::default()
+        });
+        let p = b.add_process(format!("n{i}"));
+        let tx = b.add_mailbox(4);
+        let rx = b.add_mailbox(4);
+        b.board_mut().add_nic("can", NIC_IRQ);
+        b.add_periodic_task(
+            p,
+            "law",
+            Duration::from_ms(20),
+            Script::compute_only(Duration::from_us(100)),
+        );
+        b.add_driver_task(
+            p,
+            "nicdrv",
+            Duration::from_ms(5),
+            Script::looping(vec![
+                Action::RecvMbox(rx),
+                Action::Compute(Duration::from_us(10)),
+            ]),
+        );
+        c.add_node(format!("n{i}"), b.build(), tx, rx, NIC_IRQ, (i + 1) as u32);
+    }
+    c
+}
+
+#[test]
+fn quiet_cluster_stretch_allocates_nothing() {
+    let mut c = quiet_cluster();
+    // Warm-up pass: epoch scratch, per-node buffers, and the bus
+    // bookkeeping all reach steady capacity.
+    c.run_until(Time::from_ms(60));
+    let before = count_alloc::alloc_count();
+    c.run_until(Time::from_ms(120));
+    let delta = count_alloc::alloc_count() - before;
+    assert_eq!(
+        delta, 0,
+        "quiet-bus cluster stretch made {delta} heap allocations"
+    );
+    assert!(c.metrics().jobs_completed > 0);
+}

@@ -225,7 +225,7 @@ fn golden_kernel_metrics_snapshot() {
     assert_eq!(m.tasks.len(), 2);
     let hi = &m.tasks[0];
     assert_eq!(
-        (hi.name.as_str(), hi.jobs_completed, hi.deadline_misses),
+        (&*hi.name, hi.jobs_completed, hi.deadline_misses),
         ("hi", 1, 0)
     );
     // T0 preempts as soon as it is released, so its dispatch latency
@@ -243,7 +243,7 @@ fn golden_kernel_metrics_snapshot() {
     );
     assert!(hi.mean_response <= hi.max_response);
     let lo = &m.tasks[1];
-    assert_eq!((lo.name.as_str(), lo.jobs_completed), ("lo", 1));
+    assert_eq!((&*lo.name, lo.jobs_completed), ("lo", 1));
     assert!(lo.max_dispatch_latency < Duration::from_us(20));
     // The EMERALDS run differs exactly in the sem-path counters.
     let e = contended_scenario(SemScheme::Emeralds).metrics();
